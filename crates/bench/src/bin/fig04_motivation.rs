@@ -1,0 +1,65 @@
+//! Fig. 4: motivation — Megatron-LM's collective share / bandwidth
+//! utilization (b) and its memory overhead vs an ideal baseline (c).
+
+use temp_bench::header;
+use temp_core::baselines::{BaselineSystem, Partitioner};
+use temp_core::framework::Temp;
+use temp_graph::models::ModelZoo;
+use temp_graph::workload::Workload;
+use temp_mapping::engines::MappingEngine;
+use temp_parallel::memory::per_die_footprint;
+use temp_parallel::strategy::HybridConfig;
+use temp_wsc::config::WaferConfig;
+use temp_wsc::units::{pj_per_bit_to_joules_per_byte, GB};
+
+fn main() {
+    let wafer = WaferConfig::hpca();
+    header("Fig. 4(b): Megatron-1 training-time breakdown on the wafer");
+    println!("{:<20} {:>12} {:>12}", "model", "collective %", "D2D BW util %");
+    let models = [
+        ModelZoo::gpt3_6_7b(),
+        ModelZoo::gpt3_76b(),
+        ModelZoo::gpt3_175b(),
+        ModelZoo::deepseek_7b(),
+        ModelZoo::deepseek_67b(),
+        ModelZoo::deepseek_v2_236b(),
+    ];
+    for model in &models {
+        let temp = Temp::hpca(model.clone());
+        let rep = temp.evaluate_system(&BaselineSystem {
+            partitioner: Partitioner::Megatron1,
+            engine: MappingEngine::SMap,
+        });
+        match rep.report() {
+            Some(c) => {
+                // Bytes carried over D2D from the energy ledger.
+                let bytes = c.energy.d2d /
+                    (pj_per_bit_to_joules_per_byte(wafer.d2d.energy_pj_per_bit) * 1.2);
+                let active_links = 2.0 * wafer.die_count() as f64; // ~2 busy links/die
+                let util = bytes / (active_links * wafer.d2d.bandwidth * c.step_time);
+                println!(
+                    "{:<20} {:>11.0}% {:>11.0}%",
+                    model.name,
+                    100.0 * c.comm_fraction(),
+                    (100.0 * util).min(100.0)
+                );
+            }
+            None => println!("{:<20} {:>12} {:>12}", model.name, "OOM", "OOM"),
+        }
+    }
+
+    header("Fig. 4(c): per-die memory, Megatron (TP=8, DP=4) vs ideal (capacity 72 GB)");
+    println!("{:<20} {:>12} {:>10} {:>6}", "model", "Megatron GB", "ideal GB", "fits");
+    for model in [ModelZoo::deepseek_7b(), ModelZoo::llama2_70b(), ModelZoo::bloom_176b()] {
+        let w = Workload::for_model(&model);
+        let mega = per_die_footprint(&model, &w, &HybridConfig::tuple(4, 8, 1, 1));
+        let ideal = (w.param_state_bytes(&model) + w.activation_bytes_total(&model)) / 32.0;
+        println!(
+            "{:<20} {:>11.1} {:>9.1} {:>6}",
+            model.name,
+            mega.total() / GB,
+            ideal / GB,
+            if mega.fits(wafer.hbm.capacity) { "yes" } else { "OOM" }
+        );
+    }
+}

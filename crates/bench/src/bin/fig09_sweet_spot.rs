@@ -1,0 +1,54 @@
+//! Fig. 9: the TATP parallel-degree sweet spot — throughput, memory and
+//! power vs die count N for one GPT-3 175B linear layer.
+
+use temp_bench::header;
+use temp_graph::models::ModelZoo;
+use temp_graph::workload::Workload;
+use temp_mapping::engines::MappingEngine;
+use temp_parallel::strategy::HybridConfig;
+use temp_solver::cost::WaferCostModel;
+use temp_wsc::config::WaferConfig;
+use temp_wsc::units::GB;
+
+fn main() {
+    header("Fig. 9: TATP degree sweep on one GPT-3 175B layer (normalized)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10} {:>22}",
+        "N", "throughput", "mem/die GB", "power kW", "power breakdown c/d/m %"
+    );
+    let mut base_tput = None;
+    for n in [2u32, 4, 8, 16, 32, 64] {
+        let (w, h) = match n {
+            2 => (2, 1),
+            4 => (2, 2),
+            8 => (4, 2),
+            16 => (4, 4),
+            32 => (8, 4),
+            _ => (8, 8),
+        };
+        let wafer = WaferConfig::with_array(w, h).unwrap();
+        let mut model = ModelZoo::gpt3_175b();
+        model.layers = 1;
+        let workload = Workload::training(16, 2048);
+        let cost = WaferCostModel::new(wafer, model, workload);
+        let cfg = HybridConfig::tatp(n as usize);
+        match cost.evaluate(&cfg, MappingEngine::Tcme) {
+            Ok(r) => {
+                let t = r.throughput;
+                let base = *base_tput.get_or_insert(t);
+                let (c, d, m) = r.energy.breakdown();
+                println!(
+                    "{n:>4} {:>12.2} {:>12.1} {:>10.2} {:>9.0}/{:.0}/{:.0}",
+                    t / base,
+                    r.memory.total() / GB,
+                    r.power / 1e3,
+                    100.0 * c,
+                    100.0 * d,
+                    100.0 * m
+                );
+            }
+            Err(e) => println!("{n:>4} error: {e}"),
+        }
+    }
+    println!("(paper: throughput/memory sweet spot at N~8-16; power at N~4-8)");
+}

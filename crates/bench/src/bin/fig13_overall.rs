@@ -1,0 +1,54 @@
+//! Fig. 13: training latency breakdown + memory usage for the six baselines
+//! and TEMP, across the Table II models. Also prints Tables I/II.
+
+use temp_bench::{header, row};
+use temp_core::framework::{geomean_speedup, normalize, Temp};
+use temp_graph::models::ModelZoo;
+use temp_wsc::config::WaferConfig;
+use temp_wsc::units::GB;
+
+fn main() {
+    let wafer = WaferConfig::hpca();
+    header("Table I: WSC configuration");
+    println!(
+        "die array {}x{} | {} TFLOPS/die @ {} TFLOPS/W | SRAM {:.0} MB | HBM {:.0} GB @ {:.0} GB/s | D2D {:.0} GB/s/link/dir, {:.0} ns, {} pJ/bit",
+        wafer.mesh_width, wafer.mesh_height,
+        wafer.die.peak_flops / 1e12, wafer.die.flops_per_watt / 1e12,
+        wafer.die.sram / 1e6, wafer.hbm.capacity / 1e9, wafer.hbm.bandwidth / 1e9,
+        wafer.d2d.bandwidth / 1e9, wafer.d2d.latency * 1e9, wafer.d2d.energy_pj_per_bit,
+    );
+    header("Table II: models");
+    for m in ModelZoo::table2() {
+        println!("{m}");
+    }
+
+    header("Fig. 13: normalized training latency (lower is better) + memory");
+    println!("{:<18} {}", "model", "A:Mega+S B:Mega+G C:MeSP+S D:MeSP+G E:FSDP+S F:FSDP+G  TEMP");
+    let mut per_baseline_speedups: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for model in ModelZoo::table2() {
+        let temp = Temp::hpca(model.clone());
+        let reports = temp.compare_all();
+        let times: Vec<f64> = reports.iter().map(|r| r.step_time()).collect();
+        row(&model.name, &normalize(&times));
+        let mems: Vec<f64> = reports
+            .iter()
+            .map(|r| r.report().map(|c| c.memory.total() / GB).unwrap_or(f64::INFINITY))
+            .collect();
+        row("  mem (GB/die)", &mems);
+        let comm: Vec<f64> =
+            reports.iter().map(|r| r.report().map(|c| c.comm_fraction()).unwrap_or(f64::NAN)).collect();
+        row("  comm fraction", &comm);
+        let temp_time = times[6];
+        for (i, t) in times[..6].iter().enumerate() {
+            if t.is_finite() {
+                per_baseline_speedups[i].push(t / temp_time);
+            }
+        }
+    }
+    header("TEMP end-to-end speedup vs each baseline (geomean; paper: 1.69/1.35/1.38/1.24/1.39/1.20x)");
+    let labels = ["Mega+SMap", "Mega+GMap", "MeSP+SMap", "MeSP+GMap", "FSDP+SMap", "FSDP+GMap"];
+    for (label, sp) in labels.iter().zip(&per_baseline_speedups) {
+        let ones: Vec<f64> = sp.iter().map(|_| 1.0).collect();
+        println!("vs {label:<10}: {:.2}x (over {} non-OOM models)", geomean_speedup(sp, &ones), sp.len());
+    }
+}

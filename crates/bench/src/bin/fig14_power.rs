@@ -1,0 +1,28 @@
+//! Fig. 14: power breakdown and power efficiency for all systems.
+
+use temp_bench::{header, row};
+use temp_core::framework::Temp;
+use temp_graph::models::ModelZoo;
+
+fn main() {
+    header("Fig. 14: normalized power efficiency (higher is better; TEMP last)");
+    println!("{:<18} {}", "model", "A:Mega+S B:Mega+G C:MeSP+S D:MeSP+G E:FSDP+S F:FSDP+G  TEMP");
+    for model in ModelZoo::table2() {
+        let temp = Temp::hpca(model.clone());
+        let reports = temp.compare_all();
+        let eff: Vec<f64> = reports
+            .iter()
+            .map(|r| r.report().map(|c| c.power_efficiency).unwrap_or(f64::INFINITY))
+            .collect();
+        let base = eff.iter().copied().find(|v| v.is_finite() && *v > 0.0).unwrap_or(1.0);
+        let norm: Vec<f64> = eff.iter().map(|v| v / base).collect();
+        row(&model.name, &norm);
+        if let Some(c) = reports.last().and_then(|r| r.report()) {
+            let (comp, d2d, hbm) = c.energy.breakdown();
+            println!(
+                "  TEMP power breakdown: compute {:.0}% | comm {:.0}% | memory {:.0}% | avg power {:.1} kW",
+                100.0 * comp, 100.0 * d2d, 100.0 * hbm, c.power / 1e3
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 15: GPU cluster vs WSC at matched FP16 peak (32 x A100 = 32 dies at
+//! 312 TFLOPS each): GPU+MeSP vs Wafer+MeSP vs Wafer+TEMP.
+
+use temp_bench::header;
+use temp_core::baselines::{BaselineSystem, Partitioner};
+use temp_core::framework::Temp;
+use temp_core::gpu::GpuCluster;
+use temp_graph::models::ModelZoo;
+use temp_graph::workload::Workload;
+use temp_mapping::engines::MappingEngine;
+use temp_wsc::config::WaferConfig;
+
+fn main() {
+    header("Fig. 15: normalized throughput (GPU+MeSP = 1.0)");
+    println!("{:<18} {:>10} {:>12} {:>12}", "model", "GPU+MeSP", "Wafer+MeSP", "Wafer+TEMP");
+    // Derate the wafer's dies to the A100 peak for a fair comparison.
+    let mut wafer = WaferConfig::hpca();
+    wafer.die.peak_flops = 312.0e12;
+    wafer.die.flops_per_watt = 312.0e12 / 400.0; // A100-class 400 W envelope
+    let cluster = GpuCluster::default();
+    let mut ratios_mesp = Vec::new();
+    let mut ratios_gpu = Vec::new();
+    for model in ModelZoo::table2() {
+        let workload = Workload::for_model(&model);
+        let gpu = cluster.evaluate_mesp(&model, &workload);
+        let temp = Temp::new(wafer.clone(), model.clone(), workload);
+        let mesp = temp.evaluate_system(&BaselineSystem {
+            partitioner: Partitioner::MeSP,
+            engine: MappingEngine::GMap,
+        });
+        let t = temp.evaluate_system(&BaselineSystem::temp());
+        let wafer_mesp = mesp.report().map(|c| c.throughput).unwrap_or(0.0);
+        let wafer_temp = t.report().map(|c| c.throughput).unwrap_or(0.0);
+        println!(
+            "{:<18} {:>10.3} {:>12.3} {:>12.3}",
+            model.name,
+            1.0,
+            wafer_mesp / gpu.throughput,
+            wafer_temp / gpu.throughput
+        );
+        if wafer_mesp > 0.0 {
+            ratios_mesp.push(wafer_temp / wafer_mesp);
+        }
+        if gpu.throughput > 0.0 && wafer_temp > 0.0 {
+            ratios_gpu.push(wafer_temp / gpu.throughput);
+        }
+    }
+    let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    header("averages (paper: Wafer+TEMP 1.16x over GPU+MeSP, 1.26x over Wafer+MeSP)");
+    println!(
+        "Wafer+TEMP vs GPU+MeSP: {:.2}x | Wafer+TEMP vs Wafer+MeSP: {:.2}x",
+        avg(&ratios_gpu),
+        avg(&ratios_mesp)
+    );
+}

@@ -1,0 +1,37 @@
+//! Fig. 16: ablation — FSDP+SMap base, +TATP, +TATP+TCME.
+
+use temp_bench::{header, row};
+use temp_core::baselines::{BaselineSystem, Partitioner};
+use temp_core::framework::Temp;
+use temp_graph::models::ModelZoo;
+use temp_mapping::engines::MappingEngine;
+
+fn main() {
+    header("Fig. 16: ablation (normalized throughput; base = FSDP+SMap = 1.0)");
+    println!("{:<18} {:>8} {:>10} {:>16}", "model", "base", "+TATP", "+TATP+TCME");
+    let mut gains_tatp = Vec::new();
+    let mut gains_tcme = Vec::new();
+    for model in ModelZoo::table2() {
+        let temp = Temp::hpca(model.clone());
+        let base = temp.evaluate_system(&BaselineSystem {
+            partitioner: Partitioner::Fsdp,
+            engine: MappingEngine::SMap,
+        });
+        let plus_tatp = temp.evaluate_system(&BaselineSystem {
+            partitioner: Partitioner::Temp,
+            engine: MappingEngine::SMap,
+        });
+        let full = temp.evaluate_system(&BaselineSystem::temp());
+        let b = base.step_time();
+        let base_col = if b.is_finite() { 1.0 } else { f64::INFINITY };
+        let series = [base_col, b / plus_tatp.step_time(), b / full.step_time()];
+        row(&model.name, &series);
+        if series[1].is_finite() && series[2].is_finite() {
+            gains_tatp.push(series[1]);
+            gains_tcme.push(series[2] / series[1]);
+        }
+    }
+    let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    header("averages (paper: +TATP 1.21x, +TCME further 1.14x)");
+    println!("+TATP avg: {:.2}x | +TCME avg additional: {:.2}x", avg(&gains_tatp), avg(&gains_tcme));
+}

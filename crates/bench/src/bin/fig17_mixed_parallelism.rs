@@ -1,0 +1,45 @@
+//! Fig. 17: Llama2 7B under every (DP, TP, SP, TATP) tuple on 32 dies with
+//! the TCME engine, for 2k and 16k sequences.
+
+use temp_bench::header;
+use temp_graph::models::ModelZoo;
+use temp_graph::workload::Workload;
+use temp_mapping::engines::MappingEngine;
+use temp_parallel::strategy::HybridConfig;
+use temp_solver::cost::WaferCostModel;
+use temp_wsc::config::WaferConfig;
+
+fn main() {
+    for (seq, batch) in [(2048u64, 128u64), (16_384, 32)] {
+        header(&format!("Fig. 17: Llama2 7B, seq={seq}, batch={batch} (throughput, best=1.0)"));
+        let model = ModelZoo::llama2_7b();
+        let workload = Workload::training(batch, seq);
+        let cost = WaferCostModel::new(WaferConfig::hpca(), model, workload);
+        let mut results: Vec<(String, f64, usize)> = Vec::new();
+        for cfg in HybridConfig::enumerate_tuples(32, false) {
+            match cost.evaluate(&cfg, MappingEngine::Tcme) {
+                Ok(r) if r.fits_memory => results.push((cfg.label(), r.throughput, cfg.tatp)),
+                _ => results.push((cfg.label(), 0.0, cfg.tatp)),
+            }
+        }
+        results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let best = results[0].1;
+        println!("top configurations (DP,TP,SP,TATP):");
+        for (label, tput, _) in results.iter().take(8) {
+            if *tput > 0.0 {
+                println!("  {label:<12} {:.3}", tput / best);
+            }
+        }
+        let avg = |with: bool| {
+            let v: Vec<f64> = results
+                .iter()
+                .filter(|(_, t, tatp)| *t > 0.0 && ((*tatp > 1) == with))
+                .map(|(_, t, _)| *t / best)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        println!("mean normalized throughput: with TATP {:.3} | without TATP {:.3}", avg(true), avg(false));
+        let oom = results.iter().filter(|(_, t, _)| *t == 0.0).count();
+        println!("OOM/infeasible configurations: {oom}/{}", results.len());
+    }
+}

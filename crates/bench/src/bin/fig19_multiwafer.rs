@@ -1,0 +1,54 @@
+//! Fig. 19: multi-wafer scaling — TEMP (low PP degree + TATP) vs baselines
+//! (high PP degree) on 175B-504B models.
+
+use temp_bench::header;
+use temp_core::baselines::BaselineSystem;
+use temp_core::framework::Temp;
+use temp_graph::models::ModelZoo;
+use temp_graph::workload::Workload;
+use temp_wsc::config::WaferConfig;
+use temp_wsc::multiwafer::MultiWaferSystem;
+
+fn main() {
+    header("Fig. 19: multi-wafer training (normalized throughput; bubble share)");
+    println!("{:<20} {:>7} {:>22} {:>22}", "model", "wafers", "best baseline (PP=2W)", "TEMP (PP=W)");
+    let cases = [
+        (ModelZoo::gpt3_175b(), 2usize),
+        (ModelZoo::grok1_341b(), 4),
+        (ModelZoo::llama3_405b(), 4),
+        (ModelZoo::gpt3_504b(), 6),
+    ];
+    for (model, wafer_count) in cases {
+        let wafers = MultiWaferSystem::new(WaferConfig::hpca(), wafer_count).unwrap();
+        let workload = Workload::for_model(&model);
+        let temp = Temp::new(WaferConfig::hpca(), model.clone(), workload);
+        // Baselines resort to high-degree PP (2x wafer count).
+        let mut best_base: Option<(String, f64, f64)> = None;
+        for system in BaselineSystem::six_baselines() {
+            let rep = temp.evaluate_multiwafer(&system, &wafers, 2);
+            if let Some(c) = rep.report() {
+                let cand = (rep.system.clone(), c.throughput, c.bubble_time / c.step_time);
+                if best_base.as_ref().map(|(_, t, _)| cand.1 > *t).unwrap_or(true) {
+                    best_base = Some(cand);
+                }
+            }
+        }
+        let t = temp.evaluate_multiwafer(&BaselineSystem::temp(), &wafers, 1);
+        match (best_base, t.report()) {
+            (Some((name, bt, bb)), Some(c)) => {
+                println!(
+                    "{:<20} {:>7} {:>12} {:>4.2}x b={:.0}% {:>12.2}x b={:.0}%",
+                    model.name,
+                    wafer_count,
+                    name,
+                    1.0,
+                    100.0 * bb,
+                    c.throughput / bt,
+                    100.0 * c.bubble_time / c.step_time
+                );
+            }
+            _ => println!("{:<20} {:>7} OOM everywhere", model.name, wafer_count),
+        }
+    }
+    println!("(paper: TEMP 1.2-1.6x over baselines with smaller pipeline bubbles)");
+}

@@ -1,0 +1,46 @@
+//! Fig. 21: DNN cost-model accuracy vs multivariate regression on the three
+//! latency classes (500 cases each).
+
+use temp_bench::header;
+use temp_surrogate::dataset::{generate, TargetClass};
+use temp_surrogate::linreg::LinearRegression;
+use temp_surrogate::metrics::{mean_relative_error, pearson};
+use temp_surrogate::mlp::{Mlp, TrainParams};
+
+fn main() {
+    header("Fig. 21: cost-model accuracy (500 cases per class, 80/20 split)");
+    println!(
+        "{:<12} {:>14} {:>12} {:>14} {:>12}",
+        "class", "baseline corr", "baseline err", "DNN corr", "DNN err"
+    );
+    for (class, name) in [
+        (TargetClass::Compute, "compute"),
+        (TargetClass::Collective, "collective"),
+        (TargetClass::Overlap, "overlap"),
+    ] {
+        let data = generate(class, 500, 42);
+        let (train, test) = data.split(0.8);
+        let lr = LinearRegression::fit(&train);
+        let mlp = Mlp::train(&train, &TrainParams::default());
+        let lp = lr.predict_all(&test);
+        let mp = mlp.predict_all(&test);
+        println!(
+            "{:<12} {:>14.3} {:>11.1}% {:>14.3} {:>11.1}%",
+            name,
+            pearson(&lp, &test.targets),
+            100.0 * mean_relative_error(&lp, &test.targets),
+            pearson(&mp, &test.targets),
+            100.0 * mean_relative_error(&mp, &test.targets),
+        );
+    }
+    // Lookup-vs-simulate speed.
+    let data = generate(TargetClass::Compute, 200, 7);
+    let mlp = Mlp::train(&data, &TrainParams { epochs: 200, ..Default::default() });
+    let t0 = std::time::Instant::now();
+    let mut acc = 0.0;
+    for f in &data.features {
+        acc += mlp.predict(f);
+    }
+    let per_query = t0.elapsed().as_secs_f64() / data.len() as f64;
+    println!("\nDNN lookup: {:.1} us/query (sum {acc:.3e}; paper: 100-1000x faster than simulation)", per_query * 1e6);
+}

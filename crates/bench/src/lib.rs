@@ -1,0 +1,34 @@
+//! # temp-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the full
+//! index), plus criterion micro-benchmarks of the framework's kernels.
+//! Run an experiment with `cargo run -p temp-bench --release --bin <name>`.
+
+/// Prints a section header in the style used by every experiment binary.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a normalized series row; infinite entries print as OOM.
+pub fn row(label: &str, values: &[f64]) {
+    let cells: Vec<String> = values
+        .iter()
+        .map(|v| {
+            if v.is_finite() {
+                format!("{v:7.3}")
+            } else {
+                "    OOM".to_string()
+            }
+        })
+        .collect();
+    println!("{label:<18} {}", cells.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_do_not_panic() {
+        super::header("t");
+        super::row("r", &[1.0, f64::INFINITY]);
+    }
+}

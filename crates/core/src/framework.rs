@@ -1,0 +1,212 @@
+//! The [`Temp`] framework facade: plan, evaluate and compare systems.
+
+use serde::{Deserialize, Serialize};
+
+use temp_graph::models::ModelConfig;
+use temp_graph::workload::Workload;
+use temp_solver::cost::CostReport;
+use temp_solver::dlws::{Dlws, ExecutionPlan};
+use temp_wsc::config::WaferConfig;
+use temp_wsc::multiwafer::MultiWaferSystem;
+
+use crate::baselines::BaselineSystem;
+use crate::{Result, TempError};
+
+/// One system's evaluation on a workload (or its OOM verdict).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// System label ("Mega+SMap", ..., "TEMP").
+    pub system: String,
+    /// The plan, when one fits memory.
+    pub plan: Option<ExecutionPlan>,
+    /// Whether every legal configuration ran out of memory.
+    pub oom: bool,
+}
+
+impl SystemReport {
+    /// Step time, or `f64::INFINITY` on OOM.
+    pub fn step_time(&self) -> f64 {
+        self.plan.as_ref().map(|p| p.report.step_time).unwrap_or(f64::INFINITY)
+    }
+
+    /// The inner cost report, if planned.
+    pub fn report(&self) -> Option<&CostReport> {
+        self.plan.as_ref().map(|p| &p.report)
+    }
+}
+
+/// The TEMP framework: inputs (architecture, model, workload) in; optimal
+/// partition + mapping + performance reports out (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Temp {
+    wafer: WaferConfig,
+    model: ModelConfig,
+    workload: Workload,
+}
+
+impl Temp {
+    /// Creates a framework instance.
+    pub fn new(wafer: WaferConfig, model: ModelConfig, workload: Workload) -> Self {
+        Temp { wafer, model, workload }
+    }
+
+    /// Convenience: the paper's 4x8 wafer with the model's Table II workload.
+    pub fn hpca(model: ModelConfig) -> Self {
+        let workload = Workload::for_model(&model);
+        Temp::new(WaferConfig::hpca(), model, workload)
+    }
+
+    /// The wafer configuration.
+    pub fn wafer(&self) -> &WaferConfig {
+        &self.wafer
+    }
+
+    /// The model.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Solves for TEMP's optimal plan (full DLWS search with TCME).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TempError::Planning`] when nothing fits memory.
+    pub fn solve(&self) -> Result<ExecutionPlan> {
+        self.solver()
+            .solve()
+            .map_err(|e| TempError::Planning(e.to_string()))
+    }
+
+    /// Plans one compared system over its legal configuration space.
+    pub fn evaluate_system(&self, system: &BaselineSystem) -> SystemReport {
+        let solver = self.solver();
+        let partitioner = system.partitioner;
+        let outcome = solver.solve_with_engine(system.engine, move |cfg| partitioner.admits(cfg));
+        match outcome {
+            Ok(plan) => SystemReport { system: system.label(), plan: Some(plan), oom: false },
+            Err(_) => SystemReport { system: system.label(), plan: None, oom: true },
+        }
+    }
+
+    /// Evaluates all seven systems (A–F + TEMP) — the Fig. 13/14 sweep.
+    pub fn compare_all(&self) -> Vec<SystemReport> {
+        BaselineSystem::all_systems().iter().map(|s| self.evaluate_system(s)).collect()
+    }
+
+    /// Plans a multi-wafer deployment (Fig. 19): pipeline stages span the
+    /// wafers of `system`; each stage runs this framework's intra-wafer plan
+    /// for the given compared system. Returns the per-step report of the
+    /// pipelined execution.
+    pub fn evaluate_multiwafer(
+        &self,
+        system: &BaselineSystem,
+        wafers: &MultiWaferSystem,
+        pp_multiplier: usize,
+    ) -> SystemReport {
+        let pp = wafers.wafer_count * pp_multiplier.max(1);
+        let solver = self.solver();
+        let partitioner = system.partitioner;
+        // Intra-wafer space with the pipeline degree fixed; layers divide
+        // across stages, shrinking per-die weights and activations.
+        let outcome = solver.solve_with_engine_pp(system.engine, pp, move |cfg| {
+            partitioner.admits(&temp_parallel::strategy::HybridConfig { pp: 1, ..*cfg })
+        });
+        match outcome {
+            Ok(mut plan) => {
+                // Charge the inter-wafer activation handoff per stage border.
+                let act = self.workload.micro_batch_size() as f64 *
+                    self.workload.seq_len as f64 *
+                    self.model.hidden as f64 *
+                    self.workload.compute_dtype.bytes() as f64;
+                let handoff = wafers.inter_wafer_transfer_time(act) *
+                    (pp.saturating_sub(1)) as f64 *
+                    self.workload.micro_batches as f64;
+                plan.report.step_time += handoff;
+                SystemReport { system: system.label(), plan: Some(plan), oom: false }
+            }
+            Err(_) => SystemReport { system: system.label(), plan: None, oom: true },
+        }
+    }
+
+    fn solver(&self) -> Dlws {
+        Dlws::new(self.wafer.clone(), self.model.clone(), self.workload.clone())
+    }
+}
+
+/// Normalizes a metric series to its first finite entry (the paper's
+/// "normalized" axes). OOM (infinite) entries stay infinite.
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let base = values.iter().copied().find(|v| v.is_finite()).unwrap_or(1.0);
+    values.iter().map(|v| v / base).collect()
+}
+
+/// Geometric-mean speedup of `a` over `b` across paired finite entries.
+pub fn geomean_speedup(reference: &[f64], improved: &[f64]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for (r, i) in reference.iter().zip(improved) {
+        if r.is_finite() && i.is_finite() && *i > 0.0 {
+            log_sum += (r / i).ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temp_graph::models::ModelZoo;
+    use temp_mapping::engines::MappingEngine;
+    use crate::baselines::Partitioner;
+
+    #[test]
+    fn temp_beats_every_baseline_on_small_model() {
+        let temp = Temp::hpca(ModelZoo::gpt3_6_7b());
+        let reports = temp.compare_all();
+        assert_eq!(reports.len(), 7);
+        let temp_time = reports.last().unwrap().step_time();
+        for r in &reports[..6] {
+            assert!(
+                temp_time <= r.step_time() * 1.001,
+                "TEMP {} vs {} {}",
+                temp_time,
+                r.system,
+                r.step_time()
+            );
+        }
+    }
+
+    #[test]
+    fn megatron_ooms_on_large_models() {
+        // Fig. 13: Megatron-1 hits OOM on the biggest models; TEMP plans.
+        let temp = Temp::hpca(ModelZoo::gpt3_175b());
+        let mega = temp.evaluate_system(&BaselineSystem {
+            partitioner: Partitioner::Megatron1,
+            engine: MappingEngine::SMap,
+        });
+        assert!(mega.oom, "Megatron should OOM on 175B, one wafer");
+        let t = temp.evaluate_system(&BaselineSystem::temp());
+        assert!(!t.oom, "TEMP must plan 175B");
+    }
+
+    #[test]
+    fn normalize_and_geomean_helpers() {
+        let v = vec![2.0, 4.0, f64::INFINITY];
+        let n = normalize(&v);
+        assert_eq!(n[0], 1.0);
+        assert_eq!(n[1], 2.0);
+        assert!(n[2].is_infinite());
+        let s = geomean_speedup(&[2.0, 8.0], &[1.0, 2.0]);
+        assert!((s - (2.0f64 * 4.0).sqrt()).abs() < 1e-12);
+    }
+}

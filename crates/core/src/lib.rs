@@ -1,0 +1,53 @@
+//! # temp-core — the TEMP framework
+//!
+//! The paper's headline artifact: a holistic co-exploration framework that
+//! jointly optimizes tensor partitioning (TATP), execution mapping (TCME)
+//! and configuration search (DLWS) for LLM training on wafer-scale chips.
+//!
+//! * [`framework`] — the [`Temp`] entry point: `(wafer, model, workload)` →
+//!   `solve()` → [`temp_solver::ExecutionPlan`] → evaluation reports;
+//! * [`baselines`] — the six compared systems (Mega/MeSP/FSDP × SMap/GMap)
+//!   plus TEMP itself, each searched over its own legal configuration space;
+//! * [`gpu`] — the A100-cluster reference system of Fig. 15;
+//! * [`fault`] — the §VIII-F fault-tolerance mechanism: localization,
+//!   adaptive repartitioning and rerouting, with throughput-under-fault
+//!   sweeps (Fig. 20).
+//!
+//! # Example
+//!
+//! ```
+//! use temp_core::framework::Temp;
+//! use temp_graph::models::ModelZoo;
+//!
+//! let temp = Temp::hpca(ModelZoo::gpt3_6_7b());
+//! let plan = temp.solve().expect("feasible plan");
+//! assert!(plan.report.throughput > 0.0);
+//! ```
+
+pub mod baselines;
+pub mod fault;
+pub mod framework;
+pub mod gpu;
+
+pub use baselines::{BaselineSystem, Partitioner};
+pub use framework::{SystemReport, Temp};
+
+/// Errors produced by the framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TempError {
+    /// Planning failed (usually: nothing fits memory).
+    Planning(String),
+}
+
+impl std::fmt::Display for TempError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TempError::Planning(msg) => write!(f, "planning failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TempError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TempError>;

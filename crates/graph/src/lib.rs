@@ -1,0 +1,72 @@
+//! # temp-graph — compute graphs, transformer builders and LLM workloads
+//!
+//! The TEMP framework plans *tensor programs*: it never executes real
+//! arithmetic, but it needs faithful structure — operator DAGs with residual
+//! edges (Fig. 12(a) of the paper), tensor shapes over the (B, M, N, K)
+//! dimensions used by the unified parallelism representation (Fig. 10), and
+//! byte/FLOP accounting for the memory and cost models.
+//!
+//! Modules:
+//!
+//! * [`tensor`] — dtypes and linear-operator dimensions;
+//! * [`op`] — operator kinds with FLOP and footprint accounting;
+//! * [`graph`] — the operator DAG, topological order and residual-aware
+//!   segmentation (the "graph partition" step of the DLS algorithm);
+//! * [`transformer`] — the 13-operator Transformer block of Fig. 12(a);
+//! * [`models`] — the Table II model zoo plus motivation/scalability models;
+//! * [`workload`] — training-step configuration and memory formulas
+//!   (mixed-precision Adam, activation accounting with recompute modes).
+//!
+//! # Example
+//!
+//! ```
+//! use temp_graph::models::ModelZoo;
+//! use temp_graph::transformer::TransformerBuilder;
+//! use temp_graph::workload::Workload;
+//!
+//! let model = ModelZoo::gpt3_6_7b();
+//! let workload = Workload::training(128, 2048);
+//! let block = TransformerBuilder::new(&model, &workload).block();
+//! assert_eq!(block.op_count(), 13); // Fig. 12(a)
+//! ```
+
+pub mod graph;
+pub mod models;
+pub mod op;
+pub mod tensor;
+pub mod transformer;
+pub mod workload;
+
+pub use graph::{ComputeGraph, OpId};
+pub use models::ModelConfig;
+pub use op::{OpKind, Operator};
+pub use tensor::{DType, LinearDims};
+pub use workload::Workload;
+
+/// Errors produced by graph construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operator id did not exist in the graph.
+    UnknownOp(usize),
+    /// An edge would create a cycle or reference a missing node.
+    InvalidEdge { from: usize, to: usize, reason: String },
+    /// A model/workload parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownOp(id) => write!(f, "unknown operator id {id}"),
+            GraphError::InvalidEdge { from, to, reason } => {
+                write!(f, "invalid edge {from} -> {to}: {reason}")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,64 @@
+//! # temp-mapping — the Traffic-Conscious Mapping Engine (TCME, §VI)
+//!
+//! TCME turns a hybrid-parallel plan into concrete traffic on the wafer and
+//! then removes the contention that hybrid parallelism creates:
+//!
+//! * [`comm`] — the unified parallelism representation's communication side:
+//!   extracts every collective/P2P operation each strategy requires per
+//!   training step, with volumes and groups bound to physical dies;
+//! * [`optimizer`] — the five-phase traffic-conscious communication
+//!   optimizer of Fig. 11: path initialization, bottleneck identification,
+//!   congested-path collection, duplicate merging + congestion-aware
+//!   rerouting, and global update with convergence check;
+//! * [`engines`] — the three mapping engines compared in the paper:
+//!   `SMap` (fixed order, naive strips, contention-agnostic), `GMap`
+//!   (Gemini-adapted: better layouts, still contention-agnostic) and `Tcme`
+//!   (topology-aware layout + traffic optimization).
+//!
+//! # Example
+//!
+//! ```
+//! use temp_mapping::engines::{map_hybrid, MappingEngine};
+//! use temp_parallel::strategy::HybridConfig;
+//! use temp_graph::models::ModelZoo;
+//! use temp_graph::workload::Workload;
+//! use temp_wsc::config::WaferConfig;
+//!
+//! let wafer = WaferConfig::hpca();
+//! let model = ModelZoo::gpt3_6_7b();
+//! let workload = Workload::for_model(&model);
+//! let cfg = HybridConfig::tuple(2, 2, 1, 8);
+//! let outcome = map_hybrid(MappingEngine::Tcme, &wafer, &model, &workload, &cfg).unwrap();
+//! assert!(outcome.comm_time_per_layer > 0.0);
+//! ```
+
+pub mod comm;
+pub mod engines;
+pub mod optimizer;
+
+pub use comm::{CommOp, CommPattern, TaggedFlow};
+pub use engines::{map_hybrid, MappingEngine, MappingOutcome};
+pub use optimizer::{OptimizationOutcome, TrafficOptimizer};
+
+/// Errors produced by the mapping engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// The layout could not be constructed (degree mismatch, tiling).
+    Layout(String),
+    /// A flow could not be routed.
+    Routing(String),
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::Layout(msg) => write!(f, "layout error: {msg}"),
+            MappingError::Routing(msg) => write!(f, "routing error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MappingError>;

@@ -1,0 +1,371 @@
+//! Network-on-wafer flows and the max–min fair-share contention model.
+//!
+//! A [`Flow`] is a point-to-point transfer with an explicit link route
+//! (dimension-ordered by default; the TCME optimizer rewrites routes).
+//! [`ContentionSim`] runs a set of concurrent flows to completion under
+//! *max–min fair sharing*: at every instant, link bandwidth is divided
+//! fairly among the flows crossing it, and each flow progresses at the rate
+//! of its most contended link. This is the standard fluid approximation of
+//! input-queued mesh routers and reproduces the ">2x transfer latency"
+//! contention effect of Fig. 5(b).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use temp_wsc::config::WaferConfig;
+use temp_wsc::topology::{DieId, LinkId, Mesh, RouteOrder};
+
+use crate::{Result, SimError};
+
+/// A point-to-point transfer with an explicit route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source die.
+    pub src: DieId,
+    /// Destination die.
+    pub dst: DieId,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Directed links traversed, in order. Empty iff `src == dst`.
+    pub route: Vec<LinkId>,
+}
+
+impl Flow {
+    /// Creates a flow routed with dimension-ordered XY routing.
+    pub fn xy(mesh: &Mesh, src: DieId, dst: DieId, bytes: f64) -> Self {
+        Self::routed(mesh, src, dst, bytes, RouteOrder::XThenY)
+    }
+
+    /// Creates a flow routed with the given dimension order.
+    pub fn routed(mesh: &Mesh, src: DieId, dst: DieId, bytes: f64, order: RouteOrder) -> Self {
+        let path = mesh.route(src, dst, order);
+        let route = mesh.path_links(&path).expect("dimension-ordered routes are valid");
+        Flow { src, dst, bytes, route }
+    }
+
+    /// Creates a flow with an explicit die path (used by the traffic
+    /// optimizer's detour routes and fault-aware rerouting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when consecutive dies in the
+    /// path are not mesh neighbors.
+    pub fn with_path(mesh: &Mesh, path: &[DieId], bytes: f64) -> Result<Self> {
+        if path.is_empty() {
+            return Err(SimError::InvalidParameter("empty die path".into()));
+        }
+        let route = mesh
+            .path_links(path)
+            .map_err(|e| SimError::InvalidParameter(e.to_string()))?;
+        Ok(Flow { src: path[0], dst: *path.last().expect("non-empty"), bytes, route })
+    }
+
+    /// Number of physical hops.
+    pub fn hops(&self) -> usize {
+        self.route.len()
+    }
+}
+
+/// Completion report of a contention simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionReport {
+    /// Per-flow completion times (same order as the input flows), including
+    /// per-hop latency.
+    pub completion: Vec<f64>,
+    /// Time at which the last flow finishes.
+    pub makespan: f64,
+    /// Bytes carried per link over the whole run.
+    pub link_bytes: HashMap<LinkId, f64>,
+    /// The most-loaded link and its byte count, if any traffic flowed.
+    pub max_loaded_link: Option<(LinkId, f64)>,
+}
+
+impl ContentionReport {
+    /// Aggregate bandwidth utilization: carried bytes over
+    /// `links_used * bandwidth * makespan`.
+    pub fn bandwidth_utilization(&self, link_bandwidth: f64) -> f64 {
+        if self.makespan <= 0.0 || self.link_bytes.is_empty() {
+            return 0.0;
+        }
+        let carried: f64 = self.link_bytes.values().sum();
+        let capacity = self.link_bytes.len() as f64 * link_bandwidth * self.makespan;
+        (carried / capacity).clamp(0.0, 1.0)
+    }
+}
+
+/// Max–min fair-share contention simulator over a mesh.
+#[derive(Debug, Clone)]
+pub struct ContentionSim {
+    /// Per-link bandwidth in bytes/s.
+    pub link_bandwidth: f64,
+    /// Per-hop latency in seconds.
+    pub hop_latency: f64,
+}
+
+impl ContentionSim {
+    /// Builds the simulator from a wafer configuration.
+    pub fn new(cfg: &WaferConfig) -> Self {
+        ContentionSim { link_bandwidth: cfg.d2d.bandwidth, hop_latency: cfg.d2d.latency }
+    }
+
+    /// Static per-link byte loads of a flow set (the quantity the TCME
+    /// optimizer minimizes the maximum of).
+    pub fn link_loads(&self, flows: &[Flow]) -> HashMap<LinkId, f64> {
+        let mut loads: HashMap<LinkId, f64> = HashMap::new();
+        for f in flows {
+            for l in &f.route {
+                *loads.entry(*l).or_insert(0.0) += f.bytes;
+            }
+        }
+        loads
+    }
+
+    /// Lower bound on the time to drain the flow set: the byte load of the
+    /// most congested link divided by link bandwidth.
+    pub fn congestion_lower_bound(&self, flows: &[Flow]) -> f64 {
+        self.link_loads(flows)
+            .values()
+            .fold(0.0f64, |a, b| a.max(*b)) /
+            self.link_bandwidth
+    }
+
+    /// Runs all flows concurrently under max–min fair sharing.
+    ///
+    /// Progressive-filling algorithm: repeatedly compute each active flow's
+    /// max–min fair rate, advance time until the next flow drains, repeat.
+    /// Local (src == dst) flows complete at t=0.
+    ///
+    /// Multi-hop flows are **store-and-forward**: on-wafer D2D links need
+    /// tens-of-MB granularity to reach peak efficiency (§III-B), so a k-hop
+    /// transfer cannot be wormhole-pipelined and pays k sequential
+    /// serializations — the root cause of the "7x communication disparity"
+    /// of Fig. 5(a). A flow's effective drain volume is therefore
+    /// `bytes * hops` at its max–min rate, while each crossed link is loaded
+    /// with `bytes`.
+    pub fn simulate(&self, flows: &[Flow]) -> ContentionReport {
+        let n = flows.len();
+        let mut remaining: Vec<f64> =
+            flows.iter().map(|f| f.bytes.max(0.0) * f.hops().max(1) as f64).collect();
+        let mut completion = vec![0.0f64; n];
+        let mut active: Vec<usize> =
+            (0..n).filter(|i| !flows[*i].route.is_empty() && remaining[*i] > 0.0).collect();
+        // Zero-route flows (local) and zero-byte flows complete immediately.
+        let mut now = 0.0f64;
+        let mut guard = 0usize;
+        while !active.is_empty() {
+            guard += 1;
+            assert!(guard < 100_000, "contention sim failed to converge");
+            let rates = self.fair_rates(flows, &active);
+            // Time until the first active flow drains.
+            let mut dt = f64::INFINITY;
+            for (idx, &i) in active.iter().enumerate() {
+                let r = rates[idx].max(1e-9);
+                dt = dt.min(remaining[i] / r);
+            }
+            if !dt.is_finite() {
+                break;
+            }
+            now += dt;
+            let mut still_active = Vec::with_capacity(active.len());
+            for (idx, &i) in active.iter().enumerate() {
+                remaining[i] -= rates[idx] * dt;
+                if remaining[i] <= 1e-6 {
+                    remaining[i] = 0.0;
+                    completion[i] = now;
+                } else {
+                    still_active.push(i);
+                }
+            }
+            active = still_active;
+        }
+        // Charge per-hop pipeline latency on top of the fluid time.
+        for (i, f) in flows.iter().enumerate() {
+            completion[i] += f.hops() as f64 * self.hop_latency;
+        }
+        let link_bytes = self.link_loads(flows);
+        let max_loaded_link = link_bytes
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .map(|(l, b)| (*l, *b));
+        let makespan = completion.iter().fold(0.0f64, |a, b| a.max(*b));
+        ContentionReport { completion, makespan, link_bytes, max_loaded_link }
+    }
+
+    /// Max–min fair rates for the active flows (indices into `flows`).
+    ///
+    /// Water-filling: repeatedly find the link whose fair share
+    /// (remaining capacity / unassigned flows crossing it) is smallest,
+    /// freeze those flows at that rate, subtract, continue.
+    fn fair_rates(&self, flows: &[Flow], active: &[usize]) -> Vec<f64> {
+        let mut rate = vec![0.0f64; active.len()];
+        let mut assigned = vec![false; active.len()];
+        // Link -> (capacity left, unassigned flow positions crossing it).
+        let mut link_cap: HashMap<LinkId, f64> = HashMap::new();
+        let mut link_flows: HashMap<LinkId, Vec<usize>> = HashMap::new();
+        for (pos, &i) in active.iter().enumerate() {
+            for l in &flows[i].route {
+                link_cap.entry(*l).or_insert(self.link_bandwidth);
+                link_flows.entry(*l).or_default().push(pos);
+            }
+        }
+        let mut unassigned = active.len();
+        while unassigned > 0 {
+            // Find the bottleneck link.
+            let mut best: Option<(LinkId, f64)> = None;
+            for (l, cap) in &link_cap {
+                let count = link_flows[l].iter().filter(|p| !assigned[**p]).count();
+                if count == 0 {
+                    continue;
+                }
+                let share = *cap / count as f64;
+                if best.map(|(_, s)| share < s).unwrap_or(true) {
+                    best = Some((*l, share));
+                }
+            }
+            let Some((bottleneck, share)) = best else { break };
+            // Freeze all unassigned flows crossing the bottleneck.
+            let positions: Vec<usize> = link_flows[&bottleneck]
+                .iter()
+                .copied()
+                .filter(|p| !assigned[*p])
+                .collect();
+            for p in positions {
+                rate[p] = share;
+                assigned[p] = true;
+                unassigned -= 1;
+                // Subtract this flow's rate from every link it crosses.
+                for l in &flows[active[p]].route {
+                    if let Some(c) = link_cap.get_mut(l) {
+                        *c = (*c - share).max(0.0);
+                    }
+                }
+            }
+        }
+        rate
+    }
+
+    /// Convenience: the contention-free time of a single flow
+    /// (store-and-forward over its hops).
+    pub fn solo_time(&self, flow: &Flow) -> f64 {
+        if flow.route.is_empty() {
+            return 0.0;
+        }
+        let hops = flow.hops() as f64;
+        hops * (flow.bytes / self.link_bandwidth + self.hop_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temp_wsc::topology::Coord;
+    use temp_wsc::units::MB;
+
+    fn setup() -> (Mesh, ContentionSim) {
+        let cfg = WaferConfig::hpca();
+        (cfg.mesh(), ContentionSim::new(&cfg))
+    }
+
+    #[test]
+    fn solo_flow_matches_serialization_plus_latency() {
+        let (mesh, sim) = setup();
+        let f = Flow::xy(&mesh, DieId(0), DieId(1), 64.0 * MB);
+        let r = sim.simulate(std::slice::from_ref(&f));
+        let expected = 64.0 * MB / sim.link_bandwidth + sim.hop_latency;
+        assert!((r.completion[0] - expected).abs() / expected < 1e-6);
+        assert!((sim.solo_time(&f) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_flow_completes_instantly() {
+        let (mesh, sim) = setup();
+        let f = Flow::xy(&mesh, DieId(3), DieId(3), 64.0 * MB);
+        let r = sim.simulate(&[f]);
+        assert_eq!(r.completion[0], 0.0);
+    }
+
+    #[test]
+    fn two_flows_sharing_a_link_take_twice_as_long() {
+        let (mesh, sim) = setup();
+        // Fig. 5(b): two transfers forced through the same link more than
+        // double the latency versus contention-free.
+        let a = mesh.die_at(Coord::new(0, 0)).unwrap();
+        let b = mesh.die_at(Coord::new(2, 0)).unwrap();
+        let c = mesh.die_at(Coord::new(1, 0)).unwrap();
+        let d = mesh.die_at(Coord::new(3, 0)).unwrap();
+        let f1 = Flow::xy(&mesh, a, b, 128.0 * MB);
+        let f2 = Flow::xy(&mesh, c, d, 128.0 * MB);
+        let solo = sim.simulate(std::slice::from_ref(&f1)).makespan;
+        let both = sim.simulate(&[f1, f2]).makespan;
+        // Shared middle link (1->2) halves each flow's rate for its duration.
+        assert!(both > 1.4 * solo, "both={both}, solo={solo}");
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let (mesh, sim) = setup();
+        let f1 = Flow::xy(&mesh, DieId(0), DieId(1), 32.0 * MB);
+        let f2 = Flow::xy(&mesh, DieId(16), DieId(17), 32.0 * MB);
+        let solo = sim.simulate(std::slice::from_ref(&f1)).makespan;
+        let both = sim.simulate(&[f1, f2]).makespan;
+        assert!((both - solo).abs() / solo < 1e-6);
+    }
+
+    #[test]
+    fn link_loads_accumulate_over_shared_links() {
+        let (mesh, sim) = setup();
+        let f1 = Flow::xy(&mesh, DieId(0), DieId(2), 10.0 * MB);
+        let f2 = Flow::xy(&mesh, DieId(1), DieId(3), 10.0 * MB);
+        let loads = sim.link_loads(&[f1, f2]);
+        // Link 1->2 carries both flows.
+        let l12 = mesh.link_between(DieId(1), DieId(2)).unwrap();
+        assert!((loads[&l12] - 20.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_min_fairness_respects_bottleneck() {
+        let (mesh, sim) = setup();
+        // Three flows across the same single link: each gets 1/3 bandwidth.
+        let flows: Vec<Flow> =
+            (0..3).map(|_| Flow::xy(&mesh, DieId(0), DieId(1), 30.0 * MB)).collect();
+        let r = sim.simulate(&flows);
+        let expected = 3.0 * 30.0 * MB / sim.link_bandwidth + sim.hop_latency;
+        assert!((r.makespan - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn congestion_lower_bound_matches_max_link_load() {
+        let (mesh, sim) = setup();
+        let f1 = Flow::xy(&mesh, DieId(0), DieId(2), 10.0 * MB);
+        let f2 = Flow::xy(&mesh, DieId(1), DieId(3), 10.0 * MB);
+        let lb = sim.congestion_lower_bound(&[f1, f2]);
+        assert!((lb - 20.0 * MB / sim.link_bandwidth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_hop_flow_charges_latency_per_hop() {
+        let (mesh, sim) = setup();
+        let f = Flow::xy(&mesh, DieId(0), DieId(7), 1.0);
+        let r = sim.simulate(&[f]);
+        assert!(r.completion[0] >= 7.0 * sim.hop_latency);
+    }
+
+    #[test]
+    fn with_path_rejects_non_adjacent_steps() {
+        let (mesh, _) = setup();
+        let res = Flow::with_path(&mesh, &[DieId(0), DieId(2)], 1.0);
+        assert!(matches!(res, Err(SimError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn bandwidth_utilization_is_bounded() {
+        let (mesh, sim) = setup();
+        let flows: Vec<Flow> = (0..4)
+            .map(|i| Flow::xy(&mesh, DieId(i), DieId(i + 8), 64.0 * MB))
+            .collect();
+        let r = sim.simulate(&flows);
+        let u = r.bandwidth_utilization(sim.link_bandwidth);
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+}

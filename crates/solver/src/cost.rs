@@ -1,0 +1,498 @@
+//! The wafer-centric cost model (Eqs. 2–4 of the paper).
+//!
+//! For each Transformer layer under a hybrid configuration:
+//!
+//! ```text
+//! T_layer = Collective(cfg) + max(Comp(cfg), P2P-stream(cfg))      (Eq. 2)
+//! ```
+//!
+//! collectives (TP/SP/CP/DP/FSDP rings) are exposed, the TATP stream
+//! overlaps with compute. Per step:
+//!
+//! ```text
+//! T_step = micro_batches / pp-overlap x layers x T_layer + bubbles (Eq. 4)
+//! ```
+//!
+//! Alongside time, the model produces per-die memory (OOM detection),
+//! energy (compute / D2D / HBM), throughput and power efficiency — every
+//! quantity the evaluation figures consume.
+
+use serde::{Deserialize, Serialize};
+
+use temp_graph::models::ModelConfig;
+use temp_graph::op::OpKind;
+use temp_graph::tensor::LinearDims;
+use temp_graph::transformer::TransformerBuilder;
+use temp_graph::workload::Workload;
+use temp_mapping::engines::{map_hybrid, MappingEngine};
+use temp_parallel::memory::{per_die_footprint, FootprintBreakdown};
+use temp_parallel::selective::choose_stream;
+use temp_parallel::strategy::HybridConfig;
+use temp_sim::compute::ComputeModel;
+use temp_sim::power::EnergyLedger;
+use temp_wsc::config::WaferConfig;
+
+use crate::{Result, SolverError};
+
+/// Full cost evaluation of one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Configuration evaluated.
+    pub config: HybridConfig,
+    /// Mapping engine used.
+    pub engine: MappingEngine,
+    /// One optimizer-step wall-clock time in seconds.
+    pub step_time: f64,
+    /// Critical-path compute time per step.
+    pub compute_time: f64,
+    /// Exposed collective communication time per step.
+    pub collective_time: f64,
+    /// TATP stream time per step (overlapped against compute).
+    pub stream_time: f64,
+    /// Stream time *not* hidden behind compute.
+    pub exposed_stream_time: f64,
+    /// Pipeline bubble time per step.
+    pub bubble_time: f64,
+    /// Per-die memory footprint.
+    pub memory: FootprintBreakdown,
+    /// Whether the footprint fits per-die HBM.
+    pub fits_memory: bool,
+    /// Energy per step.
+    pub energy: EnergyLedger,
+    /// Training throughput in tokens/s.
+    pub throughput: f64,
+    /// Average power in watts.
+    pub power: f64,
+    /// Throughput per watt (tokens/s/W).
+    pub power_efficiency: f64,
+    /// Contention inflation factor of the mapped collectives.
+    pub contention_factor: f64,
+}
+
+impl CostReport {
+    /// Fraction of step time spent on exposed communication.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.step_time <= 0.0 {
+            return 0.0;
+        }
+        (self.collective_time + self.exposed_stream_time + self.bubble_time) / self.step_time
+    }
+}
+
+/// The analytic wafer cost model.
+#[derive(Debug, Clone)]
+pub struct WaferCostModel {
+    wafer: WaferConfig,
+    model: ModelConfig,
+    workload: Workload,
+    compute: ComputeModel,
+}
+
+impl WaferCostModel {
+    /// Creates a cost model for a (wafer, model, workload) triple.
+    pub fn new(wafer: WaferConfig, model: ModelConfig, workload: Workload) -> Self {
+        let compute = ComputeModel::new(&wafer);
+        WaferCostModel { wafer, model, workload, compute }
+    }
+
+    /// The wafer configuration.
+    pub fn wafer(&self) -> &WaferConfig {
+        &self.wafer
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Evaluates one configuration end to end (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Internal`] when the configuration cannot be
+    /// laid out on the wafer.
+    pub fn evaluate(&self, cfg: &HybridConfig, engine: MappingEngine) -> Result<CostReport> {
+        self.evaluate_with(cfg, engine, &self.workload)
+    }
+
+    /// As [`WaferCostModel::evaluate`] with an explicit workload (planners
+    /// escalate recompute modes through this).
+    pub fn evaluate_with(
+        &self,
+        cfg: &HybridConfig,
+        engine: MappingEngine,
+        workload: &Workload,
+    ) -> Result<CostReport> {
+        cfg.validate(self.wafer.die_count())
+            .map_err(|e| SolverError::Internal(e.to_string()))?;
+
+        // ---- Memory ---------------------------------------------------------
+        let memory = per_die_footprint(&self.model, workload, cfg);
+        let fits_memory = memory.fits(self.wafer.hbm.capacity);
+
+        // ---- Per-layer compute (per micro-batch) ---------------------------
+        let comp_layer = self.layer_compute_time(cfg, workload);
+        let recompute_factor = match workload.recompute {
+            temp_graph::workload::RecomputeMode::Full => 4.0 / 3.0,
+            _ => 1.0,
+        };
+        let comp_layer = comp_layer * recompute_factor;
+
+        // ---- Communication ---------------------------------------------------
+        let mapping = map_hybrid(engine, &self.wafer, &self.model, workload, cfg)
+            .map_err(|e| SolverError::Internal(e.to_string()))?;
+        let contention_factor = mapping.contention_factor();
+        // Split: stream ops overlap, everything else is exposed.
+        // Groups of the same (source, pattern) run concurrently on disjoint
+        // die sets: take the max over groups, then sum distinct op classes.
+        let mut coll_by_class: std::collections::HashMap<(ParallelKindKey, u8), f64> =
+            std::collections::HashMap::new();
+        let mut stream_layer: f64 = 0.0;
+        for op in &mapping.comm_ops {
+            match op.pattern {
+                temp_mapping::comm::CommPattern::P2pStream => {
+                    // Per-round pricing: the stream runs `tatp` rounds per
+                    // stage; each round moves one chunk per direction with
+                    // up to ~3 concurrent waves per link (measured from the
+                    // orchestration) and granularity-dependent effective
+                    // bandwidth — fine chunks at very high degrees
+                    // under-utilize the D2D links (§III-B), producing the
+                    // Fig. 9 tail. The two directions run on disjoint
+                    // directed links (the 0.5 factor).
+                    // Mean waves per directed link per round is ~1; the
+                    // occasional 3-wave peak (see
+                    // TatpOrchestration::peak_link_multiplicity) averages
+                    // out to ~1.5 over a stage.
+                    const STREAM_WAVE_MULTIPLICITY: f64 = 1.5;
+                    let t_deg = cfg.tatp.max(1) as f64;
+                    let chunk = op.bytes / t_deg;
+                    let per_round = self.wafer.d2d.latency +
+                        0.5 * STREAM_WAVE_MULTIPLICITY * chunk /
+                            self.wafer.d2d.effective_bandwidth(chunk);
+                    let t = op.per_layer_count * t_deg * per_round;
+                    stream_layer = stream_layer.max(t);
+                }
+                _ => {
+                    let t = op.collective().analytic_time(&self.wafer.d2d) *
+                        op.per_layer_count *
+                        contention_factor;
+                    let key = (parallel_kind_key(op.source), pattern_key(op.pattern));
+                    let entry = coll_by_class.entry(key).or_insert(0.0);
+                    *entry = entry.max(t);
+                }
+            }
+        }
+        let coll_layer: f64 = coll_by_class.values().sum();
+
+        // ---- Eq. 2 per layer, Eq. 4 per step --------------------------------
+        let layer_time = coll_layer + comp_layer.max(stream_layer);
+        let exposed_stream = (stream_layer - comp_layer).max(0.0) *
+            self.model.layers as f64 *
+            workload.micro_batches as f64;
+        let local_layers = (self.model.layers as f64 / cfg.pp as f64).max(1.0);
+        let stage_time = local_layers * layer_time;
+        let micro = workload.micro_batches as f64;
+        // 1F1B pipeline: total = (micro + pp - 1) stages; bubbles = (pp-1).
+        let pp = cfg.pp as f64;
+        let step_body = micro * stage_time;
+        let bubble_time = (pp - 1.0) * stage_time;
+        let step_time = step_body + bubble_time;
+
+        // ---- Energy ----------------------------------------------------------
+        let mut energy = EnergyLedger::new();
+        let step_flops = workload.step_flops(&self.model) * recompute_factor;
+        energy.add_compute(step_flops, &self.wafer);
+        // HBM traffic: parameter states (read+write) + activations per step.
+        let hbm_bytes = 3.0 * workload.param_state_bytes(&self.model) +
+            2.0 * workload.activation_bytes_total(&self.model) * micro;
+        energy.add_hbm(hbm_bytes, &self.wafer);
+        // D2D: per-layer comm volumes x layers x micro-batches (collective
+        // rounds already included in volume), charged at measured mean hops.
+        let comm_bytes_layer: f64 = mapping
+            .comm_ops
+            .iter()
+            .map(|op| op.bytes * op.per_layer_count * op.group.len().max(1) as f64)
+            .sum();
+        energy.add_d2d(comm_bytes_layer * self.model.layers as f64 * micro, 1.2, &self.wafer);
+
+        // ---- Throughput / power ----------------------------------------------
+        let tokens = workload.tokens_per_step() as f64;
+        let throughput = if step_time > 0.0 { tokens / step_time } else { 0.0 };
+        // Static/leakage floor: always-on clock trees, SRAM retention and
+        // PHYs draw ~15% of the wafer's peak power regardless of load. This
+        // is what makes *throughput per watt* reward faster plans (Fig. 14)
+        // rather than only lower energy per token.
+        let static_power =
+            0.15 * self.wafer.die.peak_power() * self.wafer.die_count() as f64;
+        let power = energy.average_power(step_time) + static_power;
+        let power_efficiency = if power > 0.0 { throughput / power } else { 0.0 };
+
+        Ok(CostReport {
+            config: *cfg,
+            engine,
+            step_time,
+            compute_time: comp_layer * local_layers * micro * pp.max(1.0) / pp,
+            collective_time: coll_layer * local_layers * micro,
+            stream_time: stream_layer * local_layers * micro,
+            exposed_stream_time: exposed_stream / pp,
+            bubble_time,
+            memory,
+            fits_memory,
+            energy,
+            throughput,
+            power,
+            power_efficiency,
+            contention_factor,
+        })
+    }
+
+    /// Per-die, per-micro-batch compute time of one Transformer layer under
+    /// a configuration, including TATP's round granularity effects.
+    ///
+    /// HBM traffic is charged once per operand per layer: the input shard
+    /// stays SRAM-resident across TATP rounds and the streamed weight
+    /// sub-blocks arrive over D2D, so round count affects only GEMM
+    /// *efficiency* (smaller per-round tiles under-fill the PE array) and
+    /// per-round launch overhead — the Fig. 9 diminishing-returns tail.
+    pub fn layer_compute_time(&self, cfg: &HybridConfig, workload: &Workload) -> f64 {
+        let block = TransformerBuilder::new(&self.model, workload).block();
+        let (dp, tp, spcp, tatp) = (
+            cfg.dp as u64,
+            cfg.tp as u64,
+            (cfg.sp * cfg.cp) as u64,
+            cfg.tatp as u64,
+        );
+        let batch_div = dp * micro_share(workload);
+        let dtype = workload.compute_dtype;
+        let mut total = 0.0;
+        for op in block.ops() {
+            match op.kind.linear_dims() {
+                Some(dims) => {
+                    // Per-die shares: DP/micro on batch, SP/CP + TATP on
+                    // rows, TP + TATP on columns.
+                    let local = LinearDims {
+                        b: shard(dims.b, batch_div),
+                        m: shard(dims.m, spcp * tatp),
+                        n: dims.n,
+                        k: shard(dims.k, tp * tatp),
+                    };
+                    // Local work: all `tatp` rounds together (each round is
+                    // one sub-output of the local rows x one weight block).
+                    let local_flops = 3.0 * local.flops() * tatp as f64;
+                    let per_round_flops = 3.0 * local.flops();
+                    let eff = self.compute.gemm_efficiency(per_round_flops).max(1e-3);
+                    let compute_time = local_flops / (self.compute.peak_flops * eff);
+                    // HBM: input once, all weight blocks once, output once
+                    // (backward re-touches: x3).
+                    let mem_bytes = 3.0 *
+                        (local.input_bytes(dtype) +
+                            local.weight_bytes(dtype) * tatp as f64 +
+                            local.output_bytes(dtype) * tatp as f64);
+                    let mem_time = self.compute.hbm_latency + mem_bytes / self.compute.hbm_bandwidth;
+                    total += compute_time.max(mem_time) +
+                        tatp as f64 * self.compute.launch_overhead;
+                }
+                None => {
+                    let divisor = (batch_div * spcp * tatp * tp) as f64;
+                    let scaled = scale_elementwise(&op.kind, divisor);
+                    let sub = temp_graph::op::Operator::new(op.name.clone(), scaled);
+                    total += self.compute.training_latency(&sub, 1.0);
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Micro-batching divides the batch dimension before DP does.
+fn micro_share(workload: &Workload) -> u64 {
+    workload.micro_batches.max(1)
+}
+
+/// Hashable key for a strategy (ParallelKind lacks Ord; a small int does).
+type ParallelKindKey = u8;
+
+fn parallel_kind_key(kind: temp_parallel::strategy::ParallelKind) -> ParallelKindKey {
+    use temp_parallel::strategy::ParallelKind::*;
+    match kind {
+        Dp => 0,
+        Fsdp => 1,
+        Tp => 2,
+        Sp => 3,
+        Cp => 4,
+        Pp => 5,
+        Tatp => 6,
+    }
+}
+
+fn pattern_key(p: temp_mapping::comm::CommPattern) -> u8 {
+    use temp_mapping::comm::CommPattern::*;
+    match p {
+        AllReduce => 0,
+        AllGather => 1,
+        ReduceScatter => 2,
+        P2pStream => 3,
+    }
+}
+
+fn shard(v: u64, by: u64) -> u64 {
+    (v / by.max(1)).max(1)
+}
+
+fn scale_elementwise(kind: &OpKind, divisor: f64) -> OpKind {
+    let d = |v: u64| -> u64 { ((v as f64 / divisor).ceil() as u64).max(1) };
+    match kind {
+        OpKind::Softmax { rows, cols } => OpKind::Softmax { rows: d(*rows), cols: *cols },
+        OpKind::LayerNorm { tokens, hidden } => {
+            OpKind::LayerNorm { tokens: d(*tokens), hidden: *hidden }
+        }
+        OpKind::Activation { elems } => OpKind::Activation { elems: d(*elems) },
+        OpKind::Residual { elems } => OpKind::Residual { elems: d(*elems) },
+        OpKind::Embedding { tokens, hidden, vocab } => {
+            OpKind::Embedding { tokens: d(*tokens), hidden: *hidden, vocab: *vocab }
+        }
+        other => *other,
+    }
+}
+
+/// Convenience: the streamed sub-tensor bytes of the dominant linear layer
+/// (used by Fig. 9's sweet-spot analysis).
+pub fn dominant_stream_chunk(model: &ModelConfig, workload: &Workload, cfg: &HybridConfig) -> f64 {
+    let dims = LinearDims::new(
+        workload.micro_batch_size() / cfg.dp.max(1) as u64,
+        workload.seq_len / (cfg.sp * cfg.cp).max(1) as u64,
+        model.hidden,
+        model.ffn_hidden / cfg.tp.max(1) as u64,
+    );
+    choose_stream(&dims, workload.compute_dtype, cfg.tatp.max(1)).sub_tensor_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temp_graph::models::ModelZoo;
+    use temp_graph::workload::RecomputeMode;
+
+    fn model_6_7b() -> WaferCostModel {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        WaferCostModel::new(WaferConfig::hpca(), model, workload)
+    }
+
+    #[test]
+    fn evaluate_produces_positive_times() {
+        let m = model_6_7b();
+        let r = m.evaluate(&HybridConfig::tuple(2, 2, 1, 8), MappingEngine::Tcme).unwrap();
+        assert!(r.step_time > 0.0);
+        assert!(r.compute_time > 0.0);
+        assert!(r.throughput > 0.0);
+        assert!(r.power > 0.0);
+        assert!(r.power_efficiency > 0.0);
+        assert!(r.contention_factor >= 1.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let m = model_6_7b();
+        let bad = HybridConfig::tuple(2, 2, 1, 4); // product 16 != 32
+        assert!(m.evaluate(&bad, MappingEngine::Tcme).is_err());
+    }
+
+    #[test]
+    fn tatp_uses_less_memory_than_megatron_tp() {
+        let m = model_6_7b();
+        let mega =
+            m.evaluate(&HybridConfig::tuple(4, 8, 1, 1), MappingEngine::SMap).unwrap();
+        let tatp =
+            m.evaluate(&HybridConfig::tuple(4, 1, 1, 8), MappingEngine::Tcme).unwrap();
+        assert!(
+            tatp.memory.total() < mega.memory.total(),
+            "TATP {:.2e} vs Megatron {:.2e}",
+            tatp.memory.total(),
+            mega.memory.total()
+        );
+    }
+
+    #[test]
+    fn tcme_outperforms_smap_on_step_time() {
+        let m = model_6_7b();
+        let cfg = HybridConfig { dp: 4, fsdp: true, tatp: 8, ..Default::default() };
+        let smap = m.evaluate(&cfg, MappingEngine::SMap).unwrap();
+        let tcme = m.evaluate(&cfg, MappingEngine::Tcme).unwrap();
+        assert!(
+            tcme.step_time <= smap.step_time * 1.001,
+            "tcme {} vs smap {}",
+            tcme.step_time,
+            smap.step_time
+        );
+    }
+
+    #[test]
+    fn stream_overlaps_with_compute() {
+        let m = model_6_7b();
+        let r = m.evaluate(&HybridConfig::tuple(1, 1, 1, 32), MappingEngine::Tcme).unwrap();
+        // The exposed stream must be (much) smaller than the raw stream.
+        assert!(r.exposed_stream_time <= r.stream_time);
+    }
+
+    #[test]
+    fn full_recompute_costs_time_saves_memory() {
+        let model = ModelZoo::gpt3_175b();
+        let base = Workload::for_model(&model);
+        let m = WaferCostModel::new(WaferConfig::hpca(), model, base.clone());
+        let cfg = HybridConfig::tuple(1, 2, 2, 8);
+        let sel = m
+            .evaluate_with(&cfg, MappingEngine::Tcme, &base)
+            .unwrap();
+        let full = m
+            .evaluate_with(
+                &cfg,
+                MappingEngine::Tcme,
+                &base.with_recompute(RecomputeMode::Full),
+            )
+            .unwrap();
+        assert!(full.memory.activations < sel.memory.activations);
+        assert!(full.step_time > sel.step_time);
+    }
+
+    #[test]
+    fn pipeline_adds_bubbles() {
+        let model = ModelZoo::gpt3_175b();
+        let w = Workload::for_model(&model);
+        let m = WaferCostModel::new(WaferConfig::hpca(), model, w);
+        let flat = m.evaluate(&HybridConfig::tuple(1, 2, 2, 8), MappingEngine::Tcme).unwrap();
+        let piped = m
+            .evaluate(
+                &HybridConfig { pp: 4, tp: 2, sp: 2, tatp: 8, ..Default::default() },
+                MappingEngine::Tcme,
+            )
+            .unwrap();
+        assert_eq!(flat.bubble_time, 0.0);
+        assert!(piped.bubble_time > 0.0);
+    }
+
+    #[test]
+    fn sweet_spot_exists_for_tatp_degree() {
+        // Fig. 9: throughput peaks at a moderate TATP degree; N=32 is not
+        // better than N=8 or 16 per-layer once granularity effects bite.
+        let m = model_6_7b();
+        let mut times = Vec::new();
+        for tatp in [2usize, 4, 8, 16, 32] {
+            let dp = 32 / tatp;
+            let r = m
+                .evaluate(&HybridConfig::tuple(dp, 1, 1, tatp), MappingEngine::Tcme)
+                .unwrap();
+            times.push((tatp, r.step_time));
+        }
+        let best = times.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+        assert!(
+            (4..=16).contains(&best),
+            "sweet spot at {best}: {times:?}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Level 1 of the DLS algorithm: dynamic programming over a segment chain.
+//!
+//! After the residual-aware graph partition (see
+//! [`temp_graph::graph::ComputeGraph::segments`]), the model is a chain of
+//! segments. Each segment independently picks a strategy from a candidate
+//! set; adjacent segments with different strategies pay a resharding
+//! (transition) cost. The DP finds the optimal assignment in
+//! `O(segments x candidates^2)` — the "recursive dynamic-programming routine
+//! [that] iteratively optimizes one operator at a time" of Fig. 12(b).
+
+/// Result of a chain DP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpSolution {
+    /// Chosen candidate index per segment.
+    pub choices: Vec<usize>,
+    /// Total cost (segment costs + transitions).
+    pub cost: f64,
+}
+
+/// Solves the segment-chain assignment problem.
+///
+/// `segment_costs[s][c]` is the cost of running segment `s` under candidate
+/// `c` (use `f64::INFINITY` for infeasible pairs); `transition(a, b)` prices
+/// switching from candidate `a` to candidate `b` between adjacent segments.
+///
+/// # Panics
+///
+/// Panics if any segment has an empty candidate list.
+pub fn solve_chain(
+    segment_costs: &[Vec<f64>],
+    transition: impl Fn(usize, usize) -> f64,
+) -> DpSolution {
+    if segment_costs.is_empty() {
+        return DpSolution { choices: Vec::new(), cost: 0.0 };
+    }
+    let k = segment_costs[0].len();
+    assert!(k > 0, "each segment needs at least one candidate");
+    // best[c] = min cost of prefix ending with candidate c.
+    let mut best: Vec<f64> = segment_costs[0].clone();
+    let mut back: Vec<Vec<usize>> = vec![vec![0; k]];
+    for costs in segment_costs.iter().skip(1) {
+        assert_eq!(costs.len(), k, "candidate sets must be uniform");
+        let mut next = vec![f64::INFINITY; k];
+        let mut bk = vec![0usize; k];
+        for (c, &seg_cost) in costs.iter().enumerate() {
+            for p in 0..k {
+                let total = best[p] + transition(p, c) + seg_cost;
+                if total < next[c] {
+                    next[c] = total;
+                    bk[c] = p;
+                }
+            }
+        }
+        best = next;
+        back.push(bk);
+    }
+    // Reconstruct.
+    let (mut cur, &cost) = best
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite or inf"))
+        .expect("non-empty candidates");
+    let mut choices = vec![0; segment_costs.len()];
+    for s in (0..segment_costs.len()).rev() {
+        choices[s] = cur;
+        cur = back[s][cur];
+    }
+    DpSolution { choices, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chain_is_free() {
+        let s = solve_chain(&[], |_, _| 0.0);
+        assert_eq!(s.cost, 0.0);
+        assert!(s.choices.is_empty());
+    }
+
+    #[test]
+    fn picks_per_segment_minimum_without_transitions() {
+        let costs = vec![vec![3.0, 1.0, 2.0], vec![5.0, 9.0, 4.0]];
+        let s = solve_chain(&costs, |_, _| 0.0);
+        assert_eq!(s.choices, vec![1, 2]);
+        assert!((s.cost - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitions_keep_assignment_uniform_when_expensive() {
+        // Candidate 0 slightly worse per segment, but switching costs 100.
+        let costs = vec![vec![1.0, 0.9], vec![1.0, 0.9], vec![0.5, 2.0]];
+        let s = solve_chain(&costs, |a, b| if a == b { 0.0 } else { 100.0 });
+        // Uniform candidate 1: 0.9+0.9+2.0 = 3.8; uniform 0: 2.5 — wins.
+        assert_eq!(s.choices, vec![0, 0, 0]);
+        assert!((s.cost - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheap_transitions_allow_switching() {
+        let costs = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
+        let s = solve_chain(&costs, |a, b| if a == b { 0.0 } else { 0.5 });
+        assert_eq!(s.choices, vec![0, 1]);
+        assert!((s.cost - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_candidates_are_avoided() {
+        let costs = vec![vec![f64::INFINITY, 2.0], vec![1.0, f64::INFINITY]];
+        let s = solve_chain(&costs, |_, _| 0.0);
+        assert_eq!(s.choices, vec![1, 0]);
+        assert!(s.cost.is_finite());
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let segs = rng.gen_range(1..5usize);
+            let k = rng.gen_range(1..4usize);
+            let costs: Vec<Vec<f64>> = (0..segs)
+                .map(|_| (0..k).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let tr: Vec<Vec<f64>> = (0..k)
+                .map(|_| (0..k).map(|_| rng.gen_range(0.0..3.0)).collect())
+                .collect();
+            let dp = solve_chain(&costs, |a, b| tr[a][b]);
+            // Brute force.
+            let mut best = f64::INFINITY;
+            let mut stack = vec![(0usize, 0.0f64, usize::MAX)];
+            while let Some((s, acc, prev)) = stack.pop() {
+                if s == segs {
+                    best = best.min(acc);
+                    continue;
+                }
+                for c in 0..k {
+                    let t = if prev == usize::MAX { 0.0 } else { tr[prev][c] };
+                    stack.push((s + 1, acc + costs[s][c] + t, c));
+                }
+            }
+            assert!((dp.cost - best).abs() < 1e-9, "dp {} vs brute {}", dp.cost, best);
+        }
+    }
+}

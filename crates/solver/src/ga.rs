@@ -1,0 +1,156 @@
+//! Level 2 of the DLS algorithm: genetic refinement.
+//!
+//! Genes encode "the mapping engine's parallel-setup parameters and
+//! spatio-temporal mappings"; the GA applies crossover, mutation and elitist
+//! selection to evolve superior strategies (Fig. 12(b)). Because graph
+//! partitioning and DP already pared the space, small populations converge
+//! in a few generations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Elite fraction carried over unchanged.
+    pub elite_fraction: f64,
+    /// RNG seed (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            population: 24,
+            generations: 12,
+            mutation_rate: 0.15,
+            elite_fraction: 0.25,
+            seed: 0xDEC0DE,
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaOutcome {
+    /// Best genome found.
+    pub genome: Vec<usize>,
+    /// Its fitness (lower is better).
+    pub cost: f64,
+    /// Fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Minimizes `fitness` over genomes of length `genome_len` with gene values
+/// in `0..gene_cardinality`, seeding the population with `seed_genome`.
+///
+/// # Panics
+///
+/// Panics when `genome_len == 0` or `gene_cardinality == 0`.
+pub fn optimize(
+    genome_len: usize,
+    gene_cardinality: usize,
+    seed_genome: &[usize],
+    params: &GaParams,
+    mut fitness: impl FnMut(&[usize]) -> f64,
+) -> GaOutcome {
+    assert!(genome_len > 0, "empty genome");
+    assert!(gene_cardinality > 0, "empty gene alphabet");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut evaluations = 0usize;
+    let mut eval = |g: &[usize], evaluations: &mut usize| {
+        *evaluations += 1;
+        fitness(g)
+    };
+
+    // Seeded + random initial population.
+    let mut population: Vec<Vec<usize>> = Vec::with_capacity(params.population);
+    population.push(seed_genome.to_vec());
+    while population.len() < params.population {
+        population
+            .push((0..genome_len).map(|_| rng.gen_range(0..gene_cardinality)).collect());
+    }
+    let mut scored: Vec<(f64, Vec<usize>)> = population
+        .into_iter()
+        .map(|g| (eval(&g, &mut evaluations), g))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite or inf"));
+
+    let elites = ((params.population as f64 * params.elite_fraction) as usize).max(1);
+    for _ in 0..params.generations {
+        let mut next: Vec<(f64, Vec<usize>)> = scored[..elites].to_vec();
+        while next.len() < params.population {
+            // Tournament selection of two parents from the top half.
+            let half = (scored.len() / 2).max(1);
+            let pa = &scored[rng.gen_range(0..half)].1;
+            let pb = &scored[rng.gen_range(0..half)].1;
+            // Single-point crossover.
+            let cut = rng.gen_range(0..genome_len);
+            let mut child: Vec<usize> =
+                pa[..cut].iter().chain(pb[cut..].iter()).copied().collect();
+            // Mutation.
+            for gene in child.iter_mut() {
+                if rng.gen_bool(params.mutation_rate) {
+                    *gene = rng.gen_range(0..gene_cardinality);
+                }
+            }
+            let score = eval(&child, &mut evaluations);
+            next.push((score, child));
+        }
+        next.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite or inf"));
+        next.truncate(params.population);
+        scored = next;
+    }
+    let (cost, genome) = scored.swap_remove(0);
+    GaOutcome { genome, cost, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_obvious_optimum() {
+        // Fitness: distance from the all-2 genome.
+        let out = optimize(6, 4, &[0; 6], &GaParams::default(), |g| {
+            g.iter().map(|&x| (x as f64 - 2.0).abs()).sum()
+        });
+        assert_eq!(out.genome, vec![2; 6]);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn is_deterministic_in_seed() {
+        let f = |g: &[usize]| g.iter().map(|&x| (x as f64 - 1.0).powi(2)).sum::<f64>();
+        let a = optimize(5, 5, &[0; 5], &GaParams::default(), f);
+        let b = optimize(5, 5, &[0; 5], &GaParams::default(), f);
+        assert_eq!(a.genome, b.genome);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn never_loses_the_seed_genome() {
+        // Elitism: a perfect seed must survive.
+        let out = optimize(4, 3, &[1, 1, 1, 1], &GaParams::default(), |g| {
+            if g == [1, 1, 1, 1] {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn evaluation_budget_is_bounded() {
+        let params = GaParams { population: 10, generations: 5, ..Default::default() };
+        let out = optimize(3, 3, &[0; 3], &params, |_| 1.0);
+        assert!(out.evaluations <= 10 + 5 * 10);
+    }
+}

@@ -1,0 +1,63 @@
+//! # temp-solver — the Dual-Level Wafer Solver (DLWS, §VII)
+//!
+//! DLWS pairs a *wafer-centric cost model* with a *dual-level search*:
+//!
+//! * [`cost`] — the analytic cost model of Eqs. 2–4: per-layer time is
+//!   `Collective + max(Comp, P2P-stream)`, per-step time adds pipeline
+//!   bubbles and gradient synchronization; memory feasibility, energy,
+//!   throughput and power efficiency are produced alongside;
+//! * [`dp`] — recursive dynamic programming over operator-chain segments
+//!   with resharding transition costs (level 1 of the DLS algorithm,
+//!   Fig. 12(b));
+//! * [`ga`] — the genetic refinement stage (level 2): configuration genes,
+//!   crossover, mutation and elitist selection;
+//! * [`ilp`] — an exact exhaustive/branch-and-bound baseline, standing in
+//!   for the ILP formulation whose search time §VIII-H compares against;
+//! * [`dlws`] — the end-to-end solver: enumerate → cost → DP → GA → plan.
+//!
+//! # Example
+//!
+//! ```
+//! use temp_solver::dlws::Dlws;
+//! use temp_graph::models::ModelZoo;
+//! use temp_graph::workload::Workload;
+//! use temp_wsc::config::WaferConfig;
+//!
+//! let model = ModelZoo::gpt3_6_7b();
+//! let plan = Dlws::new(WaferConfig::hpca(), model.clone(), Workload::for_model(&model))
+//!     .solve()
+//!     .expect("a feasible plan exists");
+//! assert!(plan.report.fits_memory);
+//! ```
+
+pub mod cost;
+pub mod dlws;
+pub mod dp;
+pub mod ga;
+pub mod ilp;
+
+pub use cost::{CostReport, WaferCostModel};
+pub use dlws::{Dlws, ExecutionPlan};
+
+/// Errors produced by the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// No configuration fits the wafer's memory.
+    NoFeasiblePlan(String),
+    /// A sub-component failed (mapping, layout, ...).
+    Internal(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::NoFeasiblePlan(msg) => write!(f, "no feasible plan: {msg}"),
+            SolverError::Internal(msg) => write!(f, "solver internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SolverError>;

@@ -1,0 +1,131 @@
+//! Multivariate linear regression — the Fig. 21 baseline predictor.
+//!
+//! Ordinary least squares via normal equations with ridge damping, on
+//! standardized features and log-space targets (the favorable formulation;
+//! the baseline still cannot capture the roofline max() nonlinearity).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::mlp::Standardizer;
+
+/// A fitted linear model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    norm: Standardizer,
+}
+
+impl LinearRegression {
+    /// Fits by ridge-damped normal equations on log-targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let norm = Standardizer::fit(&data.features);
+        let x: Vec<Vec<f64>> = data.features.iter().map(|f| norm.apply(f)).collect();
+        let y: Vec<f64> = data.targets.iter().map(|t| t.max(1e-12).ln()).collect();
+        let d = x[0].len();
+        let n = x.len();
+        // Build X^T X (+ ridge) and X^T y with a bias column folded in.
+        let dim = d + 1;
+        let mut xtx = vec![vec![0.0f64; dim]; dim];
+        let mut xty = vec![0.0f64; dim];
+        for (row, &target) in x.iter().zip(&y) {
+            let mut ext = row.clone();
+            ext.push(1.0);
+            for i in 0..dim {
+                xty[i] += ext[i] * target;
+                for j in 0..dim {
+                    xtx[i][j] += ext[i] * ext[j];
+                }
+            }
+        }
+        let ridge = 1e-6 * n as f64;
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+        let theta = solve_gaussian(xtx, xty);
+        let (weights, bias) = theta.split_at(d);
+        LinearRegression { weights: weights.to_vec(), bias: bias[0], norm }
+    }
+
+    /// Predicts one latency (seconds).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let x = self.norm.apply(features);
+        let log =
+            self.bias + x.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
+        log.exp()
+    }
+
+    /// Predicts every sample of a dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
+        data.features.iter().map(|f| self.predict(f)).collect()
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue;
+        }
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = if a[row][row].abs() < 1e-12 { 0.0 } else { acc / a[row][row] };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, TargetClass};
+    use crate::metrics::pearson;
+
+    #[test]
+    fn fits_compute_latencies_reasonably() {
+        let data = generate(TargetClass::Compute, 300, 11);
+        let (train, test) = data.split(0.8);
+        let lr = LinearRegression::fit(&train);
+        let pred = lr.predict_all(&test);
+        let corr = pearson(&pred, &test.targets);
+        assert!(corr > 0.8, "corr {corr}");
+    }
+
+    #[test]
+    fn exact_linear_log_relation_is_recovered() {
+        // y = exp(2*x0 + 1): exactly linear in log space.
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 10.0]).collect();
+        let targets: Vec<f64> =
+            features.iter().map(|f| (2.0 * f[0] + 1.0).exp()).collect();
+        let data = Dataset { features, targets, class: TargetClass::Compute };
+        let lr = LinearRegression::fit(&data);
+        let pred = lr.predict(&[2.5]);
+        let expected = (2.0f64 * 2.5 + 1.0).exp();
+        assert!((pred - expected).abs() / expected < 1e-4, "{pred} vs {expected}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 21 accuracy metrics: Pearson correlation and mean relative error.
+
+/// Pearson correlation of paired series. Returns 0 for degenerate inputs.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let (a, b) = (&a[..n], &b[..n]);
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Mean relative error `|pred - actual| / actual`, skipping zero actuals.
+pub fn mean_relative_error(pred: &[f64], actual: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (p, a) in pred.iter().zip(actual) {
+        if *a != 0.0 {
+            total += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        let e = mean_relative_error(&[1.1, 0.9], &[1.0, 1.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+        assert_eq!(mean_relative_error(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Link and core fault models (Fig. 20, §VIII-F).
+//!
+//! Large wafer deployments never yield perfect meshes. TEMP adapts at the
+//! framework level instead of demanding hardware redundancy: faults are
+//! localized and classified, tensor partitions re-balanced, and
+//! communication re-routed. This module provides the fault substrate:
+//! seeded fault injection, surviving-topology queries, and fault-aware
+//! shortest-path routing.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{DieId, LinkId, Mesh};
+use crate::{Result, WscError};
+
+/// A wafer's fault state: dead D2D links and per-die dead-core fractions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultMap {
+    dead_links: BTreeSet<LinkId>,
+    /// `core_fault[die]` = fraction of that die's compute cores that are
+    /// dead, in `[0, 1]`.
+    core_fault: Vec<f64>,
+}
+
+impl FaultMap {
+    /// A fault-free map for a mesh.
+    pub fn healthy(mesh: &Mesh) -> Self {
+        FaultMap { dead_links: BTreeSet::new(), core_fault: vec![0.0; mesh.die_count()] }
+    }
+
+    /// Injects link faults: each *undirected* link dies with independent
+    /// probability implied by `rate` (fraction of links to kill, rounded).
+    /// Both directions of a dead link are removed. Deterministic in `seed`.
+    pub fn inject_link_faults(mesh: &Mesh, rate: f64, seed: u64) -> Self {
+        let mut map = FaultMap::healthy(mesh);
+        let rate = rate.clamp(0.0, 1.0);
+        // Collect undirected pairs once (src < dst).
+        let mut pairs: Vec<(LinkId, LinkId)> = Vec::new();
+        for (i, l) in mesh.links().iter().enumerate() {
+            if l.src < l.dst {
+                let back = mesh.link_between(l.dst, l.src).expect("mesh links are symmetric");
+                pairs.push((LinkId(i as u32), back));
+            }
+        }
+        let kill_count = (pairs.len() as f64 * rate).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        pairs.shuffle(&mut rng);
+        for (fwd, back) in pairs.into_iter().take(kill_count) {
+            map.dead_links.insert(fwd);
+            map.dead_links.insert(back);
+        }
+        map
+    }
+
+    /// Injects core faults: kills `rate` of all cores on the wafer, spread
+    /// die-by-die with mild variance. Deterministic in `seed`.
+    pub fn inject_core_faults(mesh: &Mesh, rate: f64, seed: u64) -> Self {
+        let mut map = FaultMap::healthy(mesh);
+        let rate = rate.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        for f in map.core_fault.iter_mut() {
+            // Jitter each die's fault fraction around the global rate.
+            let jitter: f64 = rng.gen_range(-0.5..0.5) * rate;
+            *f = (rate + jitter).clamp(0.0, 1.0);
+        }
+        // Renormalize so the wafer-wide mean matches `rate` exactly.
+        let mean: f64 = map.core_fault.iter().sum::<f64>() / mesh.die_count() as f64;
+        if mean > 0.0 {
+            let scale = rate / mean;
+            for f in map.core_fault.iter_mut() {
+                *f = (*f * scale).clamp(0.0, 1.0);
+            }
+        }
+        map
+    }
+
+    /// Marks a single directed link (and its reverse) dead.
+    pub fn kill_link(&mut self, mesh: &Mesh, link: LinkId) {
+        self.dead_links.insert(link);
+        let l = mesh.links()[link.index()];
+        if let Ok(back) = mesh.link_between(l.dst, l.src) {
+            self.dead_links.insert(back);
+        }
+    }
+
+    /// Sets a die's dead-core fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die index is out of range for the map.
+    pub fn set_core_fault(&mut self, die: DieId, fraction: f64) {
+        self.core_fault[die.index()] = fraction.clamp(0.0, 1.0);
+    }
+
+    /// Whether a directed link is dead.
+    pub fn link_dead(&self, link: LinkId) -> bool {
+        self.dead_links.contains(&link)
+    }
+
+    /// Number of dead directed links.
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// Fraction of a die's cores that survive (compute derating factor).
+    pub fn surviving_compute(&self, die: DieId) -> f64 {
+        1.0 - self.core_fault.get(die.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Wafer-wide mean dead-core fraction.
+    pub fn mean_core_fault(&self) -> f64 {
+        if self.core_fault.is_empty() {
+            return 0.0;
+        }
+        self.core_fault.iter().sum::<f64>() / self.core_fault.len() as f64
+    }
+
+    /// Surviving neighbors of a die (mesh neighbors reachable over live links).
+    pub fn live_neighbors(&self, mesh: &Mesh, die: DieId) -> Vec<DieId> {
+        mesh.neighbors(die)
+            .into_iter()
+            .filter(|n| {
+                mesh.link_between(die, *n).map(|l| !self.link_dead(l)).unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// BFS shortest path from `src` to `dst` over live links, inclusive of
+    /// endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WscError::NoRoute`] when faults have disconnected the pair.
+    pub fn route_around(&self, mesh: &Mesh, src: DieId, dst: DieId) -> Result<Vec<DieId>> {
+        if src == dst {
+            return Ok(vec![src]);
+        }
+        let n = mesh.die_count();
+        let mut prev: Vec<Option<DieId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[src.index()] = true;
+        q.push_back(src);
+        while let Some(cur) = q.pop_front() {
+            for nb in self.live_neighbors(mesh, cur) {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    prev[nb.index()] = Some(cur);
+                    if nb == dst {
+                        let mut path = vec![dst];
+                        let mut at = dst;
+                        while let Some(p) = prev[at.index()] {
+                            path.push(p);
+                            at = p;
+                        }
+                        path.reverse();
+                        return Ok(path);
+                    }
+                    q.push_back(nb);
+                }
+            }
+        }
+        Err(WscError::NoRoute { src: src.0, dst: dst.0 })
+    }
+
+    /// Whether all dies remain mutually reachable over live links.
+    pub fn is_connected(&self, mesh: &Mesh) -> bool {
+        let n = mesh.die_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[0] = true;
+        q.push_back(DieId(0));
+        let mut count = 1;
+        while let Some(cur) = q.pop_front() {
+            for nb in self.live_neighbors(mesh, cur) {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    count += 1;
+                    q.push_back(nb);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Coord, Mesh};
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 4).unwrap()
+    }
+
+    #[test]
+    fn healthy_map_has_no_faults() {
+        let m = mesh();
+        let f = FaultMap::healthy(&m);
+        assert_eq!(f.dead_link_count(), 0);
+        assert!((f.mean_core_fault()).abs() < 1e-12);
+        assert!(f.is_connected(&m));
+    }
+
+    #[test]
+    fn link_injection_is_deterministic_and_proportional() {
+        let m = mesh();
+        let f1 = FaultMap::inject_link_faults(&m, 0.2, 42);
+        let f2 = FaultMap::inject_link_faults(&m, 0.2, 42);
+        assert_eq!(f1, f2);
+        let undirected = m.link_count() / 2;
+        let expected = ((undirected as f64) * 0.2).round() as usize * 2;
+        assert_eq!(f1.dead_link_count(), expected);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = mesh();
+        let f1 = FaultMap::inject_link_faults(&m, 0.3, 1);
+        let f2 = FaultMap::inject_link_faults(&m, 0.3, 2);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn core_injection_hits_target_mean() {
+        let m = mesh();
+        let f = FaultMap::inject_core_faults(&m, 0.25, 7);
+        assert!((f.mean_core_fault() - 0.25).abs() < 0.02);
+        for die in m.dies() {
+            let s = f.surviving_compute(die);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn route_around_single_dead_link() {
+        let m = mesh();
+        let a = m.die_at(Coord::new(0, 0)).unwrap();
+        let b = m.die_at(Coord::new(1, 0)).unwrap();
+        let mut f = FaultMap::healthy(&m);
+        let l = m.link_between(a, b).unwrap();
+        f.kill_link(&m, l);
+        let path = f.route_around(&m, a, b).unwrap();
+        assert!(path.len() > 2, "must detour, got {path:?}");
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
+        // Every step uses a live link.
+        for w in path.windows(2) {
+            let l = m.link_between(w[0], w[1]).unwrap();
+            assert!(!f.link_dead(l));
+        }
+    }
+
+    #[test]
+    fn disconnection_is_detected() {
+        let m = Mesh::new(2, 1).unwrap();
+        let mut f = FaultMap::healthy(&m);
+        let l = m.link_between(DieId(0), DieId(1)).unwrap();
+        f.kill_link(&m, l);
+        assert!(!f.is_connected(&m));
+        assert!(matches!(
+            f.route_around(&m, DieId(0), DieId(1)),
+            Err(WscError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let m = mesh();
+        let f = FaultMap::inject_link_faults(&m, 0.5, 3);
+        assert_eq!(f.route_around(&m, DieId(5), DieId(5)).unwrap(), vec![DieId(5)]);
+    }
+
+    #[test]
+    fn full_rate_kills_every_link() {
+        let m = mesh();
+        let f = FaultMap::inject_link_faults(&m, 1.0, 9);
+        assert_eq!(f.dead_link_count(), m.link_count());
+        assert!(!f.is_connected(&m));
+    }
+}

@@ -1,0 +1,79 @@
+//! # temp-wsc — wafer-scale chip hardware substrate
+//!
+//! This crate models the physical substrate that the TEMP framework (HPCA
+//! 2026) plans against: a heterogeneously integrated wafer-scale chip (WSC)
+//! built from a 2D mesh of compute dies, each with local HBM stacks and
+//! die-to-die (D2D) links restricted — by interposer signal integrity — to
+//! physically adjacent dies.
+//!
+//! The substrate covers:
+//!
+//! * [`config`] — Table I hardware parameters and preset wafer configurations;
+//! * [`topology`] — the 2D-mesh die array, link enumeration and XY/YX routing;
+//! * [`signal`] — the signal-integrity model that forbids long/diagonal links
+//!   (Fig. 7(b) of the paper) and prices FEC for over-length traces;
+//! * [`rings`] — contiguous physical ring (Hamiltonian cycle) detection and
+//!   group allocation, the geometric core of TATP's motivation (Fig. 7(a));
+//! * [`fault`] — link and core fault maps with seeded injection (Fig. 20);
+//! * [`multiwafer`] — multi-WSC systems joined by inter-wafer links (Fig. 19).
+//!
+//! # Example
+//!
+//! ```
+//! use temp_wsc::config::WaferConfig;
+//! use temp_wsc::topology::Coord;
+//!
+//! let cfg = WaferConfig::hpca(); // the paper's 4x8 evaluation wafer
+//! let mesh = cfg.mesh();
+//! assert_eq!(mesh.die_count(), 32);
+//! let a = mesh.die_at(Coord::new(0, 0)).unwrap();
+//! let b = mesh.die_at(Coord::new(7, 3)).unwrap();
+//! assert_eq!(mesh.manhattan(a, b), 10);
+//! ```
+
+pub mod config;
+pub mod fault;
+pub mod multiwafer;
+pub mod rings;
+pub mod signal;
+pub mod topology;
+pub mod units;
+
+pub use config::{D2dConfig, DieConfig, HbmConfig, WaferConfig};
+pub use fault::FaultMap;
+pub use multiwafer::MultiWaferSystem;
+pub use topology::{Coord, DieId, Link, LinkId, Mesh};
+
+/// Errors produced by substrate construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WscError {
+    /// A coordinate fell outside the die array.
+    CoordOutOfBounds { x: u32, y: u32, width: u32, height: u32 },
+    /// A die id did not name a die on this wafer.
+    UnknownDie(u32),
+    /// Two dies were expected to be mesh neighbors but are not.
+    NotAdjacent(u32, u32),
+    /// A configuration parameter was invalid (empty mesh, zero bandwidth, ...).
+    InvalidConfig(String),
+    /// The requested route does not exist (e.g. all paths faulted out).
+    NoRoute { src: u32, dst: u32 },
+}
+
+impl std::fmt::Display for WscError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WscError::CoordOutOfBounds { x, y, width, height } => {
+                write!(f, "coordinate ({x}, {y}) outside {width}x{height} die array")
+            }
+            WscError::UnknownDie(d) => write!(f, "unknown die id {d}"),
+            WscError::NotAdjacent(a, b) => write!(f, "dies {a} and {b} are not mesh neighbors"),
+            WscError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            WscError::NoRoute { src, dst } => write!(f, "no route from die {src} to die {dst}"),
+        }
+    }
+}
+
+impl std::error::Error for WscError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WscError>;

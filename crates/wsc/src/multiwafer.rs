@@ -1,0 +1,117 @@
+//! Multi-wafer systems (Fig. 19, §VIII-E).
+//!
+//! Models beyond ~200B parameters exceed one wafer's HBM; the paper scales
+//! to 2–6 WSCs joined by inter-wafer links (9 TB/s, Dojo-class [109]) and
+//! distributes pipeline stages across wafers. Intra-wafer parallelism stays
+//! whatever TEMP chooses per wafer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::WaferConfig;
+use crate::units::{TB, US};
+use crate::{Result, WscError};
+
+/// Inter-wafer interconnect parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterWaferLink {
+    /// Aggregate bandwidth between adjacent wafers in bytes/s (paper: 9 TB/s).
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+    /// Transfer energy in pJ/bit.
+    pub energy_pj_per_bit: f64,
+}
+
+impl Default for InterWaferLink {
+    fn default() -> Self {
+        InterWaferLink { bandwidth: 9.0 * TB, latency: 1.0 * US, energy_pj_per_bit: 8.0 }
+    }
+}
+
+/// A linear chain of identical wafers — the natural shape for pipeline
+/// parallelism across WSCs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiWaferSystem {
+    /// Per-wafer configuration (all wafers identical).
+    pub wafer: WaferConfig,
+    /// Number of wafers in the chain.
+    pub wafer_count: usize,
+    /// Inter-wafer link parameters.
+    pub link: InterWaferLink,
+}
+
+impl MultiWaferSystem {
+    /// Creates a chain of `wafer_count` identical wafers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WscError::InvalidConfig`] when `wafer_count` is zero or the
+    /// wafer configuration is invalid.
+    pub fn new(wafer: WaferConfig, wafer_count: usize) -> Result<Self> {
+        if wafer_count == 0 {
+            return Err(WscError::InvalidConfig("wafer count must be positive".into()));
+        }
+        wafer.validate()?;
+        Ok(MultiWaferSystem { wafer, wafer_count, link: InterWaferLink::default() })
+    }
+
+    /// Total dies across all wafers.
+    pub fn total_dies(&self) -> usize {
+        self.wafer.die_count() * self.wafer_count
+    }
+
+    /// Aggregate HBM capacity in bytes.
+    pub fn total_hbm_capacity(&self) -> f64 {
+        self.wafer.total_hbm_capacity() * self.wafer_count as f64
+    }
+
+    /// Aggregate peak compute in FLOP/s.
+    pub fn total_peak_flops(&self) -> f64 {
+        self.wafer.total_peak_flops() * self.wafer_count as f64
+    }
+
+    /// Time to move `bytes` between adjacent wafers (activation handoff of a
+    /// pipeline stage boundary).
+    pub fn inter_wafer_transfer_time(&self, bytes: f64) -> f64 {
+        self.link.latency + bytes / self.link.bandwidth
+    }
+
+    /// Energy in joules to move `bytes` between adjacent wafers.
+    pub fn inter_wafer_transfer_energy(&self, bytes: f64) -> f64 {
+        bytes * 8.0 * self.link.energy_pj_per_bit * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_wafers() {
+        assert!(MultiWaferSystem::new(WaferConfig::hpca(), 0).is_err());
+    }
+
+    #[test]
+    fn totals_scale_linearly() {
+        let one = MultiWaferSystem::new(WaferConfig::hpca(), 1).unwrap();
+        let four = MultiWaferSystem::new(WaferConfig::hpca(), 4).unwrap();
+        assert_eq!(four.total_dies(), 4 * one.total_dies());
+        assert!((four.total_hbm_capacity() - 4.0 * one.total_hbm_capacity()).abs() < 1.0);
+        assert!((four.total_peak_flops() - 4.0 * one.total_peak_flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn inter_wafer_transfer_time_is_latency_plus_serialization() {
+        let sys = MultiWaferSystem::new(WaferConfig::hpca(), 2).unwrap();
+        let bytes = 9.0e12; // exactly one second of serialization
+        let t = sys.inter_wafer_transfer_time(bytes);
+        assert!((t - (1.0 + sys.link.latency)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_energy_matches_pj_per_bit() {
+        let sys = MultiWaferSystem::new(WaferConfig::hpca(), 2).unwrap();
+        let e = sys.inter_wafer_transfer_energy(1.0e9); // 8e9 bits at 8 pJ
+        assert!((e - 8.0e9 * 8.0e-12).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Unit constants and formatting helpers used across the workspace.
+//!
+//! All latencies are `f64` seconds, all sizes `f64` bytes, all energies `f64`
+//! joules, unless a type name says otherwise. The constants below keep call
+//! sites legible (`4.0 * TB` instead of `4.0e12`).
+
+/// One kilobyte (decimal, 10^3 bytes).
+pub const KB: f64 = 1e3;
+/// One megabyte (decimal, 10^6 bytes).
+pub const MB: f64 = 1e6;
+/// One gigabyte (decimal, 10^9 bytes).
+pub const GB: f64 = 1e9;
+/// One terabyte (decimal, 10^12 bytes).
+pub const TB: f64 = 1e12;
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: f64 = 1024.0;
+/// One mebibyte (2^20 bytes).
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// One gibibyte (2^30 bytes).
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// One nanosecond in seconds.
+pub const NS: f64 = 1e-9;
+/// One microsecond in seconds.
+pub const US: f64 = 1e-6;
+/// One millisecond in seconds.
+pub const MS: f64 = 1e-3;
+
+/// One teraflop/s.
+pub const TFLOPS: f64 = 1e12;
+/// One gigaflop/s.
+pub const GFLOPS: f64 = 1e9;
+
+/// One picojoule in joules.
+pub const PJ: f64 = 1e-12;
+
+/// Converts an energy-per-bit figure in pJ/bit into joules per *byte*.
+///
+/// ```
+/// use temp_wsc::units::pj_per_bit_to_joules_per_byte;
+/// let j = pj_per_bit_to_joules_per_byte(5.0);
+/// assert!((j - 40.0e-12).abs() < 1e-18);
+/// ```
+pub fn pj_per_bit_to_joules_per_byte(pj_per_bit: f64) -> f64 {
+    pj_per_bit * PJ * 8.0
+}
+
+/// Formats a byte count with a binary-prefix unit, for human-readable reports.
+///
+/// ```
+/// use temp_wsc::units::fmt_bytes;
+/// assert_eq!(fmt_bytes(0.0), "0 B");
+/// assert_eq!(fmt_bytes(1536.0 * 1024.0 * 1024.0), "1.50 GiB");
+/// ```
+pub fn fmt_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    if abs < 1024.0 {
+        format!("{bytes:.0} B")
+    } else if abs < MIB {
+        format!("{:.2} KiB", bytes / KIB)
+    } else if abs < GIB {
+        format!("{:.2} MiB", bytes / MIB)
+    } else {
+        format!("{:.2} GiB", bytes / GIB)
+    }
+}
+
+/// Formats a duration in the most natural sub-second unit.
+///
+/// ```
+/// use temp_wsc::units::fmt_time;
+/// assert_eq!(fmt_time(2.5e-9), "2.50 ns");
+/// assert_eq!(fmt_time(0.0125), "12.50 ms");
+/// ```
+pub fn fmt_time(seconds: f64) -> String {
+    let abs = seconds.abs();
+    if abs < US {
+        format!("{:.2} ns", seconds / NS)
+    } else if abs < MS {
+        format!("{:.2} us", seconds / US)
+    } else if abs < 1.0 {
+        format!("{:.2} ms", seconds / MS)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(TB, 1000.0 * GB);
+        assert_eq!(GIB, 1024.0 * MIB);
+        assert!((NS * 1e9 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pj_per_bit_conversion() {
+        // 6 pJ/bit (HBM) => 48 pJ per byte.
+        let j = pj_per_bit_to_joules_per_byte(6.0);
+        assert!((j - 48.0e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn byte_formatting_covers_ranges() {
+        assert_eq!(fmt_bytes(100.0), "100 B");
+        assert_eq!(fmt_bytes(2048.0), "2.00 KiB");
+        assert_eq!(fmt_bytes(3.0 * MIB), "3.00 MiB");
+        assert_eq!(fmt_bytes(72.0 * GIB), "72.00 GiB");
+    }
+
+    #[test]
+    fn time_formatting_covers_ranges() {
+        assert_eq!(fmt_time(200.0 * NS), "200.00 ns");
+        assert_eq!(fmt_time(3.5 * US), "3.50 us");
+        assert_eq!(fmt_time(1.25), "1.250 s");
+    }
+}

@@ -1,0 +1,59 @@
+//! Plan Llama3-70B training: where baselines OOM, what TEMP chooses, and
+//! why memory efficiency decides who can train at all.
+//!
+//! ```sh
+//! cargo run --release --example llama70b_training
+//! ```
+
+use temp_core::baselines::BaselineSystem;
+use temp_core::framework::Temp;
+use temp_graph::models::ModelZoo;
+use temp_graph::workload::Workload;
+use temp_parallel::memory::per_die_footprint;
+use temp_parallel::strategy::HybridConfig;
+use temp_wsc::units::GB;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelZoo::llama3_70b();
+    let temp = Temp::hpca(model.clone());
+
+    // Why Megatron-style replication fails (Fig. 4(c)): the optimizer
+    // states replicate across DP replicas.
+    let workload = Workload::for_model(&model);
+    let mega = per_die_footprint(&model, &workload, &HybridConfig::tuple(4, 8, 1, 1));
+    println!(
+        "Megatron DP=4 x TP=8 per-die memory: {:.1} GB (capacity 72 GB) -> {}",
+        mega.total() / GB,
+        if mega.fits(72.0 * GB) { "fits" } else { "OOM" }
+    );
+
+    // All seven systems on one wafer.
+    println!("\nsystem          step time      memory/die");
+    for report in temp.compare_all() {
+        match report.report() {
+            Some(c) => println!(
+                "{:<14} {:>9.3} s {:>12.1} GB   ({})",
+                report.system,
+                c.step_time,
+                c.memory.total() / GB,
+                c.config.label()
+            ),
+            None => println!("{:<14}       OOM", report.system),
+        }
+    }
+
+    // TEMP's winning plan in detail.
+    let plan = temp.evaluate_system(&BaselineSystem::temp());
+    if let Some(c) = plan.report() {
+        println!("\nTEMP detail: config {}", c.config);
+        println!(
+            "  weights {:.1} GB | grads {:.1} GB | optimizer {:.1} GB | activations {:.1} GB | buffers {:.1} GB",
+            c.memory.weights / GB,
+            c.memory.gradients / GB,
+            c.memory.optimizer / GB,
+            c.memory.activations / GB,
+            c.memory.buffers / GB
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Multi-wafer planning: Grok-1 341B across four WSCs (Fig. 19 workflow).
+//!
+//! ```sh
+//! cargo run --release --example multi_wafer
+//! ```
+
+use temp_core::baselines::BaselineSystem;
+use temp_core::framework::Temp;
+use temp_graph::models::ModelZoo;
+use temp_wsc::config::WaferConfig;
+use temp_wsc::multiwafer::MultiWaferSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelZoo::grok1_341b();
+    let wafers = MultiWaferSystem::new(WaferConfig::hpca(), 4)?;
+    println!(
+        "{} on {} wafers ({} dies, {:.1} TB HBM, {:.0} PFLOPS)",
+        model,
+        wafers.wafer_count,
+        wafers.total_dies(),
+        wafers.total_hbm_capacity() / 1e12,
+        wafers.total_peak_flops() / 1e15
+    );
+
+    let temp = Temp::new(WaferConfig::hpca(), model, temp_graph::workload::Workload::training(128, 8192));
+
+    // TEMP: pipeline degree = wafer count, TATP inside each wafer.
+    let t = temp.evaluate_multiwafer(&BaselineSystem::temp(), &wafers, 1);
+    // Baseline: FSDP+GMap forced to PP = 2x wafers (no TATP available).
+    let base = temp.evaluate_multiwafer(&BaselineSystem::six_baselines()[5], &wafers, 2);
+
+    for rep in [&base, &t] {
+        match rep.report() {
+            Some(c) => println!(
+                "{:<12} pp={} step={:.3}s bubbles={:.0}% config={}",
+                rep.system,
+                c.config.pp,
+                c.step_time,
+                100.0 * c.bubble_time / c.step_time,
+                c.config.label()
+            ),
+            None => println!("{:<12} OOM", rep.system),
+        }
+    }
+    if let (Some(b), Some(c)) = (base.report(), t.report()) {
+        println!("\nTEMP speedup over FSDP+GMap: {:.2}x", b.step_time / c.step_time);
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # temp-repro — facade for the TEMP (HPCA 2026) reproduction
+//!
+//! Re-exports every crate of the workspace under one roof so examples and
+//! integration tests can address the whole system:
+//!
+//! * [`wsc`] — wafer-scale chip substrate (topology, signal, faults);
+//! * [`graph`] — compute graphs, model zoo, workloads;
+//! * [`sim`] — compute/network/memory/power simulator;
+//! * [`parallel`] — parallel strategies and TATP orchestration;
+//! * [`mapping`] — TCME traffic-conscious mapping engine;
+//! * [`solver`] — DLWS cost model and dual-level search;
+//! * [`surrogate`] — DNN cost model;
+//! * [`core`] — the TEMP framework facade and baselines.
+
+pub use temp_core as core;
+pub use temp_graph as graph;
+pub use temp_mapping as mapping;
+pub use temp_parallel as parallel;
+pub use temp_sim as sim;
+pub use temp_solver as solver;
+pub use temp_surrogate as surrogate;
+pub use temp_wsc as wsc;

@@ -1,0 +1,93 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use temp_repro::parallel::strategy::HybridConfig;
+use temp_repro::parallel::tatp::TatpOrchestration;
+use temp_repro::parallel::tspp::TsppOrchestration;
+use temp_repro::sim::network::{ContentionSim, Flow};
+use temp_repro::wsc::config::WaferConfig;
+use temp_repro::wsc::fault::FaultMap;
+use temp_repro::wsc::topology::{DieId, Mesh, RouteOrder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 invariants hold for every group size.
+    #[test]
+    fn tatp_invariants_hold(n in 1usize..48) {
+        let orch = TatpOrchestration::build(n);
+        let stats = orch.validate().expect("valid orchestration");
+        prop_assert!(stats.max_hop_distance <= 1);
+        prop_assert!(stats.peak_buffer <= 8);
+    }
+
+    /// The naive ring is always valid too — it is just slow, not wrong.
+    #[test]
+    fn tspp_ring_is_correct(n in 1usize..32) {
+        let orch = TsppOrchestration::build(n);
+        let stats = orch.validate().expect("valid ring");
+        prop_assert!(stats.peak_buffer <= 2);
+        if n >= 2 {
+            prop_assert_eq!(stats.max_hop_distance, n - 1);
+        }
+    }
+
+    /// XY routes have Manhattan length and valid link sequences.
+    #[test]
+    fn xy_routes_are_minimal(w in 2u32..10, h in 2u32..8, a in 0u32..80, b in 0u32..80) {
+        let mesh = Mesh::new(w, h).unwrap();
+        let n = mesh.die_count() as u32;
+        let (a, b) = (DieId(a % n), DieId(b % n));
+        let path = mesh.route(a, b, RouteOrder::XThenY);
+        prop_assert_eq!(path.len() as u32 - 1, mesh.manhattan(a, b));
+        prop_assert!(mesh.path_links(&path).is_ok());
+    }
+
+    /// Max–min fair sharing never finishes earlier than the most loaded
+    /// link allows, and never later than full serialization.
+    #[test]
+    fn contention_bounds(seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let cfg = WaferConfig::hpca();
+        let mesh = cfg.mesh();
+        let sim = ContentionSim::new(&cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let flows: Vec<Flow> = (0..6)
+            .map(|_| {
+                let a = DieId(rng.gen_range(0..32));
+                let b = DieId(rng.gen_range(0..32));
+                Flow::xy(&mesh, a, b, rng.gen_range(1.0e6..64.0e6))
+            })
+            .collect();
+        let report = sim.simulate(&flows);
+        let lower = sim.congestion_lower_bound(&flows);
+        // Store-and-forward upper bound: every flow fully serialized.
+        let upper: f64 = flows.iter().map(|f| sim.solo_time(f)).sum::<f64>() + 1e-9;
+        prop_assert!(report.makespan + 1e-12 >= lower);
+        prop_assert!(report.makespan <= upper * 1.001);
+    }
+
+    /// Fault-free maps keep all pairs mutually reachable; the rerouted path
+    /// is never shorter than the Manhattan distance.
+    #[test]
+    fn fault_reroutes_are_sane(rate in 0.0f64..0.2, seed in 0u64..50) {
+        let cfg = WaferConfig::hpca();
+        let mesh = cfg.mesh();
+        let faults = FaultMap::inject_link_faults(&mesh, rate, seed);
+        if faults.is_connected(&mesh) {
+            let path = faults.route_around(&mesh, DieId(0), DieId(31)).unwrap();
+            prop_assert!(path.len() as u32 - 1 >= mesh.manhattan(DieId(0), DieId(31)));
+        }
+    }
+
+    /// Hybrid configuration enumeration always covers the die count.
+    #[test]
+    fn enumerated_tuples_cover_dies(exp in 2u32..7) {
+        let dies = 1usize << exp;
+        for cfg in HybridConfig::enumerate_tuples(dies, false) {
+            prop_assert_eq!(cfg.intra_wafer_degree(), dies);
+            prop_assert!(cfg.validate(dies).is_ok());
+        }
+    }
+}
