@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks of TEMP's planning kernels: TATP
-//! orchestration construction/validation, the traffic optimizer, the
-//! contention simulator, chain DP, and cost-model evaluation.
+//! Micro-benchmarks of TEMP's planning kernels: TATP orchestration
+//! construction/validation, the traffic optimizer, the contention
+//! simulator, chain DP, and cost-model evaluation.
+//!
+//! Self-harnessed (`harness = false`): the offline build environment has
+//! no criterion, so [`temp_bench::timeit`] provides warm-up + repeated
+//! measurement and each kernel prints one summary line. Run with
+//! `cargo bench -p temp-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use temp_bench::timeit;
 use temp_graph::models::ModelZoo;
 use temp_graph::workload::Workload;
 use temp_mapping::comm::TaggedFlow;
@@ -17,72 +21,53 @@ use temp_solver::dp::solve_chain;
 use temp_wsc::config::WaferConfig;
 use temp_wsc::topology::DieId;
 
-fn bench_tatp_orchestration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tatp_orchestration");
+fn main() {
     for n in [8usize, 16, 32] {
-        g.bench_with_input(BenchmarkId::new("build+validate", n), &n, |b, &n| {
-            b.iter(|| {
+        timeit(
+            &format!("tatp_orchestration/build+validate/{n}"),
+            10,
+            || {
                 let orch = TatpOrchestration::build(n);
                 orch.validate().expect("valid")
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_contention_sim(c: &mut Criterion) {
     let cfg = WaferConfig::hpca();
     let mesh = cfg.mesh();
     let sim = ContentionSim::new(&cfg);
     let flows: Vec<Flow> = (0..16u32)
         .map(|i| Flow::xy(&mesh, DieId(i), DieId(31 - i), 64.0e6))
         .collect();
-    c.bench_function("contention_sim_16_flows", |b| b.iter(|| sim.simulate(&flows)));
-}
+    timeit("contention_sim_16_flows", 10, || sim.simulate(&flows));
 
-fn bench_traffic_optimizer(c: &mut Criterion) {
-    let cfg = WaferConfig::hpca();
-    let mesh = cfg.mesh();
     let opt = TrafficOptimizer::new(mesh.clone());
-    let flows: Vec<TaggedFlow> = (0..12u32)
+    let tagged: Vec<TaggedFlow> = (0..12u32)
         .map(|i| TaggedFlow {
             flow: Flow::xy(&mesh, DieId(i % 8), DieId(16 + (i % 8)), 32.0e6),
             payload: i as u64,
         })
         .collect();
-    c.bench_function("traffic_optimizer_12_flows", |b| {
-        b.iter(|| opt.optimize(flows.clone()))
+    timeit("traffic_optimizer_12_flows", 10, || {
+        opt.optimize(tagged.clone())
     });
-}
 
-fn bench_chain_dp(c: &mut Criterion) {
-    let costs: Vec<Vec<f64>> =
-        (0..96).map(|s| (0..24).map(|k| ((s * k) % 17) as f64 + 1.0).collect()).collect();
-    c.bench_function("chain_dp_96x24", |b| {
-        b.iter(|| solve_chain(&costs, |a, b| if a == b { 0.0 } else { 0.5 }))
+    let costs: Vec<Vec<f64>> = (0..96)
+        .map(|s| (0..24).map(|k| ((s * k) % 17) as f64 + 1.0).collect())
+        .collect();
+    timeit("chain_dp_96x24", 10, || {
+        solve_chain(&costs, |a, b| if a == b { 0.0 } else { 0.5 })
     });
-}
 
-fn bench_cost_model(c: &mut Criterion) {
     let model = ModelZoo::gpt3_6_7b();
-    let cost =
-        WaferCostModel::new(WaferConfig::hpca(), model.clone(), Workload::for_model(&model));
-    let cfg = HybridConfig::tuple(2, 2, 1, 8);
-    c.bench_function("cost_model_evaluate", |b| {
-        b.iter(|| cost.evaluate(&cfg, MappingEngine::Tcme).expect("feasible"))
+    let cost = WaferCostModel::new(
+        WaferConfig::hpca(),
+        model.clone(),
+        Workload::for_model(&model),
+    );
+    let hybrid = HybridConfig::tuple(2, 2, 1, 8);
+    timeit("cost_model_evaluate", 10, || {
+        cost.evaluate(&hybrid, MappingEngine::Tcme)
+            .expect("feasible")
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_tatp_orchestration,
-        bench_contention_sim,
-        bench_traffic_optimizer,
-        bench_chain_dp,
-        bench_cost_model
-}
-criterion_main!(benches);

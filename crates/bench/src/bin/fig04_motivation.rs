@@ -15,7 +15,10 @@ use temp_wsc::units::{pj_per_bit_to_joules_per_byte, GB};
 fn main() {
     let wafer = WaferConfig::hpca();
     header("Fig. 4(b): Megatron-1 training-time breakdown on the wafer");
-    println!("{:<20} {:>12} {:>12}", "model", "collective %", "D2D BW util %");
+    println!(
+        "{:<20} {:>12} {:>12}",
+        "model", "collective %", "D2D BW util %"
+    );
     let models = [
         ModelZoo::gpt3_6_7b(),
         ModelZoo::gpt3_76b(),
@@ -33,8 +36,8 @@ fn main() {
         match rep.report() {
             Some(c) => {
                 // Bytes carried over D2D from the energy ledger.
-                let bytes = c.energy.d2d /
-                    (pj_per_bit_to_joules_per_byte(wafer.d2d.energy_pj_per_bit) * 1.2);
+                let bytes = c.energy.d2d
+                    / (pj_per_bit_to_joules_per_byte(wafer.d2d.energy_pj_per_bit) * 1.2);
                 let active_links = 2.0 * wafer.die_count() as f64; // ~2 busy links/die
                 let util = bytes / (active_links * wafer.d2d.bandwidth * c.step_time);
                 println!(
@@ -49,8 +52,15 @@ fn main() {
     }
 
     header("Fig. 4(c): per-die memory, Megatron (TP=8, DP=4) vs ideal (capacity 72 GB)");
-    println!("{:<20} {:>12} {:>10} {:>6}", "model", "Megatron GB", "ideal GB", "fits");
-    for model in [ModelZoo::deepseek_7b(), ModelZoo::llama2_70b(), ModelZoo::bloom_176b()] {
+    println!(
+        "{:<20} {:>12} {:>10} {:>6}",
+        "model", "Megatron GB", "ideal GB", "fits"
+    );
+    for model in [
+        ModelZoo::deepseek_7b(),
+        ModelZoo::llama2_70b(),
+        ModelZoo::bloom_176b(),
+    ] {
         let w = Workload::for_model(&model);
         let mega = per_die_footprint(&model, &w, &HybridConfig::tuple(4, 8, 1, 1));
         let ideal = (w.param_state_bytes(&model) + w.activation_bytes_total(&model)) / 32.0;
@@ -59,7 +69,11 @@ fn main() {
             model.name,
             mega.total() / GB,
             ideal / GB,
-            if mega.fits(wafer.hbm.capacity) { "yes" } else { "OOM" }
+            if mega.fits(wafer.hbm.capacity) {
+                "yes"
+            } else {
+                "OOM"
+            }
         );
     }
 }

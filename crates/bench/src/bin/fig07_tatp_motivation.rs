@@ -16,9 +16,10 @@ use temp_wsc::units::MB;
 fn main() {
     header("Fig. 7(a): degree-6 groups on a 9x6 array — contiguous-ring fraction");
     let mesh = Mesh::new(9, 6).unwrap();
-    for (name, policy) in
-        [("row-major strips", GroupPolicy::RowMajorStrips), ("topology-aware blocks", GroupPolicy::Blocks)]
-    {
+    for (name, policy) in [
+        ("row-major strips", GroupPolicy::RowMajorStrips),
+        ("topology-aware blocks", GroupPolicy::Blocks),
+    ] {
         let groups = allocate_groups(&mesh, 6, policy);
         println!(
             "{name:<22}: {}/{} groups embed physical rings",
@@ -29,7 +30,10 @@ fn main() {
 
     header("Fig. 7(b): interposer signal loss (dB) vs trace length and frequency");
     let model = SignalModel::default();
-    println!("{:>8} {:>8} {:>8} {:>8} {:>8}  region", "freq GHz", "30mm", "50mm", "100mm", "150mm");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8}  region",
+        "freq GHz", "30mm", "50mm", "100mm", "150mm"
+    );
     for freq in [2.0, 4.0, 6.0, 8.0, 10.0] {
         let losses: Vec<f64> = [30.0, 50.0, 100.0, 150.0]
             .iter()
@@ -37,20 +41,37 @@ fn main() {
             .collect();
         println!(
             "{freq:>8.0} {:>8.1} {:>8.1} {:>8.1} {:>8.1}  {}",
-            losses[0], losses[1], losses[2], losses[3],
-            if model.is_disallowed(150.0) { "150mm disallowed" } else { "" }
+            losses[0],
+            losses[1],
+            losses[2],
+            losses[3],
+            if model.is_disallowed(150.0) {
+                "150mm disallowed"
+            } else {
+                ""
+            }
         );
     }
-    println!("reliable-without-FEC knee: {:.0} mm", model.max_length_mm(16.0, 8.0));
+    println!(
+        "reliable-without-FEC knee: {:.0} mm",
+        model.max_length_mm(16.0, 8.0)
+    );
 
     header("Fig. 7(c): compute utilization, physical-path TATP vs logical-ring TSPP");
-    println!("{:<14} {:>10} {:>14} {:>14}", "wafer", "model", "TATP util %", "TSPP util %");
+    println!(
+        "{:<14} {:>10} {:>14} {:>14}",
+        "wafer", "model", "TATP util %", "TSPP util %"
+    );
     for (w, h) in [(5u32, 4u32), (8, 4), (8, 6), (10, 8)] {
         let cfg = WaferConfig::with_array(w, h).unwrap();
         let mesh = cfg.mesh();
         let engine = ScheduleEngine::new(&cfg);
         let n = (w * h).min(16) as usize; // parallel degree per group
-        for model in [ModelZoo::llama2_7b(), ModelZoo::llama2_30b(), ModelZoo::llama2_70b()] {
+        for model in [
+            ModelZoo::llama2_7b(),
+            ModelZoo::llama2_30b(),
+            ModelZoo::llama2_70b(),
+        ] {
             // Per-round sub-GEMM cost of the model's FC1 on this group.
             let weight_mb = (model.hidden * model.ffn_hidden * 2) as f64 / (n as f64);
             let cost = StreamCost {
@@ -60,8 +81,10 @@ fn main() {
                 hbm_bytes: 8.0 * MB,
             };
             // TATP on a snake path (always available).
-            let snake: Vec<DieId> =
-                temp_wsc::rings::snake_order(&mesh).into_iter().take(n).collect();
+            let snake: Vec<DieId> = temp_wsc::rings::snake_order(&mesh)
+                .into_iter()
+                .take(n)
+                .collect();
             let tatp = TatpOrchestration::build(n);
             let rt = engine.run(&lower_stream(tatp.stream(), &mesh, &snake, &cost).unwrap());
             // TSPP on a row-major strip (the naive, tetris-prone mapping).
@@ -71,7 +94,7 @@ fn main() {
             println!(
                 "{:<14} {:>10} {:>13.0}% {:>13.0}%",
                 format!("{w}x{h}"),
-                model.name.split(' ').last().unwrap_or(""),
+                model.name.split(' ').next_back().unwrap_or(""),
                 100.0 * rt.compute_time / rt.total_time,
                 100.0 * rs.compute_time / rs.total_time,
             );

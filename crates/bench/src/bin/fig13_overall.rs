@@ -23,7 +23,10 @@ fn main() {
     }
 
     header("Fig. 13: normalized training latency (lower is better) + memory");
-    println!("{:<18} {}", "model", "A:Mega+S B:Mega+G C:MeSP+S D:MeSP+G E:FSDP+S F:FSDP+G  TEMP");
+    println!(
+        "{:<18} A:Mega+S B:Mega+G C:MeSP+S D:MeSP+G E:FSDP+S F:FSDP+G  TEMP",
+        "model"
+    );
     let mut per_baseline_speedups: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for model in ModelZoo::table2() {
         let temp = Temp::hpca(model.clone());
@@ -32,11 +35,17 @@ fn main() {
         row(&model.name, &normalize(&times));
         let mems: Vec<f64> = reports
             .iter()
-            .map(|r| r.report().map(|c| c.memory.total() / GB).unwrap_or(f64::INFINITY))
+            .map(|r| {
+                r.report()
+                    .map(|c| c.memory.total() / GB)
+                    .unwrap_or(f64::INFINITY)
+            })
             .collect();
         row("  mem (GB/die)", &mems);
-        let comm: Vec<f64> =
-            reports.iter().map(|r| r.report().map(|c| c.comm_fraction()).unwrap_or(f64::NAN)).collect();
+        let comm: Vec<f64> = reports
+            .iter()
+            .map(|r| r.report().map(|c| c.comm_fraction()).unwrap_or(f64::NAN))
+            .collect();
         row("  comm fraction", &comm);
         let temp_time = times[6];
         for (i, t) in times[..6].iter().enumerate() {
@@ -45,10 +54,23 @@ fn main() {
             }
         }
     }
-    header("TEMP end-to-end speedup vs each baseline (geomean; paper: 1.69/1.35/1.38/1.24/1.39/1.20x)");
-    let labels = ["Mega+SMap", "Mega+GMap", "MeSP+SMap", "MeSP+GMap", "FSDP+SMap", "FSDP+GMap"];
+    header(
+        "TEMP end-to-end speedup vs each baseline (geomean; paper: 1.69/1.35/1.38/1.24/1.39/1.20x)",
+    );
+    let labels = [
+        "Mega+SMap",
+        "Mega+GMap",
+        "MeSP+SMap",
+        "MeSP+GMap",
+        "FSDP+SMap",
+        "FSDP+GMap",
+    ];
     for (label, sp) in labels.iter().zip(&per_baseline_speedups) {
         let ones: Vec<f64> = sp.iter().map(|_| 1.0).collect();
-        println!("vs {label:<10}: {:.2}x (over {} non-OOM models)", geomean_speedup(sp, &ones), sp.len());
+        println!(
+            "vs {label:<10}: {:.2}x (over {} non-OOM models)",
+            geomean_speedup(sp, &ones),
+            sp.len()
+        );
     }
 }

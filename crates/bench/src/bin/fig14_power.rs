@@ -6,15 +6,25 @@ use temp_graph::models::ModelZoo;
 
 fn main() {
     header("Fig. 14: normalized power efficiency (higher is better; TEMP last)");
-    println!("{:<18} {}", "model", "A:Mega+S B:Mega+G C:MeSP+S D:MeSP+G E:FSDP+S F:FSDP+G  TEMP");
+    println!(
+        "{:<18} A:Mega+S B:Mega+G C:MeSP+S D:MeSP+G E:FSDP+S F:FSDP+G  TEMP",
+        "model"
+    );
     for model in ModelZoo::table2() {
         let temp = Temp::hpca(model.clone());
         let reports = temp.compare_all();
+        // Efficiency is higher-is-better: an OOM system must not score
+        // +inf (the OOM marker appropriate for latency figures). NaN
+        // still renders as "OOM" and stays out of the normalization base.
         let eff: Vec<f64> = reports
             .iter()
-            .map(|r| r.report().map(|c| c.power_efficiency).unwrap_or(f64::INFINITY))
+            .map(|r| r.report().map(|c| c.power_efficiency).unwrap_or(f64::NAN))
             .collect();
-        let base = eff.iter().copied().find(|v| v.is_finite() && *v > 0.0).unwrap_or(1.0);
+        let base = eff
+            .iter()
+            .copied()
+            .find(|v| v.is_finite() && *v > 0.0)
+            .unwrap_or(1.0);
         let norm: Vec<f64> = eff.iter().map(|v| v / base).collect();
         row(&model.name, &norm);
         if let Some(c) = reports.last().and_then(|r| r.report()) {

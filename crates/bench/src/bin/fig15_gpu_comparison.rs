@@ -12,7 +12,10 @@ use temp_wsc::config::WaferConfig;
 
 fn main() {
     header("Fig. 15: normalized throughput (GPU+MeSP = 1.0)");
-    println!("{:<18} {:>10} {:>12} {:>12}", "model", "GPU+MeSP", "Wafer+MeSP", "Wafer+TEMP");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12}",
+        "model", "GPU+MeSP", "Wafer+MeSP", "Wafer+TEMP"
+    );
     // Derate the wafer's dies to the A100 peak for a fair comparison.
     let mut wafer = WaferConfig::hpca();
     wafer.die.peak_flops = 312.0e12;

@@ -8,7 +8,10 @@ use temp_mapping::engines::MappingEngine;
 
 fn main() {
     header("Fig. 16: ablation (normalized throughput; base = FSDP+SMap = 1.0)");
-    println!("{:<18} {:>8} {:>10} {:>16}", "model", "base", "+TATP", "+TATP+TCME");
+    println!(
+        "{:<18} {:>8} {:>10} {:>16}",
+        "model", "base", "+TATP", "+TATP+TCME"
+    );
     let mut gains_tatp = Vec::new();
     let mut gains_tcme = Vec::new();
     for model in ModelZoo::table2() {
@@ -33,5 +36,9 @@ fn main() {
     }
     let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
     header("averages (paper: +TATP 1.21x, +TCME further 1.14x)");
-    println!("+TATP avg: {:.2}x | +TCME avg additional: {:.2}x", avg(&gains_tatp), avg(&gains_tcme));
+    println!(
+        "+TATP avg: {:.2}x | +TCME avg additional: {:.2}x",
+        avg(&gains_tatp),
+        avg(&gains_tcme)
+    );
 }

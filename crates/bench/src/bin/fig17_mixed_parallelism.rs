@@ -11,7 +11,9 @@ use temp_wsc::config::WaferConfig;
 
 fn main() {
     for (seq, batch) in [(2048u64, 128u64), (16_384, 32)] {
-        header(&format!("Fig. 17: Llama2 7B, seq={seq}, batch={batch} (throughput, best=1.0)"));
+        header(&format!(
+            "Fig. 17: Llama2 7B, seq={seq}, batch={batch} (throughput, best=1.0)"
+        ));
         let model = ModelZoo::llama2_7b();
         let workload = Workload::training(batch, seq);
         let cost = WaferCostModel::new(WaferConfig::hpca(), model, workload);
@@ -38,7 +40,11 @@ fn main() {
                 .collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };
-        println!("mean normalized throughput: with TATP {:.3} | without TATP {:.3}", avg(true), avg(false));
+        println!(
+            "mean normalized throughput: with TATP {:.3} | without TATP {:.3}",
+            avg(true),
+            avg(false)
+        );
         let oom = results.iter().filter(|(_, t, _)| *t == 0.0).count();
         println!("OOM/infeasible configurations: {oom}/{}", results.len());
     }

@@ -11,8 +11,15 @@ use temp_wsc::config::WaferConfig;
 
 fn main() {
     header("Fig. 18: best configurations per model x sequence length");
-    println!("{:<16} {:>6} {:>14} {:>12} {:>18}", "model", "seq", "best (D,T,S,TA)", "TATP degree", "gain vs no-TATP");
-    for model in [ModelZoo::gpt3_6_7b(), ModelZoo::gpt3_76b(), ModelZoo::gpt3_175b()] {
+    println!(
+        "{:<16} {:>6} {:>14} {:>12} {:>18}",
+        "model", "seq", "best (D,T,S,TA)", "TATP degree", "gain vs no-TATP"
+    );
+    for model in [
+        ModelZoo::gpt3_6_7b(),
+        ModelZoo::gpt3_76b(),
+        ModelZoo::gpt3_175b(),
+    ] {
         for (seq, batch) in [(2048u64, 128u64), (16_384, 32)] {
             let workload = Workload::training(batch, seq);
             let cost = WaferCostModel::new(WaferConfig::hpca(), model.clone(), workload.clone());
@@ -51,7 +58,11 @@ fn main() {
                     };
                     println!(
                         "{:<16} {:>6} {:>14} {:>12} {:>18}",
-                        model.name, seq, cfg.label(), cfg.tatp, gain
+                        model.name,
+                        seq,
+                        cfg.label(),
+                        cfg.tatp,
+                        gain
                     );
                 }
                 None => println!("{:<16} {:>6} (nothing fits)", model.name, seq),

@@ -11,7 +11,10 @@ use temp_wsc::multiwafer::MultiWaferSystem;
 
 fn main() {
     header("Fig. 19: multi-wafer training (normalized throughput; bubble share)");
-    println!("{:<20} {:>7} {:>22} {:>22}", "model", "wafers", "best baseline (PP=2W)", "TEMP (PP=W)");
+    println!(
+        "{:<20} {:>7} {:>22} {:>22}",
+        "model", "wafers", "best baseline (PP=2W)", "TEMP (PP=W)"
+    );
     let cases = [
         (ModelZoo::gpt3_175b(), 2usize),
         (ModelZoo::grok1_341b(), 4),
@@ -27,8 +30,16 @@ fn main() {
         for system in BaselineSystem::six_baselines() {
             let rep = temp.evaluate_multiwafer(&system, &wafers, 2);
             if let Some(c) = rep.report() {
-                let cand = (rep.system.clone(), c.throughput, c.bubble_time / c.step_time);
-                if best_base.as_ref().map(|(_, t, _)| cand.1 > *t).unwrap_or(true) {
+                let cand = (
+                    rep.system.clone(),
+                    c.throughput,
+                    c.bubble_time / c.step_time,
+                );
+                if best_base
+                    .as_ref()
+                    .map(|(_, t, _)| cand.1 > *t)
+                    .unwrap_or(true)
+                {
                     best_base = Some(cand);
                 }
             }

@@ -7,12 +7,22 @@ use temp_wsc::config::WaferConfig;
 fn main() {
     let wafer = WaferConfig::hpca();
     header("Fig. 20(b): normalized throughput vs link fault rate (16 seeds)");
-    for (rate, tput) in link_fault_sweep(&wafer, &[0.0, 0.1, 0.2, 0.3, 0.35, 0.4, 0.5, 0.6, 0.8], 16) {
-        println!("link faults {:>4.0}% -> throughput {:>5.2}", 100.0 * rate, tput);
+    for (rate, tput) in
+        link_fault_sweep(&wafer, &[0.0, 0.1, 0.2, 0.3, 0.35, 0.4, 0.5, 0.6, 0.8], 16)
+    {
+        println!(
+            "link faults {:>4.0}% -> throughput {:>5.2}",
+            100.0 * rate,
+            tput
+        );
     }
     header("Fig. 20(c): normalized throughput vs core fault rate (16 seeds)");
     for (rate, tput) in core_fault_sweep(&wafer, &[0.0, 0.05, 0.10, 0.15, 0.20, 0.25], 16) {
-        println!("core faults {:>4.0}% -> throughput {:>5.2}", 100.0 * rate, tput);
+        println!(
+            "core faults {:>4.0}% -> throughput {:>5.2}",
+            100.0 * rate,
+            tput
+        );
     }
     println!("(paper: cliff by ~35-50% link faults; ~80% throughput at 25% core faults)");
 }

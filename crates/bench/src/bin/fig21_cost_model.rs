@@ -35,12 +35,21 @@ fn main() {
     }
     // Lookup-vs-simulate speed.
     let data = generate(TargetClass::Compute, 200, 7);
-    let mlp = Mlp::train(&data, &TrainParams { epochs: 200, ..Default::default() });
+    let mlp = Mlp::train(
+        &data,
+        &TrainParams {
+            epochs: 200,
+            ..Default::default()
+        },
+    );
     let t0 = std::time::Instant::now();
     let mut acc = 0.0;
     for f in &data.features {
         acc += mlp.predict(f);
     }
     let per_query = t0.elapsed().as_secs_f64() / data.len() as f64;
-    println!("\nDNN lookup: {:.1} us/query (sum {acc:.3e}; paper: 100-1000x faster than simulation)", per_query * 1e6);
+    println!(
+        "\nDNN lookup: {:.1} us/query (sum {acc:.3e}; paper: 100-1000x faster than simulation)",
+        per_query * 1e6
+    );
 }

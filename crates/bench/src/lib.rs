@@ -1,8 +1,11 @@
 //! # temp-bench — experiment harness
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the full
-//! index), plus criterion micro-benchmarks of the framework's kernels.
-//! Run an experiment with `cargo run -p temp-bench --release --bin <name>`.
+//! One binary per table/figure of the paper (see the README's
+//! figure-to-binary map), plus self-harnessed micro-benchmarks of the
+//! framework's kernels. Run an experiment with
+//! `cargo run -p temp-bench --release --bin <name>`.
+
+use std::time::Instant;
 
 /// Prints a section header in the style used by every experiment binary.
 pub fn header(title: &str) {
@@ -24,11 +27,63 @@ pub fn row(label: &str, values: &[f64]) {
     println!("{label:<18} {}", cells.join(" "));
 }
 
+/// Times `f` over `iters` runs (after one warm-up run), prints a
+/// criterion-style summary line, and returns the mean seconds per run.
+/// The closure's result is returned through a `std::hint::black_box` so
+/// the optimizer cannot delete the measured work.
+pub fn timeit<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let iters = iters.max(1);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = times.iter().sum::<f64>() / iters as f64;
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{label:<44} mean {:>10} (min {:>10}, max {:>10}, n={iters})",
+        fmt_seconds(mean),
+        fmt_seconds(min),
+        fmt_seconds(max)
+    );
+    mean
+}
+
+/// Renders a duration in the most readable unit (s/ms/us/ns).
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn helpers_do_not_panic() {
         super::header("t");
         super::row("r", &[1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn timeit_returns_positive_mean() {
+        let mean = super::timeit("noop", 3, || 1 + 1);
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn fmt_seconds_picks_units() {
+        assert!(super::fmt_seconds(2.0).ends_with(" s"));
+        assert!(super::fmt_seconds(2e-3).ends_with(" ms"));
+        assert!(super::fmt_seconds(2e-6).ends_with(" us"));
+        assert!(super::fmt_seconds(2e-9).ends_with(" ns"));
     }
 }

@@ -72,18 +72,39 @@ impl BaselineSystem {
     /// The six baselines A–F in the paper's order.
     pub fn six_baselines() -> Vec<BaselineSystem> {
         vec![
-            BaselineSystem { partitioner: Partitioner::Megatron1, engine: MappingEngine::SMap },
-            BaselineSystem { partitioner: Partitioner::Megatron1, engine: MappingEngine::GMap },
-            BaselineSystem { partitioner: Partitioner::MeSP, engine: MappingEngine::SMap },
-            BaselineSystem { partitioner: Partitioner::MeSP, engine: MappingEngine::GMap },
-            BaselineSystem { partitioner: Partitioner::Fsdp, engine: MappingEngine::SMap },
-            BaselineSystem { partitioner: Partitioner::Fsdp, engine: MappingEngine::GMap },
+            BaselineSystem {
+                partitioner: Partitioner::Megatron1,
+                engine: MappingEngine::SMap,
+            },
+            BaselineSystem {
+                partitioner: Partitioner::Megatron1,
+                engine: MappingEngine::GMap,
+            },
+            BaselineSystem {
+                partitioner: Partitioner::MeSP,
+                engine: MappingEngine::SMap,
+            },
+            BaselineSystem {
+                partitioner: Partitioner::MeSP,
+                engine: MappingEngine::GMap,
+            },
+            BaselineSystem {
+                partitioner: Partitioner::Fsdp,
+                engine: MappingEngine::SMap,
+            },
+            BaselineSystem {
+                partitioner: Partitioner::Fsdp,
+                engine: MappingEngine::GMap,
+            },
         ]
     }
 
     /// TEMP itself.
     pub fn temp() -> BaselineSystem {
-        BaselineSystem { partitioner: Partitioner::Temp, engine: MappingEngine::Tcme }
+        BaselineSystem {
+            partitioner: Partitioner::Temp,
+            engine: MappingEngine::Tcme,
+        }
     }
 
     /// All seven systems in figure order (A..F then TEMP).
@@ -121,7 +142,11 @@ mod tests {
         assert!(p.admits(&HybridConfig::tuple(4, 8, 1, 1)));
         assert!(!p.admits(&HybridConfig::tuple(4, 1, 1, 8)));
         assert!(!p.admits(&HybridConfig::tuple(4, 4, 2, 1)));
-        assert!(!p.admits(&HybridConfig { dp: 32, fsdp: true, ..Default::default() }));
+        assert!(!p.admits(&HybridConfig {
+            dp: 32,
+            fsdp: true,
+            ..Default::default()
+        }));
     }
 
     #[test]
@@ -134,8 +159,17 @@ mod tests {
     #[test]
     fn fsdp_space_is_sharded_dp_with_sp() {
         let p = Partitioner::Fsdp;
-        assert!(p.admits(&HybridConfig { dp: 32, fsdp: true, ..Default::default() }));
-        assert!(p.admits(&HybridConfig { dp: 16, sp: 2, fsdp: true, ..Default::default() }));
+        assert!(p.admits(&HybridConfig {
+            dp: 32,
+            fsdp: true,
+            ..Default::default()
+        }));
+        assert!(p.admits(&HybridConfig {
+            dp: 16,
+            sp: 2,
+            fsdp: true,
+            ..Default::default()
+        }));
         assert!(!p.admits(&HybridConfig::tuple(4, 8, 1, 1)));
     }
 
@@ -143,6 +177,11 @@ mod tests {
     fn temp_admits_everything() {
         let p = Partitioner::Temp;
         assert!(p.admits(&HybridConfig::tuple(2, 2, 1, 8)));
-        assert!(p.admits(&HybridConfig { dp: 4, fsdp: true, tatp: 8, ..Default::default() }));
+        assert!(p.admits(&HybridConfig {
+            dp: 4,
+            fsdp: true,
+            tatp: 8,
+            ..Default::default()
+        }));
     }
 }

@@ -33,8 +33,11 @@ pub struct FaultAdaptation {
 pub fn adapt_core_faults(wafer: &WaferConfig, rate: f64, seed: u64) -> FaultAdaptation {
     let mesh = wafer.mesh();
     let faults = FaultMap::inject_core_faults(&mesh, rate, seed);
-    let mean_surviving: f64 =
-        mesh.dies().map(|d| faults.surviving_compute(d)).sum::<f64>() / mesh.die_count() as f64;
+    let mean_surviving: f64 = mesh
+        .dies()
+        .map(|d| faults.surviving_compute(d))
+        .sum::<f64>()
+        / mesh.die_count() as f64;
     // Repartitioning overhead: uneven shards slightly reduce overlap quality.
     let rebalance_penalty = 1.0 - 0.1 * rate;
     FaultAdaptation {
@@ -102,8 +105,8 @@ pub fn link_fault_sweep(wafer: &WaferConfig, rates: &[f64], seeds: u64) -> Vec<(
         .map(|&rate| {
             let mean: f64 = (0..seeds)
                 .map(|s| adapt_link_faults(wafer, rate, 1000 + s).relative_throughput)
-                .sum::<f64>() /
-                seeds as f64;
+                .sum::<f64>()
+                / seeds as f64;
             (rate, mean)
         })
         .collect()
@@ -116,8 +119,8 @@ pub fn core_fault_sweep(wafer: &WaferConfig, rates: &[f64], seeds: u64) -> Vec<(
         .map(|&rate| {
             let mean: f64 = (0..seeds)
                 .map(|s| adapt_core_faults(wafer, rate, 2000 + s).relative_throughput)
-                .sum::<f64>() /
-                seeds as f64;
+                .sum::<f64>()
+                / seeds as f64;
             (rate, mean)
         })
         .collect()

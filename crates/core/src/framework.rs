@@ -6,6 +6,7 @@ use temp_graph::models::ModelConfig;
 use temp_graph::workload::Workload;
 use temp_solver::cost::CostReport;
 use temp_solver::dlws::{Dlws, ExecutionPlan};
+use temp_solver::search::SearchStats;
 use temp_wsc::config::WaferConfig;
 use temp_wsc::multiwafer::MultiWaferSystem;
 
@@ -26,7 +27,10 @@ pub struct SystemReport {
 impl SystemReport {
     /// Step time, or `f64::INFINITY` on OOM.
     pub fn step_time(&self) -> f64 {
-        self.plan.as_ref().map(|p| p.report.step_time).unwrap_or(f64::INFINITY)
+        self.plan
+            .as_ref()
+            .map(|p| p.report.step_time)
+            .unwrap_or(f64::INFINITY)
     }
 
     /// The inner cost report, if planned.
@@ -37,17 +41,26 @@ impl SystemReport {
 
 /// The TEMP framework: inputs (architecture, model, workload) in; optimal
 /// partition + mapping + performance reports out (Fig. 6).
+///
+/// One [`Dlws`] solver — and therefore one
+/// [`temp_solver::search::SearchContext`] with its candidate enumeration
+/// and evaluation cache — is shared across every planning entry point, so
+/// [`Temp::compare_all`] performs a single candidate-costing pass instead
+/// of one per compared system, and repeated [`Temp::evaluate_multiwafer`]
+/// calls re-cost nothing. (Multi-wafer keys embed their pipeline degree,
+/// so they are distinct from the intra-wafer sweep's `pp = 1` keys.)
+/// Clones share the cache.
 #[derive(Debug, Clone)]
 pub struct Temp {
-    wafer: WaferConfig,
-    model: ModelConfig,
-    workload: Workload,
+    solver: Dlws,
 }
 
 impl Temp {
     /// Creates a framework instance.
     pub fn new(wafer: WaferConfig, model: ModelConfig, workload: Workload) -> Self {
-        Temp { wafer, model, workload }
+        Temp {
+            solver: Dlws::new(wafer, model, workload),
+        }
     }
 
     /// Convenience: the paper's 4x8 wafer with the model's Table II workload.
@@ -58,17 +71,23 @@ impl Temp {
 
     /// The wafer configuration.
     pub fn wafer(&self) -> &WaferConfig {
-        &self.wafer
+        self.solver.cost_model().wafer()
     }
 
     /// The model.
     pub fn model(&self) -> &ModelConfig {
-        &self.model
+        self.solver.cost_model().model()
     }
 
     /// The workload.
     pub fn workload(&self) -> &Workload {
-        &self.workload
+        self.solver.cost_model().workload()
+    }
+
+    /// Cache counters of the shared search context (hits/misses across
+    /// every solve this framework instance has run).
+    pub fn search_stats(&self) -> SearchStats {
+        self.solver.search_stats()
     }
 
     /// Solves for TEMP's optimal plan (full DLWS search with TCME).
@@ -88,14 +107,30 @@ impl Temp {
         let partitioner = system.partitioner;
         let outcome = solver.solve_with_engine(system.engine, move |cfg| partitioner.admits(cfg));
         match outcome {
-            Ok(plan) => SystemReport { system: system.label(), plan: Some(plan), oom: false },
-            Err(_) => SystemReport { system: system.label(), plan: None, oom: true },
+            Ok(plan) => SystemReport {
+                system: system.label(),
+                plan: Some(plan),
+                oom: false,
+            },
+            Err(_) => SystemReport {
+                system: system.label(),
+                plan: None,
+                oom: true,
+            },
         }
     }
 
     /// Evaluates all seven systems (A–F + TEMP) — the Fig. 13/14 sweep.
+    ///
+    /// Thanks to the shared evaluation cache this costs each distinct
+    /// `(configuration, engine, recompute)` key at most once across all
+    /// seven systems, instead of re-enumerating and re-costing the space
+    /// per system.
     pub fn compare_all(&self) -> Vec<SystemReport> {
-        BaselineSystem::all_systems().iter().map(|s| self.evaluate_system(s)).collect()
+        BaselineSystem::all_systems()
+            .iter()
+            .map(|s| self.evaluate_system(s))
+            .collect()
     }
 
     /// Plans a multi-wafer deployment (Fig. 19): pipeline stages span the
@@ -119,29 +154,43 @@ impl Temp {
         match outcome {
             Ok(mut plan) => {
                 // Charge the inter-wafer activation handoff per stage border.
-                let act = self.workload.micro_batch_size() as f64 *
-                    self.workload.seq_len as f64 *
-                    self.model.hidden as f64 *
-                    self.workload.compute_dtype.bytes() as f64;
-                let handoff = wafers.inter_wafer_transfer_time(act) *
-                    (pp.saturating_sub(1)) as f64 *
-                    self.workload.micro_batches as f64;
+                let workload = self.workload();
+                let act = workload.micro_batch_size() as f64
+                    * workload.seq_len as f64
+                    * self.model().hidden as f64
+                    * workload.compute_dtype.bytes() as f64;
+                let handoff = wafers.inter_wafer_transfer_time(act)
+                    * (pp.saturating_sub(1)) as f64
+                    * workload.micro_batches as f64;
                 plan.report.step_time += handoff;
-                SystemReport { system: system.label(), plan: Some(plan), oom: false }
+                SystemReport {
+                    system: system.label(),
+                    plan: Some(plan),
+                    oom: false,
+                }
             }
-            Err(_) => SystemReport { system: system.label(), plan: None, oom: true },
+            Err(_) => SystemReport {
+                system: system.label(),
+                plan: None,
+                oom: true,
+            },
         }
     }
 
-    fn solver(&self) -> Dlws {
-        Dlws::new(self.wafer.clone(), self.model.clone(), self.workload.clone())
+    /// The shared DLWS solver (one search context for every entry point).
+    pub fn solver(&self) -> &Dlws {
+        &self.solver
     }
 }
 
 /// Normalizes a metric series to its first finite entry (the paper's
 /// "normalized" axes). OOM (infinite) entries stay infinite.
 pub fn normalize(values: &[f64]) -> Vec<f64> {
-    let base = values.iter().copied().find(|v| v.is_finite()).unwrap_or(1.0);
+    let base = values
+        .iter()
+        .copied()
+        .find(|v| v.is_finite())
+        .unwrap_or(1.0);
     values.iter().map(|v| v / base).collect()
 }
 
@@ -165,9 +214,9 @@ pub fn geomean_speedup(reference: &[f64], improved: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baselines::Partitioner;
     use temp_graph::models::ModelZoo;
     use temp_mapping::engines::MappingEngine;
-    use crate::baselines::Partitioner;
 
     #[test]
     fn temp_beats_every_baseline_on_small_model() {
@@ -197,6 +246,24 @@ mod tests {
         assert!(mega.oom, "Megatron should OOM on 175B, one wafer");
         let t = temp.evaluate_system(&BaselineSystem::temp());
         assert!(!t.oom, "TEMP must plan 175B");
+    }
+
+    #[test]
+    fn compare_all_reuses_one_costing_pass() {
+        let temp = Temp::hpca(ModelZoo::gpt3_6_7b());
+        let first = temp.compare_all();
+        let after_first = temp.search_stats();
+        assert!(after_first.misses > 0);
+        // Megatron's space is a subset of MeSP's and TEMP costs the full
+        // space, so overlapping systems must already produce cache hits.
+        assert!(after_first.hits > 0, "{after_first:?}");
+        let second = temp.compare_all();
+        let after_second = temp.search_stats();
+        assert_eq!(
+            after_first.misses, after_second.misses,
+            "a second sweep must be answered entirely from the cache"
+        );
+        assert_eq!(first, second);
     }
 
     #[test]

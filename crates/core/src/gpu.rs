@@ -111,8 +111,8 @@ impl GpuCluster {
             model,
             local_batch.ceil() as u64,
             local_seq.ceil() as u64,
-        ) / tp as f64 *
-            model.layers as f64;
+        ) / tp as f64
+            * model.layers as f64;
         if state_bytes + act > self.hbm_capacity {
             return None;
         }
@@ -127,13 +127,20 @@ impl GpuCluster {
         // equivalents + DP gradient sync, at NVLink ring bandwidth.
         let e = workload.compute_dtype.bytes() as f64;
         let act_tensor = local_batch * workload.seq_len as f64 * model.hidden as f64 * e;
-        let tp_factor = if tp > 1 { 2.0 * (tp - 1) as f64 / tp as f64 } else { 0.0 };
+        let tp_factor = if tp > 1 {
+            2.0 * (tp - 1) as f64 / tp as f64
+        } else {
+            0.0
+        };
         let per_layer_comm = 4.0 * act_tensor * tp_factor / self.collective_bandwidth;
         let grad_bytes = params * e / (tp * sp) as f64;
-        let dp_factor = if dp > 1 { 2.0 * (dp - 1) as f64 / dp as f64 } else { 0.0 };
+        let dp_factor = if dp > 1 {
+            2.0 * (dp - 1) as f64 / dp as f64
+        } else {
+            0.0
+        };
         let dp_comm = grad_bytes * dp_factor / self.collective_bandwidth;
-        let comm_time =
-            per_layer_comm * model.layers as f64 * micro + dp_comm * micro;
+        let comm_time = per_layer_comm * model.layers as f64 * micro + dp_comm * micro;
         let step_time = compute_time + comm_time;
         Some(GpuReport {
             step_time,
@@ -165,7 +172,11 @@ mod tests {
         for model in ModelZoo::table2() {
             let w = Workload::for_model(&model);
             let r = c.evaluate_mesp(&model, &w);
-            assert!(r.step_time.is_finite() && r.step_time > 0.0, "{}", model.name);
+            assert!(
+                r.step_time.is_finite() && r.step_time > 0.0,
+                "{}",
+                model.name
+            );
             let (dp, tp, sp) = r.config;
             assert_eq!(dp * tp * sp, 32);
         }
@@ -174,9 +185,21 @@ mod tests {
     #[test]
     fn small_models_prefer_dp_large_models_need_tp_sp() {
         let c = GpuCluster::default();
-        let small = c.evaluate_mesp(&ModelZoo::gpt3_6_7b(), &Workload::for_model(&ModelZoo::gpt3_6_7b()));
-        let large = c.evaluate_mesp(&ModelZoo::gpt3_175b(), &Workload::for_model(&ModelZoo::gpt3_175b()));
-        assert!(small.config.0 >= large.config.0, "DP degree shrinks with model size");
-        assert!(large.config.1 * large.config.2 > 1, "175B needs model parallelism");
+        let small = c.evaluate_mesp(
+            &ModelZoo::gpt3_6_7b(),
+            &Workload::for_model(&ModelZoo::gpt3_6_7b()),
+        );
+        let large = c.evaluate_mesp(
+            &ModelZoo::gpt3_175b(),
+            &Workload::for_model(&ModelZoo::gpt3_175b()),
+        );
+        assert!(
+            small.config.0 >= large.config.0,
+            "DP degree shrinks with model size"
+        );
+        assert!(
+            large.config.1 * large.config.2 > 1,
+            "175B needs model parallelism"
+        );
     }
 }

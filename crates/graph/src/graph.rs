@@ -129,12 +129,20 @@ impl ComputeGraph {
 
     /// Direct successors of an operator.
     pub fn successors(&self, id: OpId) -> Vec<OpId> {
-        self.edges.iter().filter(|(f, _)| *f == id).map(|(_, t)| *t).collect()
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == id)
+            .map(|(_, t)| *t)
+            .collect()
     }
 
     /// Direct predecessors of an operator.
     pub fn predecessors(&self, id: OpId) -> Vec<OpId> {
-        self.edges.iter().filter(|(_, t)| *t == id).map(|(f, _)| *f).collect()
+        self.edges
+            .iter()
+            .filter(|(_, t)| *t == id)
+            .map(|(f, _)| *f)
+            .collect()
     }
 
     /// Total forward FLOPs of the graph.
@@ -160,8 +168,8 @@ impl ComputeGraph {
         }
         let mut cut_ok = vec![true; n]; // cut after position i
         for (f, t) in &self.residual_edges {
-            for i in f.0..t.0 {
-                cut_ok[i] = false;
+            for ok in &mut cut_ok[f.0..t.0] {
+                *ok = false;
             }
         }
         let mut segments = Vec::new();
@@ -185,7 +193,8 @@ impl ComputeGraph {
             self.edges.push((OpId(f.0 + offset), OpId(t.0 + offset)));
         }
         for (f, t) in &other.residual_edges {
-            self.residual_edges.push((OpId(f.0 + offset), OpId(t.0 + offset)));
+            self.residual_edges
+                .push((OpId(f.0 + offset), OpId(t.0 + offset)));
         }
         offset
     }
@@ -217,7 +226,10 @@ mod tests {
             g.add_edge(OpId(2), OpId(1)),
             Err(GraphError::InvalidEdge { .. })
         ));
-        assert!(matches!(g.add_edge(OpId(0), OpId(9)), Err(GraphError::UnknownOp(9))));
+        assert!(matches!(
+            g.add_edge(OpId(0), OpId(9)),
+            Err(GraphError::UnknownOp(9))
+        ));
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub enum GraphError {
     /// An operator id did not exist in the graph.
     UnknownOp(usize),
     /// An edge would create a cycle or reference a missing node.
-    InvalidEdge { from: usize, to: usize, reason: String },
+    InvalidEdge {
+        from: usize,
+        to: usize,
+        reason: String,
+    },
     /// A model/workload parameter was invalid.
     InvalidParameter(String),
 }

@@ -213,7 +213,17 @@ impl ModelZoo {
 
     /// DeepSeek-V2 236B dense-equivalent (Fig. 4(b)).
     pub fn deepseek_v2_236b() -> ModelConfig {
-        Self::llama_like("DeepSeek-V2 236B", 128, 128, 16_384, 72, 45_056, 102_400, 4096, 128)
+        Self::llama_like(
+            "DeepSeek-V2 236B",
+            128,
+            128,
+            16_384,
+            72,
+            45_056,
+            102_400,
+            4096,
+            128,
+        )
     }
 
     /// Bloom 176B (Fig. 4(c)).
@@ -245,7 +255,17 @@ impl ModelZoo {
 
     /// Llama3 405B (Fig. 19, 4 wafers).
     pub fn llama3_405b() -> ModelConfig {
-        Self::llama_like("Llama3 405B", 128, 8, 16_384, 126, 53_248, 128_256, 8192, 128)
+        Self::llama_like(
+            "Llama3 405B",
+            128,
+            8,
+            16_384,
+            126,
+            53_248,
+            128_256,
+            8192,
+            128,
+        )
     }
 
     /// GPT-3 504B variant (Fig. 19, 6 wafers).
@@ -283,7 +303,11 @@ mod tests {
         for (m, nameplate) in cases {
             let b = m.params_b();
             let err = (b - nameplate).abs() / nameplate;
-            assert!(err < 0.15, "{}: {b:.1}B vs nameplate {nameplate}B ({err:.0}%)", m.name);
+            assert!(
+                err < 0.15,
+                "{}: {b:.1}B vs nameplate {nameplate}B ({err:.0}%)",
+                m.name
+            );
         }
     }
 

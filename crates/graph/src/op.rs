@@ -76,10 +76,8 @@ impl OpKind {
     pub fn weight_bytes(&self, dtype: DType) -> f64 {
         match self {
             OpKind::Gemm(d) => d.weight_bytes(dtype),
-            OpKind::LayerNorm { hidden, .. } => (2 * hidden * dtype.bytes() as u64) as f64,
-            OpKind::Embedding { hidden, vocab, .. } => {
-                (hidden * vocab * dtype.bytes() as u64) as f64
-            }
+            OpKind::LayerNorm { hidden, .. } => (2 * hidden * dtype.bytes()) as f64,
+            OpKind::Embedding { hidden, vocab, .. } => (hidden * vocab * dtype.bytes()) as f64,
             _ => 0.0,
         }
     }
@@ -114,9 +112,7 @@ impl OpKind {
             OpKind::Softmax { rows, cols } => (*rows as f64) * (*cols as f64) * e,
             OpKind::LayerNorm { tokens, hidden } => (*tokens as f64) * (*hidden as f64) * e,
             OpKind::Activation { elems } | OpKind::Residual { elems } => (*elems as f64) * e,
-            OpKind::Embedding { tokens, hidden, .. } => {
-                (*tokens as f64) * (*hidden as f64) * e
-            }
+            OpKind::Embedding { tokens, hidden, .. } => (*tokens as f64) * (*hidden as f64) * e,
         }
     }
 
@@ -156,7 +152,11 @@ pub struct Operator {
 impl Operator {
     /// Creates an unfused operator.
     pub fn new(name: impl Into<String>, kind: OpKind) -> Self {
-        Operator { name: name.into(), kind, fused: false }
+        Operator {
+            name: name.into(),
+            kind,
+            fused: false,
+        }
     }
 
     /// Marks the operator as covered by FlashAttention fusion.
@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn softmax_is_bandwidth_bound() {
-        let op = OpKind::Softmax { rows: 1024, cols: 2048 };
+        let op = OpKind::Softmax {
+            rows: 1024,
+            cols: 2048,
+        };
         assert!(!op.is_compute_bound());
         assert!(op.flops() > 0.0);
         assert_eq!(op.linear_dims(), None);
@@ -221,13 +224,20 @@ mod tests {
 
     #[test]
     fn layernorm_owns_two_h_params() {
-        let op = OpKind::LayerNorm { tokens: 4096, hidden: 1024 };
+        let op = OpKind::LayerNorm {
+            tokens: 4096,
+            hidden: 1024,
+        };
         assert_eq!(op.weight_params(), 2048);
     }
 
     #[test]
     fn embedding_weight_is_vocab_by_hidden() {
-        let op = OpKind::Embedding { tokens: 2048, hidden: 4096, vocab: 50000 };
+        let op = OpKind::Embedding {
+            tokens: 2048,
+            hidden: 4096,
+            vocab: 50000,
+        };
         assert_eq!(op.weight_params(), 4096 * 50000);
         assert!(op.output_bytes(DType::F16) > op.input_bytes(DType::F16));
     }

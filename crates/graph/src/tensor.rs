@@ -115,7 +115,10 @@ impl LinearDims {
     ///
     /// Panics if any factor is zero.
     pub fn split(&self, b: u64, m: u64, n: u64, k: u64) -> LinearDims {
-        assert!(b > 0 && m > 0 && n > 0 && k > 0, "split factors must be positive");
+        assert!(
+            b > 0 && m > 0 && n > 0 && k > 0,
+            "split factors must be positive"
+        );
         LinearDims {
             b: self.b.div_ceil(b),
             m: self.m.div_ceil(m),
@@ -127,8 +130,7 @@ impl LinearDims {
     /// Arithmetic intensity in FLOPs per byte touched (input + weight +
     /// output, at the given dtype), used by the roofline compute model.
     pub fn arithmetic_intensity(&self, dtype: DType) -> f64 {
-        let bytes =
-            self.input_bytes(dtype) + self.weight_bytes(dtype) + self.output_bytes(dtype);
+        let bytes = self.input_bytes(dtype) + self.weight_bytes(dtype) + self.output_bytes(dtype);
         if bytes == 0.0 {
             0.0
         } else {
@@ -139,7 +141,11 @@ impl LinearDims {
 
 impl std::fmt::Display for LinearDims {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[B={}, M={}, N={}, K={}]", self.b, self.m, self.n, self.k)
+        write!(
+            f,
+            "[B={}, M={}, N={}, K={}]",
+            self.b, self.m, self.n, self.k
+        )
     }
 }
 

@@ -54,9 +54,16 @@ impl<'a> TransformerBuilder<'a> {
     /// Creates a builder with FlashAttention enabled iff the workload asks
     /// for it.
     pub fn new(model: &'a ModelConfig, workload: &'a Workload) -> Self {
-        let attention =
-            if workload.flash_attention { AttentionImpl::Flash } else { AttentionImpl::Standard };
-        TransformerBuilder { model, workload, attention }
+        let attention = if workload.flash_attention {
+            AttentionImpl::Flash
+        } else {
+            AttentionImpl::Standard
+        };
+        TransformerBuilder {
+            model,
+            workload,
+            attention,
+        }
     }
 
     /// Overrides the attention implementation.
@@ -95,7 +102,10 @@ impl<'a> TransformerBuilder<'a> {
         let fused = self.attention == AttentionImpl::Flash;
 
         let tokens = b * s;
-        let ln1 = g.add_op(Operator::new("ln1", OpKind::LayerNorm { tokens, hidden: h }));
+        let ln1 = g.add_op(Operator::new(
+            "ln1",
+            OpKind::LayerNorm { tokens, hidden: h },
+        ));
         if let Some(p) = prev_out {
             g.add_edge(p, ln1).expect("forward edge");
         }
@@ -107,13 +117,21 @@ impl<'a> TransformerBuilder<'a> {
         ));
         let prep = g.add_op(Operator::new(
             "attn-prep",
-            OpKind::Activation { elems: tokens * qkv_width },
+            OpKind::Activation {
+                elems: tokens * qkv_width,
+            },
         ));
         let mut qkt = Operator::new(
             "qk^T",
             OpKind::BatchedMatmul(LinearDims::new(b * heads, s, dh, s)),
         );
-        let mut sm = Operator::new("softmax", OpKind::Softmax { rows: b * heads * s, cols: s });
+        let mut sm = Operator::new(
+            "softmax",
+            OpKind::Softmax {
+                rows: b * heads * s,
+                cols: s,
+            },
+        );
         let mut sv = Operator::new(
             "score-v",
             OpKind::BatchedMatmul(LinearDims::new(b * heads, s, s, dh)),
@@ -130,19 +148,33 @@ impl<'a> TransformerBuilder<'a> {
             "projection",
             OpKind::Gemm(LinearDims::new(b, s, h, h)),
         ));
-        let res1 = g.add_op(Operator::new("residual1", OpKind::Residual { elems: tokens * h }));
-        let ln2 = g.add_op(Operator::new("ln2", OpKind::LayerNorm { tokens, hidden: h }));
+        let res1 = g.add_op(Operator::new(
+            "residual1",
+            OpKind::Residual { elems: tokens * h },
+        ));
+        let ln2 = g.add_op(Operator::new(
+            "ln2",
+            OpKind::LayerNorm { tokens, hidden: h },
+        ));
         let fc1_k = if m.gated_ffn { 2 * ffn } else { ffn };
         let fc1 = g.add_op(Operator::new(
             "fc1",
             OpKind::Gemm(LinearDims::new(b, s, h, fc1_k)),
         ));
-        let act = g.add_op(Operator::new("nonlinear", OpKind::Activation { elems: tokens * ffn }));
+        let act = g.add_op(Operator::new(
+            "nonlinear",
+            OpKind::Activation {
+                elems: tokens * ffn,
+            },
+        ));
         let fc2 = g.add_op(Operator::new(
             "fc2",
             OpKind::Gemm(LinearDims::new(b, s, ffn, h)),
         ));
-        let res2 = g.add_op(Operator::new("residual2", OpKind::Residual { elems: tokens * h }));
+        let res2 = g.add_op(Operator::new(
+            "residual2",
+            OpKind::Residual { elems: tokens * h },
+        ));
 
         // Sequential dataflow.
         for w in [
@@ -231,8 +263,12 @@ mod tests {
         let g = TransformerBuilder::new(&m, &w)
             .with_attention(AttentionImpl::Flash)
             .block();
-        let fused: Vec<&str> =
-            g.ops().iter().filter(|o| o.fused).map(|o| o.name.as_str()).collect();
+        let fused: Vec<&str> = g
+            .ops()
+            .iter()
+            .filter(|o| o.fused)
+            .map(|o| o.name.as_str())
+            .collect();
         assert_eq!(fused, vec!["qk^T", "softmax", "score-v"]);
         let std = TransformerBuilder::new(&m, &w)
             .with_attention(AttentionImpl::Standard)

@@ -17,7 +17,10 @@ use crate::tensor::DType;
 use crate::{GraphError, Result};
 
 /// Activation recomputation policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// `Hash` is required because the mode is part of the solver's
+/// memoization key `(HybridConfig, MappingEngine, RecomputeMode)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum RecomputeMode {
     /// Keep every intermediate activation.
     None,
@@ -98,7 +101,9 @@ impl Workload {
     /// micro-batches exceeding the global batch.
     pub fn validate(&self) -> Result<()> {
         if self.global_batch == 0 || self.seq_len == 0 {
-            return Err(GraphError::InvalidParameter("zero batch or sequence".into()));
+            return Err(GraphError::InvalidParameter(
+                "zero batch or sequence".into(),
+            ));
         }
         if self.micro_batches == 0 || self.micro_batches > self.global_batch {
             return Err(GraphError::InvalidParameter(format!(
@@ -153,7 +158,11 @@ impl Workload {
             RecomputeMode::Full => 2.0 * s * b * h,
             RecomputeMode::Selective => 34.0 * s * b * h,
             RecomputeMode::None => {
-                let score_term = if self.flash_attention { 0.0 } else { 5.0 * a * s / h };
+                let score_term = if self.flash_attention {
+                    0.0
+                } else {
+                    5.0 * a * s / h
+                };
                 s * b * h * (34.0 + score_term)
             }
         }
@@ -170,11 +179,11 @@ impl Workload {
     /// `12 · L · h · s² · b` (fwd+bwd, two batched matmuls).
     pub fn step_flops(&self, model: &ModelConfig) -> f64 {
         let gemm = 6.0 * model.total_params() as f64 * self.tokens_per_step() as f64;
-        let attn = 12.0 *
-            model.layers as f64 *
-            model.hidden as f64 *
-            (self.seq_len as f64).powi(2) *
-            self.global_batch as f64;
+        let attn = 12.0
+            * model.layers as f64
+            * model.hidden as f64
+            * (self.seq_len as f64).powi(2)
+            * self.global_batch as f64;
         gemm + attn
     }
 }
@@ -224,8 +233,10 @@ mod tests {
         let m = ModelZoo::gpt3_175b();
         let base = Workload::training(128, 2048);
         let none = base.clone().with_recompute(RecomputeMode::None);
-        let none_std =
-            Workload { flash_attention: false, ..none.clone() };
+        let none_std = Workload {
+            flash_attention: false,
+            ..none.clone()
+        };
         let sel = base.clone().with_recompute(RecomputeMode::Selective);
         let full = base.with_recompute(RecomputeMode::Full);
         let a_none_std = none_std.activation_bytes_per_layer(&m);
@@ -255,6 +266,9 @@ mod tests {
         let f = w.step_flops(&m);
         let floor = 6.0 * m.total_params() as f64 * w.tokens_per_step() as f64;
         assert!(f > floor);
-        assert!(f < 1.3 * floor, "attention term should be a modest addition");
+        assert!(
+            f < 1.3 * floor,
+            "attention term should be a modest addition"
+        );
     }
 }

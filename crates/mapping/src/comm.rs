@@ -84,8 +84,13 @@ pub fn extract_comm_ops(
     let cfg = layout.config();
     let mut ops = Vec::new();
     let e = workload.compute_dtype.bytes() as f64;
-    let (dp, tp, sp, cp, tatp) =
-        (cfg.dp as f64, cfg.tp as f64, cfg.sp as f64, cfg.cp as f64, cfg.tatp as f64);
+    let (dp, tp, sp, cp, tatp) = (
+        cfg.dp as f64,
+        cfg.tp as f64,
+        cfg.sp as f64,
+        cfg.cp as f64,
+        cfg.tatp as f64,
+    );
     // Local activation tensor of one layer boundary (per die).
     let local_tokens =
         workload.micro_batch_size() as f64 / dp * workload.seq_len as f64 / (sp * cp);
@@ -248,20 +253,28 @@ mod tests {
     fn tp_generates_four_allreduces_per_group() {
         let (_, layout, model, workload) = setup(HybridConfig::tuple(4, 8, 1, 1));
         let ops = extract_comm_ops(&layout, &model, &workload);
-        let tp_ops: Vec<&CommOp> =
-            ops.iter().filter(|o| o.source == ParallelKind::Tp).collect();
+        let tp_ops: Vec<&CommOp> = ops
+            .iter()
+            .filter(|o| o.source == ParallelKind::Tp)
+            .collect();
         assert_eq!(tp_ops.len(), 4, "one op per TP group");
         assert!(tp_ops.iter().all(|o| o.pattern == CommPattern::AllReduce));
-        assert!(tp_ops.iter().all(|o| (o.per_layer_count - 4.0).abs() < 1e-12));
+        assert!(tp_ops
+            .iter()
+            .all(|o| (o.per_layer_count - 4.0).abs() < 1e-12));
     }
 
     #[test]
     fn fsdp_gathers_weights_dp_reduces_gradients() {
-        let (_, layout, model, workload) =
-            setup(HybridConfig { dp: 32, fsdp: true, ..Default::default() });
+        let (_, layout, model, workload) = setup(HybridConfig {
+            dp: 32,
+            fsdp: true,
+            ..Default::default()
+        });
         let ops = extract_comm_ops(&layout, &model, &workload);
-        assert!(ops.iter().any(|o| o.source == ParallelKind::Fsdp &&
-            o.pattern == CommPattern::AllGather));
+        assert!(ops
+            .iter()
+            .any(|o| o.source == ParallelKind::Fsdp && o.pattern == CommPattern::AllGather));
         let (_, layout, model, workload) = setup(HybridConfig::tuple(32, 1, 1, 1));
         let ops = extract_comm_ops(&layout, &model, &workload);
         assert!(ops
@@ -279,8 +292,10 @@ mod tests {
             // topology-aware layout; collective rounds may be longer.
             assert!(tf.flow.hops() >= 1);
         }
-        let stream_ops: Vec<&CommOp> =
-            ops.iter().filter(|o| o.pattern == CommPattern::P2pStream).collect();
+        let stream_ops: Vec<&CommOp> = ops
+            .iter()
+            .filter(|o| o.pattern == CommPattern::P2pStream)
+            .collect();
         assert_eq!(stream_ops.len(), 4, "one stream per TATP group");
     }
 

@@ -134,8 +134,8 @@ fn map_with_policy(
     policy: LayoutPolicy,
 ) -> Result<MappingOutcome> {
     let mesh = wafer.mesh();
-    let layout = WaferLayout::build(&mesh, cfg, policy)
-        .map_err(|e| MappingError::Layout(e.to_string()))?;
+    let layout =
+        WaferLayout::build(&mesh, cfg, policy).map_err(|e| MappingError::Layout(e.to_string()))?;
     let comm_ops = extract_comm_ops(&layout, model, workload);
     let mut flows = layer_flows(&mesh, &comm_ops);
 
@@ -149,7 +149,11 @@ fn map_with_policy(
     // scale by each op's round count and per-layer multiplicity.
     let sim = ContentionSim::new(wafer);
     let raw: Vec<Flow> = flows.iter().map(|tf| tf.flow.clone()).collect();
-    let round_makespan = if raw.is_empty() { 0.0 } else { sim.simulate(&raw).makespan };
+    let round_makespan = if raw.is_empty() {
+        0.0
+    } else {
+        sim.simulate(&raw).makespan
+    };
     let isolated_round: f64 = raw
         .iter()
         .map(|f| sim.simulate(std::slice::from_ref(f)).makespan)
@@ -195,7 +199,11 @@ mod tests {
     fn all_engines_map_a_hybrid_config() {
         let (wafer, model, workload) = setup();
         let cfg = HybridConfig::tuple(2, 2, 1, 8);
-        for engine in [MappingEngine::SMap, MappingEngine::GMap, MappingEngine::Tcme] {
+        for engine in [
+            MappingEngine::SMap,
+            MappingEngine::GMap,
+            MappingEngine::Tcme,
+        ] {
             let out = map_hybrid(engine, &wafer, &model, &workload, &cfg)
                 .unwrap_or_else(|e| panic!("{engine}: {e}"));
             assert!(out.comm_time_per_layer > 0.0, "{engine}");
@@ -208,13 +216,16 @@ mod tests {
         let (wafer, model, workload) = setup();
         for cfg in [
             HybridConfig::tuple(2, 2, 1, 8),
-            HybridConfig { dp: 4, fsdp: true, tatp: 8, ..Default::default() },
+            HybridConfig {
+                dp: 4,
+                fsdp: true,
+                tatp: 8,
+                ..Default::default()
+            },
             HybridConfig::tuple(4, 2, 2, 2),
         ] {
-            let gmap =
-                map_hybrid(MappingEngine::GMap, &wafer, &model, &workload, &cfg).unwrap();
-            let tcme =
-                map_hybrid(MappingEngine::Tcme, &wafer, &model, &workload, &cfg).unwrap();
+            let gmap = map_hybrid(MappingEngine::GMap, &wafer, &model, &workload, &cfg).unwrap();
+            let tcme = map_hybrid(MappingEngine::Tcme, &wafer, &model, &workload, &cfg).unwrap();
             assert!(
                 tcme.max_link_load <= gmap.max_link_load * 1.001,
                 "{}: tcme {} vs gmap {}",
@@ -228,7 +239,12 @@ mod tests {
     #[test]
     fn smap_strips_cost_at_least_as_much_as_tcme() {
         let (wafer, model, workload) = setup();
-        let cfg = HybridConfig { dp: 4, fsdp: true, tatp: 8, ..Default::default() };
+        let cfg = HybridConfig {
+            dp: 4,
+            fsdp: true,
+            tatp: 8,
+            ..Default::default()
+        };
         let smap = map_hybrid(MappingEngine::SMap, &wafer, &model, &workload, &cfg).unwrap();
         let tcme = map_hybrid(MappingEngine::Tcme, &wafer, &model, &workload, &cfg).unwrap();
         assert!(

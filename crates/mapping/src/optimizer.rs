@@ -61,7 +61,10 @@ pub struct TrafficOptimizer {
 impl TrafficOptimizer {
     /// Creates an optimizer for a mesh with the default iteration cap.
     pub fn new(mesh: Mesh) -> Self {
-        TrafficOptimizer { mesh, max_iter: MAX_ITER }
+        TrafficOptimizer {
+            mesh,
+            max_iter: MAX_ITER,
+        }
     }
 
     /// Overrides the iteration cap.
@@ -146,18 +149,19 @@ impl TrafficOptimizer {
     /// Best alternative route for flow `i` avoiding `bottleneck`: tries the
     /// transposed dimension order and a load-aware Dijkstra detour; returns
     /// the route that lowers the flow's own bottleneck load, if any.
-    fn best_alternative(
-        &self,
-        flows: &[TaggedFlow],
-        i: usize,
-        bottleneck: LinkId,
-    ) -> Option<Flow> {
+    fn best_alternative(&self, flows: &[TaggedFlow], i: usize, bottleneck: LinkId) -> Option<Flow> {
         let tf = &flows[i];
         let loads = self.link_loads(flows);
         let current_worst = self.route_worst_load(&loads, &tf.flow.route, 0.0);
         let mut best: Option<(f64, Flow)> = None;
         // Candidate 1: transposed dimension order.
-        let yx = Flow::routed(&self.mesh, tf.flow.src, tf.flow.dst, tf.flow.bytes, RouteOrder::YThenX);
+        let yx = Flow::routed(
+            &self.mesh,
+            tf.flow.src,
+            tf.flow.dst,
+            tf.flow.bytes,
+            RouteOrder::YThenX,
+        );
         // Candidate 2: load-aware shortest path.
         let dijkstra = self.load_aware_route(&loads, tf.flow.src, tf.flow.dst, tf.flow.bytes);
         for cand in std::iter::once(yx).chain(dijkstra) {
@@ -276,7 +280,10 @@ mod tests {
     }
 
     fn tagged(mesh: &Mesh, src: u32, dst: u32, bytes: f64, payload: u64) -> TaggedFlow {
-        TaggedFlow { flow: Flow::xy(mesh, DieId(src), DieId(dst), bytes), payload }
+        TaggedFlow {
+            flow: Flow::xy(mesh, DieId(src), DieId(dst), bytes),
+            payload,
+        }
     }
 
     #[test]
@@ -322,7 +329,10 @@ mod tests {
         ];
         let loads = opt.link_loads(&flows);
         let l01 = mesh.link_between(DieId(0), DieId(1)).unwrap();
-        assert!((loads[&l01] - 10.0 * MB).abs() < 1.0, "multicast carries one copy");
+        assert!(
+            (loads[&l01] - 10.0 * MB).abs() < 1.0,
+            "multicast carries one copy"
+        );
         // Distinct payloads over the same links double the load.
         let flows2 = vec![
             tagged(&mesh, 0, 2, 10.0 * MB, 7),
@@ -348,15 +358,19 @@ mod tests {
         let t_after = sim.simulate(&after).makespan;
         // Rerouting targets static link load; the fluid makespan must not
         // regress materially (small store-and-forward slack allowed).
-        assert!(t_after <= t_before * 1.05, "after {t_after} vs before {t_before}");
+        assert!(
+            t_after <= t_before * 1.05,
+            "after {t_after} vs before {t_before}"
+        );
     }
 
     #[test]
     fn iteration_cap_is_honored() {
         let (mesh, opt) = setup();
         let opt = opt.with_max_iter(1);
-        let flows: Vec<TaggedFlow> =
-            (0..8).map(|i| tagged(&mesh, 0, 7, 8.0 * MB, i as u64)).collect();
+        let flows: Vec<TaggedFlow> = (0..8)
+            .map(|i| tagged(&mesh, 0, 7, 8.0 * MB, i as u64))
+            .collect();
         let out = opt.optimize(flows);
         assert!(out.iterations <= 1);
     }

@@ -136,13 +136,22 @@ impl WaferLayout {
                 let cy = (c.y as usize / sy) % gy;
                 // Snake order within the tile so consecutive indices are
                 // physically adjacent (Hamiltonian path).
-                let idx = if cy % 2 == 0 { cy * gx + cx } else { cy * gx + (gx - 1 - cx) };
+                let idx = if cy % 2 == 0 {
+                    cy * gx + cx
+                } else {
+                    cy * gx + (gx - 1 - cx)
+                };
                 sc.set(*kind, idx);
             }
             coords[die.index()] = sc;
         }
         let dies: Vec<DieId> = mesh.dies().collect();
-        Ok(WaferLayout { policy: LayoutPolicy::TopologyAware, config: *config, coords, dies })
+        Ok(WaferLayout {
+            policy: LayoutPolicy::TopologyAware,
+            config: *config,
+            coords,
+            dies,
+        })
     }
 
     /// Naive flat strips: row-major flat index decomposed mixed-radix with
@@ -161,7 +170,12 @@ impl WaferLayout {
             coords[die.index()] = sc;
         }
         let dies: Vec<DieId> = mesh.dies().collect();
-        Ok(WaferLayout { policy: LayoutPolicy::RowMajorStrips, config: *config, coords, dies })
+        Ok(WaferLayout {
+            policy: LayoutPolicy::RowMajorStrips,
+            config: *config,
+            coords,
+            dies,
+        })
     }
 
     /// The layout policy.
@@ -226,8 +240,10 @@ impl WaferLayout {
         if groups.is_empty() {
             return 1.0;
         }
-        let good =
-            groups.iter().filter(|g| rings::ring_order(mesh, g).is_some()).count();
+        let good = groups
+            .iter()
+            .filter(|g| rings::ring_order(mesh, g).is_some())
+            .count();
         good as f64 / groups.len() as f64
     }
 }
@@ -301,8 +317,12 @@ mod tests {
         let cfg = HybridConfig::tuple(2, 2, 2, 4);
         for policy in [LayoutPolicy::TopologyAware, LayoutPolicy::RowMajorStrips] {
             let layout = WaferLayout::build(&m, &cfg, policy).unwrap();
-            for kind in [ParallelKind::Dp, ParallelKind::Tp, ParallelKind::Sp, ParallelKind::Tatp]
-            {
+            for kind in [
+                ParallelKind::Dp,
+                ParallelKind::Tp,
+                ParallelKind::Sp,
+                ParallelKind::Tatp,
+            ] {
                 let degree = cfg.degree(kind);
                 let groups = layout.groups_of(kind);
                 assert_eq!(groups.len(), 32 / degree, "{kind} groups under {policy:?}");
@@ -356,7 +376,15 @@ mod tests {
     fn impossible_tiling_is_rejected() {
         // Degree 3 cannot tile an 8x4 grid.
         let m = mesh();
-        let cfg = HybridConfig { dp: 3, tatp: 1, tp: 1, sp: 1, cp: 1, pp: 1, fsdp: false };
+        let cfg = HybridConfig {
+            dp: 3,
+            tatp: 1,
+            tp: 1,
+            sp: 1,
+            cp: 1,
+            pp: 1,
+            fsdp: false,
+        };
         // 3 does not divide 32, so validation fails first with mismatch.
         assert!(WaferLayout::build(&m, &cfg, LayoutPolicy::TopologyAware).is_err());
     }
@@ -365,7 +393,11 @@ mod tests {
     fn fig7_array_block_groups_ring_fraction() {
         // 9x6 wafer, degree-6 groups: topology-aware blocks all embed rings.
         let m = Mesh::new(9, 6).unwrap();
-        let cfg = HybridConfig { dp: 9, tatp: 6, ..Default::default() };
+        let cfg = HybridConfig {
+            dp: 9,
+            tatp: 6,
+            ..Default::default()
+        };
         let layout = WaferLayout::build(&m, &cfg, LayoutPolicy::TopologyAware).unwrap();
         let frac = layout.ring_contiguity(&m, ParallelKind::Tatp);
         assert!(frac > 0.99, "block 6-groups embed rings, got {frac}");

@@ -64,7 +64,10 @@ impl std::fmt::Display for ParallelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParallelError::DegreeMismatch { product, dies } => {
-                write!(f, "parallel degrees multiply to {product}, but wafer has {dies} dies")
+                write!(
+                    f,
+                    "parallel degrees multiply to {product}, but wafer has {dies} dies"
+                )
             }
             ParallelError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
             ParallelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),

@@ -57,8 +57,14 @@ pub fn per_die_footprint(
     workload: &Workload,
     cfg: &HybridConfig,
 ) -> FootprintBreakdown {
-    let (dp, tp, sp, cp, tatp, pp) =
-        (cfg.dp as f64, cfg.tp as f64, cfg.sp as f64, cfg.cp as f64, cfg.tatp as f64, cfg.pp as f64);
+    let (dp, tp, sp, cp, tatp, pp) = (
+        cfg.dp as f64,
+        cfg.tp as f64,
+        cfg.sp as f64,
+        cfg.cp as f64,
+        cfg.tatp as f64,
+        cfg.pp as f64,
+    );
 
     // ---- Parameter states -------------------------------------------------
     let weight_dtype = workload.compute_dtype.bytes() as f64;
@@ -111,7 +117,13 @@ pub fn per_die_footprint(
         buffers += 2.0 * layer_params * weight_dtype / (tp * tatp);
     }
 
-    FootprintBreakdown { weights, gradients, optimizer, activations, buffers }
+    FootprintBreakdown {
+        weights,
+        gradients,
+        optimizer,
+        activations,
+        buffers,
+    }
 }
 
 #[cfg(test)]
@@ -128,10 +140,27 @@ mod tests {
     fn dp_replicates_optimizer_fsdp_shards_it() {
         let m = ModelZoo::gpt3_6_7b();
         let w = workload(&m);
-        let dp = per_die_footprint(&m, &w, &HybridConfig { dp: 32, ..Default::default() });
-        let fsdp =
-            per_die_footprint(&m, &w, &HybridConfig { dp: 32, fsdp: true, ..Default::default() });
-        assert!(dp.optimizer > 30.0 * fsdp.optimizer, "FSDP shards optimizer 32x");
+        let dp = per_die_footprint(
+            &m,
+            &w,
+            &HybridConfig {
+                dp: 32,
+                ..Default::default()
+            },
+        );
+        let fsdp = per_die_footprint(
+            &m,
+            &w,
+            &HybridConfig {
+                dp: 32,
+                fsdp: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            dp.optimizer > 30.0 * fsdp.optimizer,
+            "FSDP shards optimizer 32x"
+        );
         assert!(dp.weights > 30.0 * fsdp.weights);
         // DP still splits activations.
         assert!((dp.activations / fsdp.activations - 1.0).abs() < 1e-9);
@@ -147,13 +176,25 @@ mod tests {
         let mega = per_die_footprint(
             &m,
             &w,
-            &HybridConfig { dp: 4, tp: 8, ..Default::default() },
+            &HybridConfig {
+                dp: 4,
+                tp: 8,
+                ..Default::default()
+            },
         );
-        assert!(!mega.fits(72.0 * GB), "Megatron DP4xTP8: {:.1} GB", mega.total() / GB);
+        assert!(
+            !mega.fits(72.0 * GB),
+            "Megatron DP4xTP8: {:.1} GB",
+            mega.total() / GB
+        );
         let fsdp = per_die_footprint(
             &m,
             &w.clone().with_recompute(RecomputeMode::Full),
-            &HybridConfig { dp: 32, fsdp: true, ..Default::default() },
+            &HybridConfig {
+                dp: 32,
+                fsdp: true,
+                ..Default::default()
+            },
         );
         assert!(fsdp.fits(72.0 * GB), "FSDP-32: {:.1} GB", fsdp.total() / GB);
     }
@@ -207,7 +248,11 @@ mod tests {
         let pp4 = per_die_footprint(
             &m,
             &w,
-            &HybridConfig { pp: 4, tatp: 32, ..Default::default() },
+            &HybridConfig {
+                pp: 4,
+                tatp: 32,
+                ..Default::default()
+            },
         );
         assert!(pp4.weights < flat.weights, "PP shards layers");
         // Activations: layers/4 but 4 in-flight micro-batches => comparable.
@@ -222,17 +267,27 @@ mod tests {
         let cfg = HybridConfig::tuple(2, 2, 1, 8);
         let none = per_die_footprint(
             &m,
-            &Workload { recompute: RecomputeMode::None, flash_attention: false, ..base.clone() },
+            &Workload {
+                recompute: RecomputeMode::None,
+                flash_attention: false,
+                ..base.clone()
+            },
             &cfg,
         );
         let sel = per_die_footprint(
             &m,
-            &Workload { recompute: RecomputeMode::Selective, ..base.clone() },
+            &Workload {
+                recompute: RecomputeMode::Selective,
+                ..base.clone()
+            },
             &cfg,
         );
         let full = per_die_footprint(
             &m,
-            &Workload { recompute: RecomputeMode::Full, ..base },
+            &Workload {
+                recompute: RecomputeMode::Full,
+                ..base
+            },
             &cfg,
         );
         assert!(none.activations > sel.activations);
@@ -244,6 +299,10 @@ mod tests {
         let m = ModelZoo::gpt3_76b();
         let w = workload(&m);
         let f = per_die_footprint(&m, &w, &HybridConfig::tuple(2, 2, 1, 8));
-        assert!(f.buffers < 0.2 * f.total(), "buffers {:.1}%", 100.0 * f.buffers / f.total());
+        assert!(
+            f.buffers < 0.2 * f.total(),
+            "buffers {:.1}%",
+            100.0 * f.buffers / f.total()
+        );
     }
 }

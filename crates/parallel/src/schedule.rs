@@ -62,7 +62,8 @@ pub fn lower_stream(
             ));
         }
         for s in &round.sends {
-            r.flows.push(Flow::xy(mesh, group[s.from], group[s.to], cost.chunk_bytes));
+            r.flows
+                .push(Flow::xy(mesh, group[s.from], group[s.to], cost.chunk_bytes));
         }
         schedule.push(r);
     }
@@ -123,14 +124,19 @@ mod tests {
         // An 8-die row: a path, not a physical ring. Communication-heavy
         // regime (small compute chunks) so routing differences surface.
         let group: Vec<DieId> = (0..8).map(DieId).collect();
-        let c = StreamCost { compute_seconds: 2.0e-6, ..cost() };
+        let c = StreamCost {
+            compute_seconds: 2.0e-6,
+            ..cost()
+        };
 
         let tatp = TatpOrchestration::build(8);
         let tspp = TsppOrchestration::build(8);
-        let t_tatp =
-            engine.run(&lower_stream(tatp.stream(), &mesh, &group, &c).unwrap()).total_time;
-        let t_tspp =
-            engine.run(&lower_stream(tspp.stream(), &mesh, &group, &c).unwrap()).total_time;
+        let t_tatp = engine
+            .run(&lower_stream(tatp.stream(), &mesh, &group, &c).unwrap())
+            .total_time;
+        let t_tspp = engine
+            .run(&lower_stream(tspp.stream(), &mesh, &group, &c).unwrap())
+            .total_time;
         assert!(
             t_tspp > 1.5 * t_tatp,
             "naive ring {t_tspp:.6} should trail TATP {t_tatp:.6}"
@@ -145,7 +151,10 @@ mod tests {
         let group: Vec<DieId> = snake_order(&mesh).into_iter().take(8).collect();
         let orch = TatpOrchestration::build(8);
         // Compute far slower than communication: total == compute.
-        let c = StreamCost { compute_seconds: 10.0e-3, ..cost() };
+        let c = StreamCost {
+            compute_seconds: 10.0e-3,
+            ..cost()
+        };
         let rep = engine.run(&lower_stream(orch.stream(), &mesh, &group, &c).unwrap());
         assert!((rep.total_time - 8.0 * 10.0e-3).abs() / rep.total_time < 1e-6);
         assert_eq!(rep.exposed_comm_time, 0.0);

@@ -99,7 +99,11 @@ mod tests {
 
     #[test]
     fn choice_always_minimizes_streamed_volume() {
-        for (b, m, n, k) in [(1u64, 128, 1024, 1024), (8, 8192, 1024, 64), (2, 64, 64, 8192)] {
+        for (b, m, n, k) in [
+            (1u64, 128, 1024, 1024),
+            (8, 8192, 1024, 64),
+            (2, 64, 64, 8192),
+        ] {
             let dims = LinearDims::new(b, m, n, k);
             let plan = choose_stream(&dims, DType::F16, 4);
             let streamed = plan.streamed_total_bytes;
@@ -118,6 +122,9 @@ mod tests {
         let act = dims.input_bytes(DType::F16);
         let w = dims.weight_bytes(DType::F16);
         assert!(act / w > 2.5, "ratio {}", act / w);
-        assert_eq!(choose_stream(&dims, DType::F16, 8).choice, StreamChoice::Weights);
+        assert_eq!(
+            choose_stream(&dims, DType::F16, 8).choice,
+            StreamChoice::Weights
+        );
     }
 }

@@ -67,24 +67,44 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { dp: 1, fsdp: false, tp: 1, sp: 1, cp: 1, tatp: 1, pp: 1 }
+        HybridConfig {
+            dp: 1,
+            fsdp: false,
+            tp: 1,
+            sp: 1,
+            cp: 1,
+            tatp: 1,
+            pp: 1,
+        }
     }
 }
 
 impl HybridConfig {
     /// A pure-DP configuration.
     pub fn dp(degree: usize) -> Self {
-        HybridConfig { dp: degree, ..Default::default() }
+        HybridConfig {
+            dp: degree,
+            ..Default::default()
+        }
     }
 
     /// A pure-TATP configuration.
     pub fn tatp(degree: usize) -> Self {
-        HybridConfig { tatp: degree, ..Default::default() }
+        HybridConfig {
+            tatp: degree,
+            ..Default::default()
+        }
     }
 
     /// The Fig. 17/18 tuple constructor `(dp, tp, sp, tatp)`.
     pub fn tuple(dp: usize, tp: usize, sp: usize, tatp: usize) -> Self {
-        HybridConfig { dp, tp, sp, tatp, ..Default::default() }
+        HybridConfig {
+            dp,
+            tp,
+            sp,
+            tatp,
+            ..Default::default()
+        }
     }
 
     /// Product of intra-wafer degrees (excludes `pp`).
@@ -117,14 +137,16 @@ impl HybridConfig {
     /// Returns [`ParallelError::DegreeMismatch`] or
     /// [`ParallelError::InvalidParameter`].
     pub fn validate(&self, dies: usize) -> Result<()> {
-        if self.dp == 0 ||
-            self.tp == 0 ||
-            self.sp == 0 ||
-            self.cp == 0 ||
-            self.tatp == 0 ||
-            self.pp == 0
+        if self.dp == 0
+            || self.tp == 0
+            || self.sp == 0
+            || self.cp == 0
+            || self.tatp == 0
+            || self.pp == 0
         {
-            return Err(ParallelError::InvalidParameter("zero parallel degree".into()));
+            return Err(ParallelError::InvalidParameter(
+                "zero parallel degree".into(),
+            ));
         }
         let product = self.intra_wafer_degree();
         if product != dies {
@@ -138,8 +160,10 @@ impl HybridConfig {
     /// stay 1; `fsdp` as given.
     pub fn enumerate_tuples(dies: usize, fsdp: bool) -> Vec<HybridConfig> {
         let mut out = Vec::new();
-        let divisors: Vec<usize> =
-            (0..) .map(|e| 1usize << e).take_while(|d| *d <= dies).collect();
+        let divisors: Vec<usize> = (0..)
+            .map(|e| 1usize << e)
+            .take_while(|d| *d <= dies)
+            .collect();
         for &dp in &divisors {
             if dies % dp != 0 {
                 continue;
@@ -156,7 +180,14 @@ impl HybridConfig {
                     if !tatp.is_power_of_two() && tatp != 1 {
                         continue;
                     }
-                    out.push(HybridConfig { dp, fsdp, tp, sp, tatp, ..Default::default() });
+                    out.push(HybridConfig {
+                        dp,
+                        fsdp,
+                        tp,
+                        sp,
+                        tatp,
+                        ..Default::default()
+                    });
                 }
             }
         }
@@ -195,14 +226,23 @@ mod tests {
         assert!(c.validate(32).is_ok());
         assert!(matches!(
             c.validate(64),
-            Err(ParallelError::DegreeMismatch { product: 32, dies: 64 })
+            Err(ParallelError::DegreeMismatch {
+                product: 32,
+                dies: 64
+            })
         ));
     }
 
     #[test]
     fn zero_degree_rejected() {
-        let c = HybridConfig { dp: 0, ..Default::default() };
-        assert!(matches!(c.validate(1), Err(ParallelError::InvalidParameter(_))));
+        let c = HybridConfig {
+            dp: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.validate(1),
+            Err(ParallelError::InvalidParameter(_))
+        ));
     }
 
     #[test]
@@ -218,7 +258,15 @@ mod tests {
 
     #[test]
     fn degree_lookup_is_consistent() {
-        let c = HybridConfig { dp: 2, tp: 4, sp: 1, cp: 1, tatp: 4, pp: 2, fsdp: true };
+        let c = HybridConfig {
+            dp: 2,
+            tp: 4,
+            sp: 1,
+            cp: 1,
+            tatp: 4,
+            pp: 2,
+            fsdp: true,
+        };
         assert_eq!(c.degree(ParallelKind::Dp), 2);
         assert_eq!(c.degree(ParallelKind::Tp), 4);
         assert_eq!(c.degree(ParallelKind::Tatp), 4);

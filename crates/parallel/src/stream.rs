@@ -166,9 +166,9 @@ impl StreamOrchestration {
                     }
                     // Keep iff some future use is NOT covered by a future
                     // arrival occurring before it.
-                    uses[p][*sub].iter().any(|&u| {
-                        u > t && !arrivals[p][*sub].iter().any(|&a| a > t && a <= u)
-                    })
+                    uses[p][*sub]
+                        .iter()
+                        .any(|&u| u > t && !arrivals[p][*sub].iter().any(|&a| a > t && a <= u))
                 });
             }
             for (to, sub) in deliveries {
@@ -239,11 +239,22 @@ mod tests {
                 StreamRound {
                     computes: vec![(0, 0), (1, 1)],
                     sends: vec![
-                        StreamSend { from: 0, to: 1, sub: 0 },
-                        StreamSend { from: 1, to: 0, sub: 1 },
+                        StreamSend {
+                            from: 0,
+                            to: 1,
+                            sub: 0,
+                        },
+                        StreamSend {
+                            from: 1,
+                            to: 0,
+                            sub: 1,
+                        },
                     ],
                 },
-                StreamRound { computes: vec![(0, 1), (1, 0)], sends: vec![] },
+                StreamRound {
+                    computes: vec![(0, 1), (1, 0)],
+                    sends: vec![],
+                },
             ],
         )
     }
@@ -260,7 +271,10 @@ mod tests {
     fn compute_without_operand_fails() {
         let bad = StreamOrchestration::new(
             2,
-            vec![StreamRound { computes: vec![(0, 1)], sends: vec![] }],
+            vec![StreamRound {
+                computes: vec![(0, 1)],
+                sends: vec![],
+            }],
         );
         let err = bad.validate().unwrap_err();
         assert!(matches!(err, ParallelError::InvariantViolation(_)), "{err}");
@@ -272,7 +286,11 @@ mod tests {
             2,
             vec![StreamRound {
                 computes: vec![],
-                sends: vec![StreamSend { from: 0, to: 1, sub: 1 }],
+                sends: vec![StreamSend {
+                    from: 0,
+                    to: 1,
+                    sub: 1,
+                }],
             }],
         );
         assert!(bad.validate().is_err());
@@ -283,8 +301,14 @@ mod tests {
         let bad = StreamOrchestration::new(
             1,
             vec![
-                StreamRound { computes: vec![(0, 0)], sends: vec![] },
-                StreamRound { computes: vec![(0, 0)], sends: vec![] },
+                StreamRound {
+                    computes: vec![(0, 0)],
+                    sends: vec![],
+                },
+                StreamRound {
+                    computes: vec![(0, 0)],
+                    sends: vec![],
+                },
             ],
         );
         assert!(bad.validate().is_err());
@@ -294,7 +318,10 @@ mod tests {
     fn incomplete_coverage_fails() {
         let bad = StreamOrchestration::new(
             2,
-            vec![StreamRound { computes: vec![(0, 0), (1, 1)], sends: vec![] }],
+            vec![StreamRound {
+                computes: vec![(0, 0), (1, 1)],
+                sends: vec![],
+            }],
         );
         assert!(bad.validate().is_err());
     }
@@ -305,7 +332,11 @@ mod tests {
             2,
             vec![StreamRound {
                 computes: vec![],
-                sends: vec![StreamSend { from: 0, to: 5, sub: 0 }],
+                sends: vec![StreamSend {
+                    from: 0,
+                    to: 5,
+                    sub: 0,
+                }],
             }],
         );
         assert!(bad.validate().is_err());

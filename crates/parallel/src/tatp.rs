@@ -98,7 +98,7 @@ impl TatpOrchestration {
                 emit(k, j + k, j + k + 1, j);
             }
             // WL waves: consumers i in (j, half); pivot = half - 1.
-            if half >= 1 && j + 1 <= half - 1 {
+            if half >= 1 && j < half - 1 {
                 let pivot = half - 1;
                 let arrive_pivot = n - pivot + j; // need round of the pivot
                 let depart = arrive_pivot - (pivot - j);
@@ -113,7 +113,7 @@ impl TatpOrchestration {
                 }
             }
             // WU waves: consumers i in [half, j); pivot = half.
-            if j >= half + 1 && half < n {
+            if j > half && half < n {
                 let pivot = half;
                 let arrive_pivot = n - j + pivot;
                 let depart = arrive_pivot - (j - pivot);
@@ -131,7 +131,9 @@ impl TatpOrchestration {
         for (t, send) in send_set {
             rounds[t].sends.push(send);
         }
-        TatpOrchestration { inner: StreamOrchestration::new(n, rounds) }
+        TatpOrchestration {
+            inner: StreamOrchestration::new(n, rounds),
+        }
     }
 
     /// The sub-tensor die `i` computes with at round `t` (Algorithm 1,
@@ -221,9 +223,7 @@ mod tests {
     fn all_group_sizes_validate() {
         for n in 1..=32 {
             let orch = TatpOrchestration::build(n);
-            let stats = orch
-                .validate()
-                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let stats = orch.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
             assert_eq!(orch.rounds().len(), n);
             assert!(stats.max_hop_distance <= 1, "n={n}");
         }
@@ -296,7 +296,11 @@ mod tests {
             for i in 0..n {
                 for t in 0..n {
                     let j = TatpOrchestration::needed_sub(n, i, t);
-                    assert_eq!(TatpOrchestration::need_round(n, i, j), t, "n={n} i={i} t={t}");
+                    assert_eq!(
+                        TatpOrchestration::need_round(n, i, j),
+                        t,
+                        "n={n} i={i} t={t}"
+                    );
                 }
             }
         }
@@ -340,6 +344,9 @@ mod tests {
         assert!(m16 <= 6, "m16={m16}");
         assert!(m32 <= 6, "m32={m32}");
         assert!(m64 <= 6, "m64={m64}");
-        assert!(m64 <= m32 + 1, "multiplicity must not grow with N: {m32} -> {m64}");
+        assert!(
+            m64 <= m32 + 1,
+            "multiplicity must not grow with N: {m32} -> {m64}"
+        );
     }
 }

@@ -49,7 +49,9 @@ impl TsppOrchestration {
             }
             rounds.push(round);
         }
-        TsppOrchestration { inner: StreamOrchestration::new(n, rounds) }
+        TsppOrchestration {
+            inner: StreamOrchestration::new(n, rounds),
+        }
     }
 
     /// Group size.
@@ -94,7 +96,11 @@ mod tests {
             let orch = TsppOrchestration::build(n);
             let stats = orch.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
             // Ring holds at most own + one incoming.
-            assert!(stats.peak_buffer <= 2, "n={n}: buffer {}", stats.peak_buffer);
+            assert!(
+                stats.peak_buffer <= 2,
+                "n={n}: buffer {}",
+                stats.peak_buffer
+            );
         }
     }
 

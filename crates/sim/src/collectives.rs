@@ -66,9 +66,9 @@ impl Collective {
     pub fn bytes_per_round(&self) -> f64 {
         let n = self.group.len().max(1) as f64;
         match self.kind {
-            CollectiveKind::AllGather |
-            CollectiveKind::ReduceScatter |
-            CollectiveKind::AllReduce => self.bytes / n,
+            CollectiveKind::AllGather
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllReduce => self.bytes / n,
             CollectiveKind::Broadcast | CollectiveKind::P2pShift => self.bytes,
         }
     }
@@ -124,7 +124,10 @@ impl Collective {
     /// Simulated latency on the real mesh: per-round contention makespans,
     /// summed over rounds (rounds are barriers in ring algorithms).
     pub fn simulate(&self, sim: &ContentionSim, mesh: &Mesh) -> f64 {
-        self.rounds(mesh).iter().map(|flows| sim.simulate(flows).makespan).sum()
+        self.rounds(mesh)
+            .iter()
+            .map(|flows| sim.simulate(flows).makespan)
+            .sum()
     }
 }
 
@@ -152,13 +155,22 @@ mod tests {
     #[test]
     fn round_counts_match_textbook() {
         let g = ring_group();
-        assert_eq!(Collective::new(CollectiveKind::AllGather, g.clone(), 1.0).round_count(), 3);
-        assert_eq!(Collective::new(CollectiveKind::AllReduce, g.clone(), 1.0).round_count(), 6);
+        assert_eq!(
+            Collective::new(CollectiveKind::AllGather, g.clone(), 1.0).round_count(),
+            3
+        );
+        assert_eq!(
+            Collective::new(CollectiveKind::AllReduce, g.clone(), 1.0).round_count(),
+            6
+        );
         assert_eq!(
             Collective::new(CollectiveKind::ReduceScatter, g.clone(), 1.0).round_count(),
             3
         );
-        assert_eq!(Collective::new(CollectiveKind::P2pShift, g, 1.0).round_count(), 1);
+        assert_eq!(
+            Collective::new(CollectiveKind::P2pShift, g, 1.0).round_count(),
+            1
+        );
     }
 
     #[test]
@@ -185,8 +197,7 @@ mod tests {
     fn strip_group_wrap_step_is_multi_hop() {
         let (mesh, _, _) = setup();
         let c = Collective::new(CollectiveKind::AllGather, strip_group(), 64.0 * MB);
-        let max_hops =
-            c.all_flows(&mesh).iter().map(Flow::hops).max().unwrap();
+        let max_hops = c.all_flows(&mesh).iter().map(Flow::hops).max().unwrap();
         assert_eq!(max_hops, 3, "wrap from D3 back to D0");
     }
 

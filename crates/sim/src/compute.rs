@@ -74,11 +74,15 @@ impl ComputeModel {
         let dtype = DType::F16;
         // Memory traffic scales with the work ratio: backward passes re-read
         // activations/weights and write gradients.
-        let work_ratio = if op.flops() > 0.0 { flops / op.flops() } else { 1.0 };
-        let bytes = work_ratio *
-            (op.kind.input_bytes(dtype) +
-                op.kind.output_bytes(dtype) +
-                op.kind.weight_bytes(dtype));
+        let work_ratio = if op.flops() > 0.0 {
+            flops / op.flops()
+        } else {
+            1.0
+        };
+        let bytes = work_ratio
+            * (op.kind.input_bytes(dtype)
+                + op.kind.output_bytes(dtype)
+                + op.kind.weight_bytes(dtype));
         let mem_time = self.hbm_latency + bytes / self.hbm_bandwidth;
         let compute_time = if op.kind.is_compute_bound() {
             let eff = self.gemm_efficiency(flops).max(1e-3);
@@ -162,7 +166,13 @@ mod tests {
     #[test]
     fn softmax_is_bandwidth_bound() {
         let m = model();
-        let op = Operator::new("s", OpKind::Softmax { rows: 1 << 20, cols: 128 });
+        let op = Operator::new(
+            "s",
+            OpKind::Softmax {
+                rows: 1 << 20,
+                cols: 128,
+            },
+        );
         let t = m.op_latency(&op, 1.0);
         let bytes = op.kind.input_bytes(DType::F16) + op.kind.output_bytes(DType::F16);
         let mem_floor = bytes / m.hbm_bandwidth;
@@ -181,8 +191,8 @@ mod tests {
         let m = model();
         let d = LinearDims::new(1, 1024, 1024, 1024);
         let op = gemm(1, 1024, 1024, 1024);
-        let bytes = d.input_bytes(DType::F16) + d.weight_bytes(DType::F16) +
-            d.output_bytes(DType::F16);
+        let bytes =
+            d.input_bytes(DType::F16) + d.weight_bytes(DType::F16) + d.output_bytes(DType::F16);
         let raw = m.gemm_latency_raw(d.flops(), bytes);
         let viaop = m.op_latency(&op, 1.0);
         assert!((raw - viaop).abs() / viaop < 1e-9);

@@ -33,12 +33,22 @@ pub struct ComputeTask {
 impl ComputeTask {
     /// A compute task with explicit energy counters.
     pub fn new(die: DieId, seconds: f64, flops: f64, hbm_bytes: f64) -> Self {
-        ComputeTask { die, seconds, flops, hbm_bytes }
+        ComputeTask {
+            die,
+            seconds,
+            flops,
+            hbm_bytes,
+        }
     }
 
     /// A timing-only task (no energy accounting).
     pub fn timed(die: DieId, seconds: f64) -> Self {
-        ComputeTask { die, seconds, flops: 0.0, hbm_bytes: 0.0 }
+        ComputeTask {
+            die,
+            seconds,
+            flops: 0.0,
+            hbm_bytes: 0.0,
+        }
     }
 }
 
@@ -58,12 +68,20 @@ pub struct Round {
 impl Round {
     /// An overlapped (streaming) round.
     pub fn overlapped(label: impl Into<String>) -> Self {
-        Round { overlap: true, label: label.into(), ..Round::default() }
+        Round {
+            overlap: true,
+            label: label.into(),
+            ..Round::default()
+        }
     }
 
     /// An exposed (blocking) round.
     pub fn exposed(label: impl Into<String>) -> Self {
-        Round { overlap: false, label: label.into(), ..Round::default() }
+        Round {
+            overlap: false,
+            label: label.into(),
+            ..Round::default()
+        }
     }
 
     /// Adds a compute task (builder style).
@@ -173,7 +191,10 @@ pub struct ScheduleEngine {
 impl ScheduleEngine {
     /// Creates an engine for a wafer.
     pub fn new(cfg: &WaferConfig) -> Self {
-        ScheduleEngine { cfg: cfg.clone(), contention: ContentionSim::new(cfg) }
+        ScheduleEngine {
+            cfg: cfg.clone(),
+            contention: ContentionSim::new(cfg),
+        }
     }
 
     /// The underlying contention simulator.
@@ -202,8 +223,11 @@ impl ScheduleEngine {
             } else {
                 self.contention.simulate(&round.flows).makespan
             };
-            let round_time =
-                if round.overlap { comp_max.max(comm) } else { comp_max + comm };
+            let round_time = if round.overlap {
+                comp_max.max(comm)
+            } else {
+                comp_max + comm
+            };
             total_time += round_time;
             compute_time += comp_max;
             comm_time += comm;

@@ -75,7 +75,11 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::OutOfMemory { die, needed, capacity } => write!(
+            SimError::OutOfMemory {
+                die,
+                needed,
+                capacity,
+            } => write!(
                 f,
                 "die {die} out of memory: needs {needed:.3e} B beyond capacity {capacity:.3e} B"
             ),

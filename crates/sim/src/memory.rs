@@ -32,7 +32,11 @@ pub struct HbmModel {
 impl HbmModel {
     /// Builds the model with HBM3-typical row parameters.
     pub fn new(config: HbmConfig) -> Self {
-        HbmModel { config, row_bytes: 1024.0, row_miss_penalty: 45.0e-9 }
+        HbmModel {
+            config,
+            row_bytes: 1024.0,
+            row_miss_penalty: 45.0e-9,
+        }
     }
 
     /// Effective bandwidth for an access stream with the given average
@@ -68,7 +72,11 @@ pub struct MemoryLedger {
 impl MemoryLedger {
     /// Creates a ledger for `die_count` dies of `capacity` bytes each.
     pub fn new(die_count: usize, capacity: f64) -> Self {
-        MemoryLedger { capacity, used: vec![0.0; die_count], peak: vec![0.0; die_count] }
+        MemoryLedger {
+            capacity,
+            used: vec![0.0; die_count],
+            peak: vec![0.0; die_count],
+        }
     }
 
     /// Per-die capacity in bytes.

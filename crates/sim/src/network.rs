@@ -40,8 +40,15 @@ impl Flow {
     /// Creates a flow routed with the given dimension order.
     pub fn routed(mesh: &Mesh, src: DieId, dst: DieId, bytes: f64, order: RouteOrder) -> Self {
         let path = mesh.route(src, dst, order);
-        let route = mesh.path_links(&path).expect("dimension-ordered routes are valid");
-        Flow { src, dst, bytes, route }
+        let route = mesh
+            .path_links(&path)
+            .expect("dimension-ordered routes are valid");
+        Flow {
+            src,
+            dst,
+            bytes,
+            route,
+        }
     }
 
     /// Creates a flow with an explicit die path (used by the traffic
@@ -58,7 +65,12 @@ impl Flow {
         let route = mesh
             .path_links(path)
             .map_err(|e| SimError::InvalidParameter(e.to_string()))?;
-        Ok(Flow { src: path[0], dst: *path.last().expect("non-empty"), bytes, route })
+        Ok(Flow {
+            src: path[0],
+            dst: *path.last().expect("non-empty"),
+            bytes,
+            route,
+        })
     }
 
     /// Number of physical hops.
@@ -106,7 +118,10 @@ pub struct ContentionSim {
 impl ContentionSim {
     /// Builds the simulator from a wafer configuration.
     pub fn new(cfg: &WaferConfig) -> Self {
-        ContentionSim { link_bandwidth: cfg.d2d.bandwidth, hop_latency: cfg.d2d.latency }
+        ContentionSim {
+            link_bandwidth: cfg.d2d.bandwidth,
+            hop_latency: cfg.d2d.latency,
+        }
     }
 
     /// Static per-link byte loads of a flow set (the quantity the TCME
@@ -126,8 +141,8 @@ impl ContentionSim {
     pub fn congestion_lower_bound(&self, flows: &[Flow]) -> f64 {
         self.link_loads(flows)
             .values()
-            .fold(0.0f64, |a, b| a.max(*b)) /
-            self.link_bandwidth
+            .fold(0.0f64, |a, b| a.max(*b))
+            / self.link_bandwidth
     }
 
     /// Runs all flows concurrently under max–min fair sharing.
@@ -145,11 +160,14 @@ impl ContentionSim {
     /// with `bytes`.
     pub fn simulate(&self, flows: &[Flow]) -> ContentionReport {
         let n = flows.len();
-        let mut remaining: Vec<f64> =
-            flows.iter().map(|f| f.bytes.max(0.0) * f.hops().max(1) as f64).collect();
+        let mut remaining: Vec<f64> = flows
+            .iter()
+            .map(|f| f.bytes.max(0.0) * f.hops().max(1) as f64)
+            .collect();
         let mut completion = vec![0.0f64; n];
-        let mut active: Vec<usize> =
-            (0..n).filter(|i| !flows[*i].route.is_empty() && remaining[*i] > 0.0).collect();
+        let mut active: Vec<usize> = (0..n)
+            .filter(|i| !flows[*i].route.is_empty() && remaining[*i] > 0.0)
+            .collect();
         // Zero-route flows (local) and zero-byte flows complete immediately.
         let mut now = 0.0f64;
         let mut guard = 0usize;
@@ -189,7 +207,12 @@ impl ContentionSim {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
             .map(|(l, b)| (*l, *b));
         let makespan = completion.iter().fold(0.0f64, |a, b| a.max(*b));
-        ContentionReport { completion, makespan, link_bytes, max_loaded_link }
+        ContentionReport {
+            completion,
+            makespan,
+            link_bytes,
+            max_loaded_link,
+        }
     }
 
     /// Max–min fair rates for the active flows (indices into `flows`).
@@ -223,7 +246,9 @@ impl ContentionSim {
                     best = Some((*l, share));
                 }
             }
-            let Some((bottleneck, share)) = best else { break };
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
             // Freeze all unassigned flows crossing the bottleneck.
             let positions: Vec<usize> = link_flows[&bottleneck]
                 .iter()
@@ -327,8 +352,9 @@ mod tests {
     fn max_min_fairness_respects_bottleneck() {
         let (mesh, sim) = setup();
         // Three flows across the same single link: each gets 1/3 bandwidth.
-        let flows: Vec<Flow> =
-            (0..3).map(|_| Flow::xy(&mesh, DieId(0), DieId(1), 30.0 * MB)).collect();
+        let flows: Vec<Flow> = (0..3)
+            .map(|_| Flow::xy(&mesh, DieId(0), DieId(1), 30.0 * MB))
+            .collect();
         let r = sim.simulate(&flows);
         let expected = 3.0 * 30.0 * MB / sim.link_bandwidth + sim.hop_latency;
         assert!((r.makespan - expected).abs() / expected < 1e-6);

@@ -137,8 +137,16 @@ mod tests {
 
     #[test]
     fn merged_adds_componentwise() {
-        let a = EnergyLedger { compute: 1.0, d2d: 2.0, hbm: 3.0 };
-        let b = EnergyLedger { compute: 0.5, d2d: 0.5, hbm: 0.5 };
+        let a = EnergyLedger {
+            compute: 1.0,
+            d2d: 2.0,
+            hbm: 3.0,
+        };
+        let b = EnergyLedger {
+            compute: 0.5,
+            d2d: 0.5,
+            hbm: 0.5,
+        };
         let m = a.merged(&b);
         assert_eq!(m.total(), 7.5);
     }

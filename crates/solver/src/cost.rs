@@ -92,7 +92,12 @@ impl WaferCostModel {
     /// Creates a cost model for a (wafer, model, workload) triple.
     pub fn new(wafer: WaferConfig, model: ModelConfig, workload: Workload) -> Self {
         let compute = ComputeModel::new(&wafer);
-        WaferCostModel { wafer, model, workload, compute }
+        WaferCostModel {
+            wafer,
+            model,
+            workload,
+            compute,
+        }
     }
 
     /// The wafer configuration.
@@ -171,16 +176,16 @@ impl WaferCostModel {
                     const STREAM_WAVE_MULTIPLICITY: f64 = 1.5;
                     let t_deg = cfg.tatp.max(1) as f64;
                     let chunk = op.bytes / t_deg;
-                    let per_round = self.wafer.d2d.latency +
-                        0.5 * STREAM_WAVE_MULTIPLICITY * chunk /
-                            self.wafer.d2d.effective_bandwidth(chunk);
+                    let per_round = self.wafer.d2d.latency
+                        + 0.5 * STREAM_WAVE_MULTIPLICITY * chunk
+                            / self.wafer.d2d.effective_bandwidth(chunk);
                     let t = op.per_layer_count * t_deg * per_round;
                     stream_layer = stream_layer.max(t);
                 }
                 _ => {
-                    let t = op.collective().analytic_time(&self.wafer.d2d) *
-                        op.per_layer_count *
-                        contention_factor;
+                    let t = op.collective().analytic_time(&self.wafer.d2d)
+                        * op.per_layer_count
+                        * contention_factor;
                     let key = (parallel_kind_key(op.source), pattern_key(op.pattern));
                     let entry = coll_by_class.entry(key).or_insert(0.0);
                     *entry = entry.max(t);
@@ -191,9 +196,9 @@ impl WaferCostModel {
 
         // ---- Eq. 2 per layer, Eq. 4 per step --------------------------------
         let layer_time = coll_layer + comp_layer.max(stream_layer);
-        let exposed_stream = (stream_layer - comp_layer).max(0.0) *
-            self.model.layers as f64 *
-            workload.micro_batches as f64;
+        let exposed_stream = (stream_layer - comp_layer).max(0.0)
+            * self.model.layers as f64
+            * workload.micro_batches as f64;
         let local_layers = (self.model.layers as f64 / cfg.pp as f64).max(1.0);
         let stage_time = local_layers * layer_time;
         let micro = workload.micro_batches as f64;
@@ -208,8 +213,8 @@ impl WaferCostModel {
         let step_flops = workload.step_flops(&self.model) * recompute_factor;
         energy.add_compute(step_flops, &self.wafer);
         // HBM traffic: parameter states (read+write) + activations per step.
-        let hbm_bytes = 3.0 * workload.param_state_bytes(&self.model) +
-            2.0 * workload.activation_bytes_total(&self.model) * micro;
+        let hbm_bytes = 3.0 * workload.param_state_bytes(&self.model)
+            + 2.0 * workload.activation_bytes_total(&self.model) * micro;
         energy.add_hbm(hbm_bytes, &self.wafer);
         // D2D: per-layer comm volumes x layers x micro-batches (collective
         // rounds already included in volume), charged at measured mean hops.
@@ -218,17 +223,24 @@ impl WaferCostModel {
             .iter()
             .map(|op| op.bytes * op.per_layer_count * op.group.len().max(1) as f64)
             .sum();
-        energy.add_d2d(comm_bytes_layer * self.model.layers as f64 * micro, 1.2, &self.wafer);
+        energy.add_d2d(
+            comm_bytes_layer * self.model.layers as f64 * micro,
+            1.2,
+            &self.wafer,
+        );
 
         // ---- Throughput / power ----------------------------------------------
         let tokens = workload.tokens_per_step() as f64;
-        let throughput = if step_time > 0.0 { tokens / step_time } else { 0.0 };
+        let throughput = if step_time > 0.0 {
+            tokens / step_time
+        } else {
+            0.0
+        };
         // Static/leakage floor: always-on clock trees, SRAM retention and
         // PHYs draw ~15% of the wafer's peak power regardless of load. This
         // is what makes *throughput per watt* reward faster plans (Fig. 14)
         // rather than only lower energy per token.
-        let static_power =
-            0.15 * self.wafer.die.peak_power() * self.wafer.die_count() as f64;
+        let static_power = 0.15 * self.wafer.die.peak_power() * self.wafer.die_count() as f64;
         let power = energy.average_power(step_time) + static_power;
         let power_efficiency = if power > 0.0 { throughput / power } else { 0.0 };
 
@@ -289,13 +301,14 @@ impl WaferCostModel {
                     let compute_time = local_flops / (self.compute.peak_flops * eff);
                     // HBM: input once, all weight blocks once, output once
                     // (backward re-touches: x3).
-                    let mem_bytes = 3.0 *
-                        (local.input_bytes(dtype) +
-                            local.weight_bytes(dtype) * tatp as f64 +
-                            local.output_bytes(dtype) * tatp as f64);
-                    let mem_time = self.compute.hbm_latency + mem_bytes / self.compute.hbm_bandwidth;
-                    total += compute_time.max(mem_time) +
-                        tatp as f64 * self.compute.launch_overhead;
+                    let mem_bytes = 3.0
+                        * (local.input_bytes(dtype)
+                            + local.weight_bytes(dtype) * tatp as f64
+                            + local.output_bytes(dtype) * tatp as f64);
+                    let mem_time =
+                        self.compute.hbm_latency + mem_bytes / self.compute.hbm_bandwidth;
+                    total +=
+                        compute_time.max(mem_time) + tatp as f64 * self.compute.launch_overhead;
                 }
                 None => {
                     let divisor = (batch_div * spcp * tatp * tp) as f64;
@@ -347,15 +360,25 @@ fn shard(v: u64, by: u64) -> u64 {
 fn scale_elementwise(kind: &OpKind, divisor: f64) -> OpKind {
     let d = |v: u64| -> u64 { ((v as f64 / divisor).ceil() as u64).max(1) };
     match kind {
-        OpKind::Softmax { rows, cols } => OpKind::Softmax { rows: d(*rows), cols: *cols },
-        OpKind::LayerNorm { tokens, hidden } => {
-            OpKind::LayerNorm { tokens: d(*tokens), hidden: *hidden }
-        }
+        OpKind::Softmax { rows, cols } => OpKind::Softmax {
+            rows: d(*rows),
+            cols: *cols,
+        },
+        OpKind::LayerNorm { tokens, hidden } => OpKind::LayerNorm {
+            tokens: d(*tokens),
+            hidden: *hidden,
+        },
         OpKind::Activation { elems } => OpKind::Activation { elems: d(*elems) },
         OpKind::Residual { elems } => OpKind::Residual { elems: d(*elems) },
-        OpKind::Embedding { tokens, hidden, vocab } => {
-            OpKind::Embedding { tokens: d(*tokens), hidden: *hidden, vocab: *vocab }
-        }
+        OpKind::Embedding {
+            tokens,
+            hidden,
+            vocab,
+        } => OpKind::Embedding {
+            tokens: d(*tokens),
+            hidden: *hidden,
+            vocab: *vocab,
+        },
         other => *other,
     }
 }
@@ -387,7 +410,9 @@ mod tests {
     #[test]
     fn evaluate_produces_positive_times() {
         let m = model_6_7b();
-        let r = m.evaluate(&HybridConfig::tuple(2, 2, 1, 8), MappingEngine::Tcme).unwrap();
+        let r = m
+            .evaluate(&HybridConfig::tuple(2, 2, 1, 8), MappingEngine::Tcme)
+            .unwrap();
         assert!(r.step_time > 0.0);
         assert!(r.compute_time > 0.0);
         assert!(r.throughput > 0.0);
@@ -406,10 +431,12 @@ mod tests {
     #[test]
     fn tatp_uses_less_memory_than_megatron_tp() {
         let m = model_6_7b();
-        let mega =
-            m.evaluate(&HybridConfig::tuple(4, 8, 1, 1), MappingEngine::SMap).unwrap();
-        let tatp =
-            m.evaluate(&HybridConfig::tuple(4, 1, 1, 8), MappingEngine::Tcme).unwrap();
+        let mega = m
+            .evaluate(&HybridConfig::tuple(4, 8, 1, 1), MappingEngine::SMap)
+            .unwrap();
+        let tatp = m
+            .evaluate(&HybridConfig::tuple(4, 1, 1, 8), MappingEngine::Tcme)
+            .unwrap();
         assert!(
             tatp.memory.total() < mega.memory.total(),
             "TATP {:.2e} vs Megatron {:.2e}",
@@ -421,7 +448,12 @@ mod tests {
     #[test]
     fn tcme_outperforms_smap_on_step_time() {
         let m = model_6_7b();
-        let cfg = HybridConfig { dp: 4, fsdp: true, tatp: 8, ..Default::default() };
+        let cfg = HybridConfig {
+            dp: 4,
+            fsdp: true,
+            tatp: 8,
+            ..Default::default()
+        };
         let smap = m.evaluate(&cfg, MappingEngine::SMap).unwrap();
         let tcme = m.evaluate(&cfg, MappingEngine::Tcme).unwrap();
         assert!(
@@ -435,7 +467,9 @@ mod tests {
     #[test]
     fn stream_overlaps_with_compute() {
         let m = model_6_7b();
-        let r = m.evaluate(&HybridConfig::tuple(1, 1, 1, 32), MappingEngine::Tcme).unwrap();
+        let r = m
+            .evaluate(&HybridConfig::tuple(1, 1, 1, 32), MappingEngine::Tcme)
+            .unwrap();
         // The exposed stream must be (much) smaller than the raw stream.
         assert!(r.exposed_stream_time <= r.stream_time);
     }
@@ -446,9 +480,7 @@ mod tests {
         let base = Workload::for_model(&model);
         let m = WaferCostModel::new(WaferConfig::hpca(), model, base.clone());
         let cfg = HybridConfig::tuple(1, 2, 2, 8);
-        let sel = m
-            .evaluate_with(&cfg, MappingEngine::Tcme, &base)
-            .unwrap();
+        let sel = m.evaluate_with(&cfg, MappingEngine::Tcme, &base).unwrap();
         let full = m
             .evaluate_with(
                 &cfg,
@@ -465,10 +497,18 @@ mod tests {
         let model = ModelZoo::gpt3_175b();
         let w = Workload::for_model(&model);
         let m = WaferCostModel::new(WaferConfig::hpca(), model, w);
-        let flat = m.evaluate(&HybridConfig::tuple(1, 2, 2, 8), MappingEngine::Tcme).unwrap();
+        let flat = m
+            .evaluate(&HybridConfig::tuple(1, 2, 2, 8), MappingEngine::Tcme)
+            .unwrap();
         let piped = m
             .evaluate(
-                &HybridConfig { pp: 4, tp: 2, sp: 2, tatp: 8, ..Default::default() },
+                &HybridConfig {
+                    pp: 4,
+                    tp: 2,
+                    sp: 2,
+                    tatp: 8,
+                    ..Default::default()
+                },
                 MappingEngine::Tcme,
             )
             .unwrap();
@@ -489,10 +529,11 @@ mod tests {
                 .unwrap();
             times.push((tatp, r.step_time));
         }
-        let best = times.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
-        assert!(
-            (4..=16).contains(&best),
-            "sweet spot at {best}: {times:?}"
-        );
+        let best = times
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((4..=16).contains(&best), "sweet spot at {best}: {times:?}");
     }
 }

@@ -3,19 +3,28 @@
 //! Pipeline (Fig. 12(b)):
 //!
 //! 1. **Enumerate** hybrid configurations (power-of-two degree tuples, with
-//!    and without FSDP sharding);
+//!    and without FSDP sharding) — done once per [`SearchContext`];
 //! 2. **Cost** each with the wafer-centric model under the TCME engine,
-//!    escalating to full recomputation when a configuration OOMs;
+//!    escalating to full recomputation when a configuration OOMs — cache
+//!    misses are costed in parallel, hits are free;
 //! 3. **Graph-partition + DP** — segments (Transformer blocks) pick
 //!    candidates under resharding transition costs;
 //! 4. **GA refinement** — evolves the DP assignment (and would evolve
 //!    mapping genes for heterogeneous graphs);
 //! 5. Emit the best [`ExecutionPlan`].
+//!
+//! A [`Dlws`] is a thin façade over a shared [`SearchContext`]: cloning
+//! the solver (or building several solvers from one context via
+//! [`Dlws::from_context`]) shares the evaluation cache, so baseline
+//! sweeps that solve the same triple under different engines/filters do
+//! not re-cost overlapping candidates.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use temp_graph::models::ModelConfig;
-use temp_graph::workload::{RecomputeMode, Workload};
+use temp_graph::workload::Workload;
 use temp_mapping::engines::MappingEngine;
 use temp_parallel::strategy::HybridConfig;
 use temp_wsc::config::WaferConfig;
@@ -23,6 +32,7 @@ use temp_wsc::config::WaferConfig;
 use crate::cost::{CostReport, WaferCostModel};
 use crate::dp::solve_chain;
 use crate::ga::{optimize, GaParams};
+use crate::search::{CandidateCost, SearchContext, SearchStats};
 use crate::{Result, SolverError};
 
 /// A solved plan ready for execution/evaluation.
@@ -41,7 +51,7 @@ pub struct ExecutionPlan {
 /// The dual-level wafer solver.
 #[derive(Debug, Clone)]
 pub struct Dlws {
-    cost: WaferCostModel,
+    ctx: Arc<SearchContext>,
     /// Representative segments for the DP/GA stages (blocks are identical,
     /// so a handful suffices; heterogeneous graphs would use all).
     dp_segments: usize,
@@ -49,18 +59,37 @@ pub struct Dlws {
 }
 
 impl Dlws {
-    /// Creates a solver for a (wafer, model, workload) triple.
+    /// Creates a solver for a (wafer, model, workload) triple, with a
+    /// fresh search context.
     pub fn new(wafer: WaferConfig, model: ModelConfig, workload: Workload) -> Self {
+        Dlws::from_context(Arc::new(SearchContext::new(WaferCostModel::new(
+            wafer, model, workload,
+        ))))
+    }
+
+    /// Creates a solver over an existing (possibly shared) context — all
+    /// solvers built this way share one evaluation cache.
+    pub fn from_context(ctx: Arc<SearchContext>) -> Self {
         Dlws {
-            cost: WaferCostModel::new(wafer, model, workload),
+            ctx,
             dp_segments: 4,
             ga: GaParams::default(),
         }
     }
 
+    /// The shared search context (enumeration + cache + stats).
+    pub fn context(&self) -> &Arc<SearchContext> {
+        &self.ctx
+    }
+
     /// The underlying cost model.
     pub fn cost_model(&self) -> &WaferCostModel {
-        &self.cost
+        self.ctx.cost_model()
+    }
+
+    /// Cache counters of the shared context.
+    pub fn search_stats(&self) -> SearchStats {
+        self.ctx.stats()
     }
 
     /// Overrides GA parameters.
@@ -69,28 +98,16 @@ impl Dlws {
         self
     }
 
-    /// All candidate configurations for this wafer.
+    /// All candidate configurations for this wafer (enumerated once, at
+    /// context construction).
     pub fn candidates(&self) -> Vec<HybridConfig> {
-        let dies = self.cost.wafer().die_count();
-        let mut out = HybridConfig::enumerate_tuples(dies, false);
-        out.extend(
-            HybridConfig::enumerate_tuples(dies, true).into_iter().filter(|c| c.dp > 1),
-        );
-        out
+        self.ctx.candidates().to_vec()
     }
 
     /// Costs a candidate, escalating recompute on OOM; infeasible plans get
-    /// infinite cost.
-    pub fn cost_of(&self, cfg: &HybridConfig, engine: MappingEngine) -> (f64, Option<(Workload, CostReport)>) {
-        let base = self.cost.workload().clone();
-        for workload in [base.clone(), base.with_recompute(RecomputeMode::Full)] {
-            if let Ok(report) = self.cost.evaluate_with(cfg, engine, &workload) {
-                if report.fits_memory {
-                    return (report.step_time, Some((workload, report)));
-                }
-            }
-        }
-        (f64::INFINITY, None)
+    /// infinite cost. Memoized in the shared context.
+    pub fn cost_of(&self, cfg: &HybridConfig, engine: MappingEngine) -> CandidateCost {
+        self.ctx.cost_of(cfg, engine)
     }
 
     /// Runs the full dual-level search.
@@ -133,31 +150,34 @@ impl Dlws {
         filter: impl Fn(&HybridConfig) -> bool,
     ) -> Result<ExecutionPlan> {
         let candidates: Vec<HybridConfig> = self
-            .candidates()
+            .ctx
+            .candidates_with_pp(pp)
             .into_iter()
-            .map(|c| HybridConfig { pp: pp.max(1), ..c })
             .filter(|c| filter(c))
             .collect();
         if candidates.is_empty() {
-            return Err(SolverError::NoFeasiblePlan("no candidates pass the filter".into()));
+            return Err(SolverError::NoFeasiblePlan(
+                "no candidates pass the filter".into(),
+            ));
         }
-        // Cost every candidate once (per-segment costs are uniform across
-        // identical blocks, so the block cost is step_time / segments).
-        let mut cached: Vec<(f64, Option<(Workload, CostReport)>)> =
-            candidates.iter().map(|c| self.cost_of(c, engine)).collect();
-        if cached.iter().all(|(t, _)| !t.is_finite()) {
+        // Cost every candidate once; cache misses run in parallel, hits
+        // (from earlier solves over overlapping spaces) are free.
+        let costed: Vec<CandidateCost> = self.ctx.cost_candidates(&candidates, engine);
+        if costed.iter().all(|(t, _)| !t.is_finite()) {
             return Err(SolverError::NoFeasiblePlan(
                 "every candidate OOMs even with full recomputation".into(),
             ));
         }
 
-        // Level 1: DP over representative segments with resharding costs.
+        // Level 1: DP over representative segments with resharding costs
+        // (per-segment costs are uniform across identical blocks, so the
+        // block cost is step_time / segments).
         let segs = self.dp_segments;
         let seg_costs: Vec<Vec<f64>> = (0..segs)
-            .map(|_| cached.iter().map(|(t, _)| *t / segs as f64).collect())
+            .map(|_| costed.iter().map(|(t, _)| *t / segs as f64).collect())
             .collect();
-        let resharding = self.resharding_matrix(&candidates);
-        let dp = solve_chain(&seg_costs, |a, b| resharding[a][b]);
+        let reshard = |a: usize, b: usize| self.ctx.resharding_cost(&candidates[a], &candidates[b]);
+        let dp = solve_chain(&seg_costs, reshard);
 
         // Level 2: GA refinement seeded with the DP assignment.
         let ga = optimize(segs, candidates.len(), &dp.choices, &self.ga, |genome| {
@@ -165,44 +185,24 @@ impl Dlws {
             for (s, &c) in genome.iter().enumerate() {
                 total += seg_costs[s][c];
                 if s > 0 {
-                    total += resharding[genome[s - 1]][c];
+                    total += reshard(genome[s - 1], c);
                 }
             }
             total
         });
         let winner = ga.genome[0];
-        let (_, payload) = std::mem::take(&mut cached[winner]);
-        let (workload, report) = payload.ok_or_else(|| {
+        // Clone the winner's payload out of the costed vector instead of
+        // `mem::take`-ing it: the shared cache must stay intact so the
+        // context remains reusable across solves.
+        let (workload, report) = costed[winner].1.clone().ok_or_else(|| {
             SolverError::NoFeasiblePlan("GA converged on an infeasible candidate".into())
         })?;
-        Ok(ExecutionPlan { config: candidates[winner], engine, workload, report })
-    }
-
-    /// Resharding (transition) costs between candidate configurations: the
-    /// layer-boundary activation must be redistributed when the sharding
-    /// scheme changes; identical configurations transition for free.
-    fn resharding_matrix(&self, candidates: &[HybridConfig]) -> Vec<Vec<f64>> {
-        let model = self.cost.model();
-        let workload = self.cost.workload();
-        let act_bytes = workload.micro_batch_size() as f64 *
-            workload.seq_len as f64 *
-            model.hidden as f64 *
-            workload.compute_dtype.bytes() as f64;
-        let bw = self.cost.wafer().d2d.bandwidth;
-        let dies = self.cost.wafer().die_count() as f64;
-        // All-to-all over the wafer bisection, approximated as 4 rows of
-        // links: time = act / (bisection bw).
-        let bisection = bw * dies.sqrt();
-        let full_reshard = act_bytes / bisection;
-        candidates
-            .iter()
-            .map(|a| {
-                candidates
-                    .iter()
-                    .map(|b| if a == b { 0.0 } else { full_reshard })
-                    .collect()
-            })
-            .collect()
+        Ok(ExecutionPlan {
+            config: candidates[winner],
+            engine,
+            workload,
+            report,
+        })
     }
 }
 
@@ -210,6 +210,7 @@ impl Dlws {
 mod tests {
     use super::*;
     use temp_graph::models::ModelZoo;
+    use temp_graph::workload::RecomputeMode;
 
     fn solver(model: ModelConfig) -> Dlws {
         let workload = Workload::for_model(&model);
@@ -237,7 +238,11 @@ mod tests {
             plan.config.label()
         );
         let plan = solver(ModelZoo::gpt3_76b()).solve().unwrap();
-        assert!(plan.config.tatp >= 8, "GPT-3 76B: chose {}", plan.config.label());
+        assert!(
+            plan.config.tatp >= 8,
+            "GPT-3 76B: chose {}",
+            plan.config.label()
+        );
     }
 
     #[test]
@@ -268,7 +273,9 @@ mod tests {
     #[test]
     fn empty_filter_is_an_error() {
         let s = solver(ModelZoo::gpt3_6_7b());
-        let err = s.solve_with_engine(MappingEngine::Tcme, |_| false).unwrap_err();
+        let err = s
+            .solve_with_engine(MappingEngine::Tcme, |_| false)
+            .unwrap_err();
         assert!(matches!(err, SolverError::NoFeasiblePlan(_)));
     }
 
@@ -278,5 +285,35 @@ mod tests {
         // 175B on one 32-die wafer cannot keep 34·sbh activations around.
         assert_eq!(plan.workload.recompute, RecomputeMode::Full);
         assert!(plan.report.fits_memory);
+    }
+
+    #[test]
+    fn repeated_solves_reuse_the_cache() {
+        let s = solver(ModelZoo::gpt3_6_7b());
+        let first = s.solve().unwrap();
+        let after_first = s.search_stats();
+        assert!(after_first.misses > 0);
+        let second = s.solve().unwrap();
+        let after_second = s.search_stats();
+        assert_eq!(first, second, "cached solve must reproduce the plan");
+        assert_eq!(
+            after_first.misses, after_second.misses,
+            "second solve must not re-cost anything"
+        );
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let s = solver(ModelZoo::gpt3_6_7b());
+        let clone = s.clone();
+        let _ = s.solve().unwrap();
+        let misses_after_original = clone.search_stats().misses;
+        let _ = clone.solve().unwrap();
+        assert_eq!(
+            clone.search_stats().misses,
+            misses_after_original,
+            "clone's solve must be answered from the shared cache"
+        );
     }
 }

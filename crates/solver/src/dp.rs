@@ -31,7 +31,10 @@ pub fn solve_chain(
     transition: impl Fn(usize, usize) -> f64,
 ) -> DpSolution {
     if segment_costs.is_empty() {
-        return DpSolution { choices: Vec::new(), cost: 0.0 };
+        return DpSolution {
+            choices: Vec::new(),
+            cost: 0.0,
+        };
     }
     let k = segment_costs[0].len();
     assert!(k > 0, "each segment needs at least one candidate");
@@ -43,8 +46,8 @@ pub fn solve_chain(
         let mut next = vec![f64::INFINITY; k];
         let mut bk = vec![0usize; k];
         for (c, &seg_cost) in costs.iter().enumerate() {
-            for p in 0..k {
-                let total = best[p] + transition(p, c) + seg_cost;
+            for (p, &prev_cost) in best.iter().enumerate() {
+                let total = prev_cost + transition(p, c) + seg_cost;
                 if total < next[c] {
                     next[c] = total;
                     bk[c] = p;
@@ -141,7 +144,12 @@ mod tests {
                     stack.push((s + 1, acc + costs[s][c] + t, c));
                 }
             }
-            assert!((dp.cost - best).abs() < 1e-9, "dp {} vs brute {}", dp.cost, best);
+            assert!(
+                (dp.cost - best).abs() < 1e-9,
+                "dp {} vs brute {}",
+                dp.cost,
+                best
+            );
         }
     }
 }

@@ -73,8 +73,11 @@ pub fn optimize(
     let mut population: Vec<Vec<usize>> = Vec::with_capacity(params.population);
     population.push(seed_genome.to_vec());
     while population.len() < params.population {
-        population
-            .push((0..genome_len).map(|_| rng.gen_range(0..gene_cardinality)).collect());
+        population.push(
+            (0..genome_len)
+                .map(|_| rng.gen_range(0..gene_cardinality))
+                .collect(),
+        );
     }
     let mut scored: Vec<(f64, Vec<usize>)> = population
         .into_iter()
@@ -92,8 +95,7 @@ pub fn optimize(
             let pb = &scored[rng.gen_range(0..half)].1;
             // Single-point crossover.
             let cut = rng.gen_range(0..genome_len);
-            let mut child: Vec<usize> =
-                pa[..cut].iter().chain(pb[cut..].iter()).copied().collect();
+            let mut child: Vec<usize> = pa[..cut].iter().chain(pb[cut..].iter()).copied().collect();
             // Mutation.
             for gene in child.iter_mut() {
                 if rng.gen_bool(params.mutation_rate) {
@@ -108,7 +110,11 @@ pub fn optimize(
         scored = next;
     }
     let (cost, genome) = scored.swap_remove(0);
-    GaOutcome { genome, cost, evaluations }
+    GaOutcome {
+        genome,
+        cost,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +155,11 @@ mod tests {
 
     #[test]
     fn evaluation_budget_is_bounded() {
-        let params = GaParams { population: 10, generations: 5, ..Default::default() };
+        let params = GaParams {
+            population: 10,
+            generations: 5,
+            ..Default::default()
+        };
         let out = optimize(3, 3, &[0; 3], &params, |_| 1.0);
         assert!(out.evaluations <= 10 + 5 * 10);
     }

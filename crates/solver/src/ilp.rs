@@ -27,7 +27,11 @@ pub fn solve_exact(
     transition: impl Fn(usize, usize) -> f64 + Copy,
 ) -> IlpSolution {
     if segment_costs.is_empty() {
-        return IlpSolution { choices: Vec::new(), cost: 0.0, nodes_expanded: 0 };
+        return IlpSolution {
+            choices: Vec::new(),
+            cost: 0.0,
+            nodes_expanded: 0,
+        };
     }
     let k = segment_costs[0].len();
     let mut best_cost = f64::INFINITY;
@@ -35,6 +39,9 @@ pub fn solve_exact(
     let mut nodes = 0usize;
     let mut prefix: Vec<usize> = Vec::with_capacity(segment_costs.len());
 
+    // The recursion threads the whole solver state explicitly; packing it
+    // into a struct would only rename the eight arguments.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         segment_costs: &[Vec<f64>],
         transition: impl Fn(usize, usize) -> f64 + Copy,
@@ -86,7 +93,11 @@ pub fn solve_exact(
         &mut best_choices,
         &mut nodes,
     );
-    IlpSolution { choices: best_choices, cost: best_cost, nodes_expanded: nodes }
+    IlpSolution {
+        choices: best_choices,
+        cost: best_cost,
+        nodes_expanded: nodes,
+    }
 }
 
 #[cfg(test)]
@@ -105,8 +116,9 @@ mod tests {
             let costs: Vec<Vec<f64>> = (0..segs)
                 .map(|_| (0..k).map(|_| rng.gen_range(0.0..10.0)).collect())
                 .collect();
-            let tr: Vec<Vec<f64>> =
-                (0..k).map(|_| (0..k).map(|_| rng.gen_range(0.0..2.0)).collect()).collect();
+            let tr: Vec<Vec<f64>> = (0..k)
+                .map(|_| (0..k).map(|_| rng.gen_range(0.0..2.0)).collect())
+                .collect();
             let dp = solve_chain(&costs, |a, b| tr[a][b]);
             let exact = solve_exact(&costs, |a, b| tr[a][b]);
             assert!((dp.cost - exact.cost).abs() < 1e-9);

@@ -13,6 +13,10 @@
 //!   crossover, mutation and elitist selection;
 //! * [`ilp`] — an exact exhaustive/branch-and-bound baseline, standing in
 //!   for the ILP formulation whose search time §VIII-H compares against;
+//! * [`search`] — the shared search pipeline: candidates enumerated once,
+//!   evaluations memoized behind a thread-safe cache, cache misses costed
+//!   in parallel;
+//! * [`par`] — the scoped-thread data-parallel map the search uses;
 //! * [`dlws`] — the end-to-end solver: enumerate → cost → DP → GA → plan.
 //!
 //! # Example
@@ -35,9 +39,12 @@ pub mod dlws;
 pub mod dp;
 pub mod ga;
 pub mod ilp;
+pub mod par;
+pub mod search;
 
 pub use cost::{CostReport, WaferCostModel};
 pub use dlws::{Dlws, ExecutionPlan};
+pub use search::{SearchContext, SearchStats};
 
 /// Errors produced by the solver.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,338 @@
+//! The shared search pipeline behind every DLWS solve.
+//!
+//! A [`SearchContext`] owns everything that is invariant across solves of
+//! one `(wafer, model, workload)` triple:
+//!
+//! * the **candidate enumeration** — computed once, reused by every
+//!   engine/filter combination (per-solve pipeline degrees are applied as
+//!   a cheap rewrite of the base tuples);
+//! * the **resharding transition cost** — computed once per context
+//!   instead of once per solve;
+//! * a **memoized evaluation cache** keyed by
+//!   `(HybridConfig, MappingEngine, RecomputeMode)` — the expensive part
+//!   of a solve is costing candidates (each one maps traffic onto the
+//!   wafer and runs the contention simulator), and baseline sweeps like
+//!   `Temp::compare_all()` cost heavily overlapping candidate spaces;
+//! * the **parallel costing** path — cache misses for a batch of
+//!   candidates are filled with a scoped-thread map ([`crate::par`]).
+//!
+//! Sharing a context across solves (clone the [`std::sync::Arc`]) turns
+//! the seed behavior — seven baselines × full re-enumeration and
+//! re-costing — into one costing pass per distinct evaluation key.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use temp_graph::workload::{RecomputeMode, Workload};
+use temp_mapping::engines::MappingEngine;
+use temp_parallel::strategy::HybridConfig;
+
+use crate::cost::{CostReport, WaferCostModel};
+use crate::par;
+
+/// Memoization key: one cost-model evaluation is fully determined by the
+/// configuration, the mapping engine and the recompute mode (the wafer,
+/// model and the rest of the workload are fixed per context).
+pub type EvalKey = (HybridConfig, MappingEngine, RecomputeMode);
+
+/// A costed candidate: its objective (step time; infinite when nothing
+/// fits memory) and, when feasible, the workload it was planned under
+/// (recompute may have escalated) plus the full report.
+pub type CandidateCost = (f64, Option<(Workload, CostReport)>);
+
+/// Cache counters for one context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that ran the cost model. Equals the number of distinct
+    /// keys costed unless two concurrent solves race on the same key (the
+    /// cache stays consistent either way; only this counter can inflate).
+    pub misses: u64,
+}
+
+impl SearchStats {
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared, thread-safe search state for one `(wafer, model, workload)`
+/// triple. See the module docs for what is amortized here.
+#[derive(Debug)]
+pub struct SearchContext {
+    cost: WaferCostModel,
+    /// The full intra-wafer candidate space (pp = 1): every power-of-two
+    /// degree tuple, with and without FSDP sharding.
+    base_candidates: Vec<HybridConfig>,
+    /// Transition cost between two distinct configurations: the
+    /// layer-boundary activation redistributed over the wafer bisection.
+    /// Identical configurations transition for free.
+    full_reshard: f64,
+    /// Whether batch costing may fan out over threads.
+    parallel: AtomicBool,
+    cache: RwLock<HashMap<EvalKey, Option<CostReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SearchContext {
+    /// Builds a context: enumerates the candidate space and prices the
+    /// resharding transition once.
+    pub fn new(cost: WaferCostModel) -> Self {
+        let dies = cost.wafer().die_count();
+        let mut base_candidates = HybridConfig::enumerate_tuples(dies, false);
+        base_candidates.extend(
+            HybridConfig::enumerate_tuples(dies, true)
+                .into_iter()
+                .filter(|c| c.dp > 1),
+        );
+
+        // All-to-all of one layer-boundary activation over the wafer
+        // bisection, approximated as sqrt(dies) rows of links.
+        let model = cost.model();
+        let workload = cost.workload();
+        let act_bytes = workload.micro_batch_size() as f64
+            * workload.seq_len as f64
+            * model.hidden as f64
+            * workload.compute_dtype.bytes() as f64;
+        let bisection = cost.wafer().d2d.bandwidth * (dies as f64).sqrt();
+        let full_reshard = act_bytes / bisection;
+
+        SearchContext {
+            cost,
+            base_candidates,
+            full_reshard,
+            parallel: AtomicBool::new(true),
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &WaferCostModel {
+        &self.cost
+    }
+
+    /// The base (pp = 1) candidate space, enumerated once at construction.
+    pub fn candidates(&self) -> &[HybridConfig] {
+        &self.base_candidates
+    }
+
+    /// The base candidates with a fixed pipeline degree applied
+    /// (multi-wafer planning fixes `pp` to the wafer count).
+    pub fn candidates_with_pp(&self, pp: usize) -> Vec<HybridConfig> {
+        self.base_candidates
+            .iter()
+            .map(|c| HybridConfig {
+                pp: pp.max(1),
+                ..*c
+            })
+            .collect()
+    }
+
+    /// Enables/disables threaded batch costing (default: enabled; a
+    /// single-core machine degrades to the serial path either way).
+    pub fn set_parallel(&self, on: bool) {
+        self.parallel.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether batch costing fans out over threads.
+    pub fn parallel(&self) -> bool {
+        self.parallel.load(Ordering::Relaxed)
+    }
+
+    /// Resharding (transition) cost between two candidate configurations.
+    pub fn resharding_cost(&self, a: &HybridConfig, b: &HybridConfig) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.full_reshard
+        }
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> SearchStats {
+        SearchStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Memoized single evaluation. `None` records "the cost model could
+    /// not evaluate this key" (e.g. the configuration cannot be laid
+    /// out), so failures are not retried either.
+    pub fn evaluate(
+        &self,
+        cfg: &HybridConfig,
+        engine: MappingEngine,
+        mode: RecomputeMode,
+    ) -> Option<CostReport> {
+        let key = (*cfg, engine, mode);
+        if let Some(cached) = self.cache.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let workload = self.cost.workload().clone().with_recompute(mode);
+        let result = self.cost.evaluate_with(cfg, engine, &workload).ok();
+        // Two threads can race to fill the same key; keep whichever entry
+        // lands first and hand the caller the *stored* value, so every
+        // observer of a key sees one consistent report (re-evaluations of
+        // the same key agree only up to float association).
+        let mut cache = self.cache.write().expect("cache lock");
+        cache.entry(key).or_insert(result).clone()
+    }
+
+    /// Costs a candidate, escalating recompute on OOM; infeasible
+    /// candidates get infinite cost. Never mutates cached state — the
+    /// returned payload is a clone, so the context stays valid across
+    /// arbitrarily many solves.
+    pub fn cost_of(&self, cfg: &HybridConfig, engine: MappingEngine) -> CandidateCost {
+        let base_mode = self.cost.workload().recompute;
+        let mut tried_base = false;
+        for mode in [base_mode, RecomputeMode::Full] {
+            if tried_base && mode == base_mode {
+                continue;
+            }
+            tried_base = true;
+            if let Some(report) = self.evaluate(cfg, engine, mode) {
+                if report.fits_memory {
+                    let workload = self.cost.workload().clone().with_recompute(mode);
+                    return (report.step_time, Some((workload, report)));
+                }
+            }
+        }
+        (f64::INFINITY, None)
+    }
+
+    /// Costs a batch of candidates, filling cache misses in parallel when
+    /// enabled.
+    pub fn cost_candidates(
+        &self,
+        candidates: &[HybridConfig],
+        engine: MappingEngine,
+    ) -> Vec<CandidateCost> {
+        if self.parallel() {
+            par::par_map(candidates, |c| self.cost_of(c, engine))
+        } else {
+            candidates.iter().map(|c| self.cost_of(c, engine)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temp_graph::models::ModelZoo;
+    use temp_wsc::config::WaferConfig;
+
+    fn context() -> SearchContext {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        SearchContext::new(WaferCostModel::new(WaferConfig::hpca(), model, workload))
+    }
+
+    #[test]
+    fn candidate_space_matches_seed_enumeration() {
+        let ctx = context();
+        // 56 plain tuples + the FSDP tuples with dp > 1.
+        assert!(ctx.candidates().len() > 56);
+        assert!(ctx
+            .candidates()
+            .iter()
+            .all(|c| c.intra_wafer_degree() == 32));
+        let with_pp = ctx.candidates_with_pp(4);
+        assert!(with_pp.iter().all(|c| c.pp == 4));
+        assert_eq!(with_pp.len(), ctx.candidates().len());
+    }
+
+    #[test]
+    fn evaluate_is_memoized_including_failures() {
+        let ctx = context();
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let first = ctx.evaluate(&cfg, MappingEngine::Tcme, RecomputeMode::Selective);
+        let stats = ctx.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let second = ctx.evaluate(&cfg, MappingEngine::Tcme, RecomputeMode::Selective);
+        let stats = ctx.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(first, second);
+
+        // An invalid configuration fails once and the failure is cached.
+        let bad = HybridConfig::tuple(2, 2, 1, 4); // product 16 != 32
+        assert!(ctx
+            .evaluate(&bad, MappingEngine::Tcme, RecomputeMode::Selective)
+            .is_none());
+        assert!(ctx
+            .evaluate(&bad, MappingEngine::Tcme, RecomputeMode::Selective)
+            .is_none());
+        assert_eq!(ctx.stats().misses, 2);
+    }
+
+    #[test]
+    fn cost_of_does_not_consume_the_cache() {
+        let ctx = context();
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let (t1, p1) = ctx.cost_of(&cfg, MappingEngine::Tcme);
+        let (t2, p2) = ctx.cost_of(&cfg, MappingEngine::Tcme);
+        assert_eq!(t1, t2);
+        assert_eq!(p1, p2);
+        assert!(p1.is_some());
+        // The second call was pure cache hits.
+        let stats = ctx.stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn batch_costing_serial_and_parallel_agree() {
+        let serial = context();
+        serial.set_parallel(false);
+        let parallel = context();
+        let cands: Vec<HybridConfig> = serial.candidates().to_vec();
+        let a = serial.cost_candidates(&cands, MappingEngine::SMap);
+        let b = parallel.cost_candidates(&cands, MappingEngine::SMap);
+        // The cost model folds HashMap-ordered sums, so two evaluations
+        // of the same key agree only up to float association: compare
+        // with a relative tolerance, not bitwise.
+        for (i, ((ta, _), (tb, _))) in a.iter().zip(&b).enumerate() {
+            match (ta.is_finite(), tb.is_finite()) {
+                (true, true) => {
+                    assert!(
+                        (ta - tb).abs() <= 1e-9 * ta.abs(),
+                        "candidate {i}: {ta} vs {tb}"
+                    )
+                }
+                (fa, fb) => assert_eq!(fa, fb, "candidate {i}: {ta} vs {tb}"),
+            }
+        }
+        // One full pass: misses == one evaluation per candidate plus any
+        // full-recompute escalations, all distinct keys.
+        assert!(serial.stats().misses >= cands.len() as u64);
+    }
+
+    #[test]
+    fn resharding_is_free_only_on_the_diagonal() {
+        let ctx = context();
+        let a = HybridConfig::tuple(2, 2, 1, 8);
+        let b = HybridConfig::tuple(4, 1, 1, 8);
+        assert_eq!(ctx.resharding_cost(&a, &a), 0.0);
+        assert!(ctx.resharding_cost(&a, &b) > 0.0);
+        assert_eq!(ctx.resharding_cost(&a, &b), ctx.resharding_cost(&b, &a));
+    }
+
+    #[test]
+    fn hit_rate_reflects_counters() {
+        let s = SearchStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(SearchStats::default().hit_rate(), 0.0);
+    }
+}

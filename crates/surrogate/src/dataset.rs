@@ -61,8 +61,16 @@ impl Dataset {
         let (tf, sf) = self.features.split_at(cut.min(self.len()));
         let (tt, st) = self.targets.split_at(cut.min(self.len()));
         (
-            Dataset { features: tf.to_vec(), targets: tt.to_vec(), class: self.class },
-            Dataset { features: sf.to_vec(), targets: st.to_vec(), class: self.class },
+            Dataset {
+                features: tf.to_vec(),
+                targets: tt.to_vec(),
+                class: self.class,
+            },
+            Dataset {
+                features: sf.to_vec(),
+                targets: st.to_vec(),
+                class: self.class,
+            },
         )
     }
 }
@@ -83,9 +91,9 @@ pub fn generate(class: TargetClass, n: usize, seed: u64) -> Dataset {
         let h = 1u64 << rng.gen_range(10..14); // 1024..8192
         let dims = LinearDims::new(b, m, h, k);
         let flops = dims.flops();
-        let bytes = dims.input_bytes(DType::F16) +
-            dims.weight_bytes(DType::F16) +
-            dims.output_bytes(DType::F16);
+        let bytes = dims.input_bytes(DType::F16)
+            + dims.weight_bytes(DType::F16)
+            + dims.output_bytes(DType::F16);
         match class {
             TargetClass::Compute => {
                 let t = compute.gemm_latency_raw(flops, bytes);
@@ -101,8 +109,7 @@ pub fn generate(class: TargetClass, n: usize, seed: u64) -> Dataset {
             }
             TargetClass::Collective => {
                 let group_size = 1usize << rng.gen_range(1..4); // 2..8
-                let group: Vec<DieId> =
-                    snake_order(&mesh).into_iter().take(group_size).collect();
+                let group: Vec<DieId> = snake_order(&mesh).into_iter().take(group_size).collect();
                 let kind = match rng.gen_range(0..4) {
                     0 => CollectiveKind::AllReduce,
                     1 => CollectiveKind::AllGather,
@@ -140,7 +147,11 @@ pub fn generate(class: TargetClass, n: usize, seed: u64) -> Dataset {
             }
         }
     }
-    Dataset { features, targets, class }
+    Dataset {
+        features,
+        targets,
+        class,
+    }
 }
 
 fn kind_code(kind: CollectiveKind) -> f64 {
@@ -166,7 +177,11 @@ mod tests {
 
     #[test]
     fn all_classes_produce_positive_targets() {
-        for class in [TargetClass::Compute, TargetClass::Collective, TargetClass::Overlap] {
+        for class in [
+            TargetClass::Compute,
+            TargetClass::Collective,
+            TargetClass::Overlap,
+        ] {
             let d = generate(class, 40, 3);
             assert_eq!(d.len(), 40);
             assert!(d.targets.iter().all(|t| *t > 0.0), "{class:?}");

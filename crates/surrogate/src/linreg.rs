@@ -50,14 +50,17 @@ impl LinearRegression {
         }
         let theta = solve_gaussian(xtx, xty);
         let (weights, bias) = theta.split_at(d);
-        LinearRegression { weights: weights.to_vec(), bias: bias[0], norm }
+        LinearRegression {
+            weights: weights.to_vec(),
+            bias: bias[0],
+            norm,
+        }
     }
 
     /// Predicts one latency (seconds).
     pub fn predict(&self, features: &[f64]) -> f64 {
         let x = self.norm.apply(features);
-        let log =
-            self.bias + x.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
+        let log = self.bias + x.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
         log.exp()
     }
 
@@ -73,7 +76,12 @@ fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         a.swap(col, pivot);
         b.swap(col, pivot);
@@ -81,12 +89,15 @@ fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         if diag.abs() < 1e-12 {
             continue;
         }
-        for row in col + 1..n {
-            let factor = a[row][col] / diag;
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+        let (head, tail) = a.split_at_mut(col + 1);
+        let pivot_row = &head[col];
+        let b_col = b[col];
+        for (offset, row_vec) in tail.iter_mut().enumerate() {
+            let factor = row_vec[col] / diag;
+            for (cell, &pivot_cell) in row_vec[col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * pivot_cell;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b_col;
         }
     }
     let mut x = vec![0.0; n];
@@ -95,7 +106,11 @@ fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for k in row + 1..n {
             acc -= a[row][k] * x[k];
         }
-        x[row] = if a[row][row].abs() < 1e-12 { 0.0 } else { acc / a[row][row] };
+        x[row] = if a[row][row].abs() < 1e-12 {
+            0.0
+        } else {
+            acc / a[row][row]
+        };
     }
     x
 }
@@ -120,12 +135,18 @@ mod tests {
     fn exact_linear_log_relation_is_recovered() {
         // y = exp(2*x0 + 1): exactly linear in log space.
         let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 10.0]).collect();
-        let targets: Vec<f64> =
-            features.iter().map(|f| (2.0 * f[0] + 1.0).exp()).collect();
-        let data = Dataset { features, targets, class: TargetClass::Compute };
+        let targets: Vec<f64> = features.iter().map(|f| (2.0 * f[0] + 1.0).exp()).collect();
+        let data = Dataset {
+            features,
+            targets,
+            class: TargetClass::Compute,
+        };
         let lr = LinearRegression::fit(&data);
         let pred = lr.predict(&[2.5]);
         let expected = (2.0f64 * 2.5 + 1.0).exp();
-        assert!((pred - expected).abs() / expected < 1e-4, "{pred} vs {expected}");
+        assert!(
+            (pred - expected).abs() / expected < 1e-4,
+            "{pred} vs {expected}"
+        );
     }
 }

@@ -72,7 +72,12 @@ pub struct TrainParams {
 
 impl Default for TrainParams {
     fn default() -> Self {
-        TrainParams { hidden: 24, epochs: 4000, learning_rate: 5e-3, seed: 17 }
+        TrainParams {
+            hidden: 24,
+            epochs: 4000,
+            learning_rate: 5e-3,
+            seed: 17,
+        }
     }
 }
 
@@ -107,12 +112,14 @@ impl Mlp {
             move |rng: &mut StdRng| rng.gen_range(-1.0..1.0) * scale
         };
         let g1 = init(d);
-        let mut w1: Vec<Vec<f64>> =
-            (0..h).map(|_| (0..d).map(|_| g1(&mut rng)).collect()).collect();
+        let mut w1: Vec<Vec<f64>> = (0..h)
+            .map(|_| (0..d).map(|_| g1(&mut rng)).collect())
+            .collect();
         let mut b1 = vec![0.0; h];
         let g2 = init(h);
-        let mut w2: Vec<Vec<f64>> =
-            (0..h).map(|_| (0..h).map(|_| g2(&mut rng)).collect()).collect();
+        let mut w2: Vec<Vec<f64>> = (0..h)
+            .map(|_| (0..h).map(|_| g2(&mut rng)).collect())
+            .collect();
         let mut b2 = vec![0.0; h];
         let g3 = init(h);
         let mut w3: Vec<f64> = (0..h).map(|_| g3(&mut rng)).collect();
@@ -133,9 +140,7 @@ impl Mlp {
             for (xi, &yi) in x.iter().zip(&y) {
                 // Forward.
                 let a1: Vec<f64> = (0..h)
-                    .map(|i| {
-                        (b1[i] + w1[i].iter().zip(xi).map(|(w, v)| w * v).sum::<f64>()).tanh()
-                    })
+                    .map(|i| (b1[i] + w1[i].iter().zip(xi).map(|(w, v)| w * v).sum::<f64>()).tanh())
                     .collect();
                 let a2: Vec<f64> = (0..h)
                     .map(|i| {
@@ -200,7 +205,15 @@ impl Mlp {
             grads_flat.push(d_b3);
             adam.step(&mut params_flat, &grads_flat, params.learning_rate);
         }
-        Mlp { w1, b1, w2, b2, w3, b3, norm }
+        Mlp {
+            w1,
+            b1,
+            w2,
+            b2,
+            w3,
+            b3,
+            norm,
+        }
     }
 
     /// Predicts one latency (seconds).
@@ -237,7 +250,11 @@ struct AdamState {
 
 impl AdamState {
     fn new(len: usize) -> Self {
-        AdamState { m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+        AdamState {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
     }
 
     fn step(&mut self, params: &mut [&mut f64], grads: &[f64], lr: f64) {
@@ -298,7 +315,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let data = generate(TargetClass::Collective, 60, 4);
-        let params = TrainParams { epochs: 30, ..Default::default() };
+        let params = TrainParams {
+            epochs: 30,
+            ..Default::default()
+        };
         let a = Mlp::train(&data, &params);
         let b = Mlp::train(&data, &params);
         assert_eq!(a.predict(&data.features[0]), b.predict(&data.features[0]));

@@ -173,7 +173,11 @@ impl WaferConfig {
 
     /// The Fig. 3 reference wafer: a 6x8 array on a 215 mm x 215 mm substrate.
     pub fn fig3() -> Self {
-        WaferConfig { mesh_width: 8, mesh_height: 6, ..WaferConfig::hpca() }
+        WaferConfig {
+            mesh_width: 8,
+            mesh_height: 6,
+            ..WaferConfig::hpca()
+        }
     }
 
     /// A custom array size with otherwise default (Table I) parameters.
@@ -187,7 +191,11 @@ impl WaferConfig {
                 "die array must be nonzero, got {width}x{height}"
             )));
         }
-        Ok(WaferConfig { mesh_width: width, mesh_height: height, ..WaferConfig::hpca() })
+        Ok(WaferConfig {
+            mesh_width: width,
+            mesh_height: height,
+            ..WaferConfig::hpca()
+        })
     }
 
     /// Number of dies on the wafer.
@@ -242,10 +250,14 @@ impl WaferConfig {
             return Err(WscError::InvalidConfig("non-positive D2D bandwidth".into()));
         }
         if self.hbm.capacity <= 0.0 || self.hbm.bandwidth <= 0.0 {
-            return Err(WscError::InvalidConfig("non-positive HBM parameters".into()));
+            return Err(WscError::InvalidConfig(
+                "non-positive HBM parameters".into(),
+            ));
         }
         if self.die.peak_flops <= 0.0 || self.die.flops_per_watt <= 0.0 {
-            return Err(WscError::InvalidConfig("non-positive compute parameters".into()));
+            return Err(WscError::InvalidConfig(
+                "non-positive compute parameters".into(),
+            ));
         }
         Ok(())
     }

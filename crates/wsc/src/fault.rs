@@ -29,7 +29,10 @@ pub struct FaultMap {
 impl FaultMap {
     /// A fault-free map for a mesh.
     pub fn healthy(mesh: &Mesh) -> Self {
-        FaultMap { dead_links: BTreeSet::new(), core_fault: vec![0.0; mesh.die_count()] }
+        FaultMap {
+            dead_links: BTreeSet::new(),
+            core_fault: vec![0.0; mesh.die_count()],
+        }
     }
 
     /// Injects link faults: each *undirected* link dies with independent
@@ -42,7 +45,9 @@ impl FaultMap {
         let mut pairs: Vec<(LinkId, LinkId)> = Vec::new();
         for (i, l) in mesh.links().iter().enumerate() {
             if l.src < l.dst {
-                let back = mesh.link_between(l.dst, l.src).expect("mesh links are symmetric");
+                let back = mesh
+                    .link_between(l.dst, l.src)
+                    .expect("mesh links are symmetric");
                 pairs.push((LinkId(i as u32), back));
             }
         }
@@ -125,7 +130,9 @@ impl FaultMap {
         mesh.neighbors(die)
             .into_iter()
             .filter(|n| {
-                mesh.link_between(die, *n).map(|l| !self.link_dead(l)).unwrap_or(false)
+                mesh.link_between(die, *n)
+                    .map(|l| !self.link_dead(l))
+                    .unwrap_or(false)
             })
             .collect()
     }
@@ -165,7 +172,10 @@ impl FaultMap {
                 }
             }
         }
-        Err(WscError::NoRoute { src: src.0, dst: dst.0 })
+        Err(WscError::NoRoute {
+            src: src.0,
+            dst: dst.0,
+        })
     }
 
     /// Whether all dies remain mutually reachable over live links.
@@ -276,7 +286,10 @@ mod tests {
     fn route_to_self_is_trivial() {
         let m = mesh();
         let f = FaultMap::inject_link_faults(&m, 0.5, 3);
-        assert_eq!(f.route_around(&m, DieId(5), DieId(5)).unwrap(), vec![DieId(5)]);
+        assert_eq!(
+            f.route_around(&m, DieId(5), DieId(5)).unwrap(),
+            vec![DieId(5)]
+        );
     }
 
     #[test]

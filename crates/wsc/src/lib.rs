@@ -48,7 +48,12 @@ pub use topology::{Coord, DieId, Link, LinkId, Mesh};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WscError {
     /// A coordinate fell outside the die array.
-    CoordOutOfBounds { x: u32, y: u32, width: u32, height: u32 },
+    CoordOutOfBounds {
+        x: u32,
+        y: u32,
+        width: u32,
+        height: u32,
+    },
     /// A die id did not name a die on this wafer.
     UnknownDie(u32),
     /// Two dies were expected to be mesh neighbors but are not.
@@ -62,8 +67,16 @@ pub enum WscError {
 impl std::fmt::Display for WscError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WscError::CoordOutOfBounds { x, y, width, height } => {
-                write!(f, "coordinate ({x}, {y}) outside {width}x{height} die array")
+            WscError::CoordOutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => {
+                write!(
+                    f,
+                    "coordinate ({x}, {y}) outside {width}x{height} die array"
+                )
             }
             WscError::UnknownDie(d) => write!(f, "unknown die id {d}"),
             WscError::NotAdjacent(a, b) => write!(f, "dies {a} and {b} are not mesh neighbors"),

@@ -24,7 +24,11 @@ pub struct InterWaferLink {
 
 impl Default for InterWaferLink {
     fn default() -> Self {
-        InterWaferLink { bandwidth: 9.0 * TB, latency: 1.0 * US, energy_pj_per_bit: 8.0 }
+        InterWaferLink {
+            bandwidth: 9.0 * TB,
+            latency: 1.0 * US,
+            energy_pj_per_bit: 8.0,
+        }
     }
 }
 
@@ -49,10 +53,16 @@ impl MultiWaferSystem {
     /// wafer configuration is invalid.
     pub fn new(wafer: WaferConfig, wafer_count: usize) -> Result<Self> {
         if wafer_count == 0 {
-            return Err(WscError::InvalidConfig("wafer count must be positive".into()));
+            return Err(WscError::InvalidConfig(
+                "wafer count must be positive".into(),
+            ));
         }
         wafer.validate()?;
-        Ok(MultiWaferSystem { wafer, wafer_count, link: InterWaferLink::default() })
+        Ok(MultiWaferSystem {
+            wafer,
+            wafer_count,
+            link: InterWaferLink::default(),
+        })
     }
 
     /// Total dies across all wafers.

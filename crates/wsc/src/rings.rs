@@ -82,7 +82,10 @@ pub fn ring_order(mesh: &Mesh, dies: &[DieId]) -> Option<Vec<DieId>> {
     }
     // Every vertex needs >= 2 in-set neighbors.
     let in_set_neighbors = |d: DieId| -> Vec<DieId> {
-        mesh.neighbors(d).into_iter().filter(|x| set.contains(x)).collect()
+        mesh.neighbors(d)
+            .into_iter()
+            .filter(|x| set.contains(x))
+            .collect()
     };
     for d in &set {
         if in_set_neighbors(*d).len() < 2 {
@@ -119,15 +122,18 @@ fn hamiltonian_cycle(
         .collect();
     // Warnsdorff-style ordering: fewest onward options first.
     next.sort_by_key(|d| {
-        mesh.neighbors(*d).iter().filter(|x| set.contains(x) && !visited.contains(x)).count()
+        mesh.neighbors(*d)
+            .iter()
+            .filter(|x| set.contains(x) && !visited.contains(x))
+            .count()
     });
     for d in next {
         // Prune: any unvisited vertex stranded with zero unvisited neighbors
         // (other than through cur) cannot be completed.
         path.push(d);
         visited.insert(d);
-        if !strands_vertex(mesh, set, visited, start, d) &&
-            hamiltonian_cycle(mesh, set, path, visited, start, n)
+        if !strands_vertex(mesh, set, visited, start, d)
+            && hamiltonian_cycle(mesh, set, path, visited, start, n)
         {
             return true;
         }
@@ -154,9 +160,7 @@ fn strands_vertex(
         let free = mesh
             .neighbors(*d)
             .into_iter()
-            .filter(|x| {
-                set.contains(x) && (!visited.contains(x) || *x == start || *x == path_end)
-            })
+            .filter(|x| set.contains(x) && (!visited.contains(x) || *x == start || *x == path_end))
             .count();
         if free < 2 {
             return true;
@@ -211,7 +215,11 @@ pub fn allocate_groups(mesh: &Mesh, group_size: usize, policy: GroupPolicy) -> V
         .map(|dies| {
             let ring = ring_order(mesh, &dies);
             let max_logical_hop = max_ring_hop(mesh, &dies);
-            GroupPlacement { dies, ring, max_logical_hop }
+            GroupPlacement {
+                dies,
+                ring,
+                max_logical_hop,
+            }
         })
         .collect()
 }
@@ -254,8 +262,8 @@ fn block_groups(mesh: &Mesh, group_size: usize) -> Vec<Vec<DieId>> {
             None => Some(candidate),
             Some((bw, bh)) => {
                 let best_ringable = bw >= 2 && bh >= 2;
-                let better = (ringable, std::cmp::Reverse(squareness)) >
-                    (best_ringable, std::cmp::Reverse(bw.abs_diff(bh)));
+                let better = (ringable, std::cmp::Reverse(squareness))
+                    > (best_ringable, std::cmp::Reverse(bw.abs_diff(bh)));
                 if better {
                     Some(candidate)
                 } else {
@@ -365,7 +373,10 @@ mod tests {
         let naive_rings = naive.iter().filter(|g| g.is_physical_ring()).count();
         let aware = allocate_groups(&m, 6, GroupPolicy::Blocks);
         let aware_rings = aware.iter().filter(|g| g.is_physical_ring()).count();
-        assert!(aware_rings > naive_rings, "aware {aware_rings} vs naive {naive_rings}");
+        assert!(
+            aware_rings > naive_rings,
+            "aware {aware_rings} vs naive {naive_rings}"
+        );
         assert_eq!(aware_rings, 9, "3x2 blocks tile 9x6 perfectly into rings");
     }
 

@@ -50,7 +50,11 @@ impl Default for SignalModel {
         // Calibrated so that at 8 GHz: 30 mm ≈ 9.6 dB (fine), 50 mm ≈ 16 dB
         // (the tolerable limit), 100 mm ≈ 32 dB and 150 mm ≈ 48 dB (deep in
         // the disallowed region) — matching the shape of Fig. 7(b).
-        SignalModel { base_db_per_mm: 0.08, freq_db_per_mm_ghz: 0.03, base_ber: 1e-18 }
+        SignalModel {
+            base_db_per_mm: 0.08,
+            freq_db_per_mm_ghz: 0.03,
+            base_ber: 1e-18,
+        }
     }
 }
 

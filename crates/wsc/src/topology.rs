@@ -138,26 +138,63 @@ impl Mesh {
                 // Right neighbor.
                 if x + 1 < width {
                     let dst = DieId(y * width + x + 1);
-                    links.push(Link { src, dst, wrap: false });
-                    links.push(Link { src: dst, dst: src, wrap: false });
+                    links.push(Link {
+                        src,
+                        dst,
+                        wrap: false,
+                    });
+                    links.push(Link {
+                        src: dst,
+                        dst: src,
+                        wrap: false,
+                    });
                 } else if torus && width > 2 {
                     let dst = DieId(y * width);
-                    links.push(Link { src, dst, wrap: true });
-                    links.push(Link { src: dst, dst: src, wrap: true });
+                    links.push(Link {
+                        src,
+                        dst,
+                        wrap: true,
+                    });
+                    links.push(Link {
+                        src: dst,
+                        dst: src,
+                        wrap: true,
+                    });
                 }
                 // Down neighbor.
                 if y + 1 < height {
                     let dst = DieId((y + 1) * width + x);
-                    links.push(Link { src, dst, wrap: false });
-                    links.push(Link { src: dst, dst: src, wrap: false });
+                    links.push(Link {
+                        src,
+                        dst,
+                        wrap: false,
+                    });
+                    links.push(Link {
+                        src: dst,
+                        dst: src,
+                        wrap: false,
+                    });
                 } else if torus && height > 2 {
                     let dst = DieId(x);
-                    links.push(Link { src, dst, wrap: true });
-                    links.push(Link { src: dst, dst: src, wrap: true });
+                    links.push(Link {
+                        src,
+                        dst,
+                        wrap: true,
+                    });
+                    links.push(Link {
+                        src: dst,
+                        dst: src,
+                        wrap: true,
+                    });
                 }
             }
         }
-        Ok(Mesh { width, height, torus, links })
+        Ok(Mesh {
+            width,
+            height,
+            torus,
+            links,
+        })
     }
 
     /// Array width (columns).
@@ -221,12 +258,18 @@ impl Mesh {
         if die.0 >= self.width * self.height {
             return Err(WscError::UnknownDie(die.0));
         }
-        Ok(Coord { x: die.0 % self.width, y: die.0 / self.width })
+        Ok(Coord {
+            x: die.0 % self.width,
+            y: die.0 / self.width,
+        })
     }
 
     /// Manhattan distance between two dies, honoring torus wrap if enabled.
     pub fn manhattan(&self, a: DieId, b: DieId) -> u32 {
-        let (ca, cb) = (self.coord(a).expect("die in mesh"), self.coord(b).expect("die in mesh"));
+        let (ca, cb) = (
+            self.coord(a).expect("die in mesh"),
+            self.coord(b).expect("die in mesh"),
+        );
         let dx = ca.x.abs_diff(cb.x);
         let dy = ca.y.abs_diff(cb.y);
         if self.torus {

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wafers.total_peak_flops() / 1e15
     );
 
-    let temp = Temp::new(WaferConfig::hpca(), model, temp_graph::workload::Workload::training(128, 8192));
+    let temp = Temp::new(
+        WaferConfig::hpca(),
+        model,
+        temp_graph::workload::Workload::training(128, 8192),
+    );
 
     // TEMP: pipeline degree = wafer count, TATP inside each wafer.
     let t = temp.evaluate_multiwafer(&BaselineSystem::temp(), &wafers, 1);
@@ -43,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if let (Some(b), Some(c)) = (base.report(), t.report()) {
-        println!("\nTEMP speedup over FSDP+GMap: {:.2}x", b.step_time / c.step_time);
+        println!(
+            "\nTEMP speedup over FSDP+GMap: {:.2}x",
+            b.step_time / c.step_time
+        );
     }
     Ok(())
 }

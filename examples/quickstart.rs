@@ -24,8 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = temp.solve()?;
     println!("\nTEMP plan: {}", plan.config);
     println!("  step time          {}", fmt_time(plan.report.step_time));
-    println!("  throughput         {:.0} tokens/s", plan.report.throughput);
-    println!("  peak memory/die    {}", fmt_bytes(plan.report.memory.total()));
+    println!(
+        "  throughput         {:.0} tokens/s",
+        plan.report.throughput
+    );
+    println!(
+        "  peak memory/die    {}",
+        fmt_bytes(plan.report.memory.total())
+    );
     println!("  power              {:.1} kW", plan.report.power / 1e3);
     println!(
         "  efficiency         {:.1} tokens/s/W",

@@ -18,7 +18,11 @@ fn full_pipeline_plans_and_reports() {
     assert!(plan.report.fits_memory);
     assert!(plan.report.step_time > 0.0);
     assert!(plan.report.throughput > 0.0);
-    assert!(plan.config.tatp >= 4, "TATP should carry the plan: {}", plan.config.label());
+    assert!(
+        plan.config.tatp >= 4,
+        "TATP should carry the plan: {}",
+        plan.config.label()
+    );
 }
 
 #[test]
@@ -30,7 +34,10 @@ fn temp_never_trails_the_best_baseline() {
         .map(|r| r.step_time())
         .fold(f64::INFINITY, f64::min);
     let t = reports[6].step_time();
-    assert!(t <= best_baseline * 1.001, "TEMP {t} vs best baseline {best_baseline}");
+    assert!(
+        t <= best_baseline * 1.001,
+        "TEMP {t} vs best baseline {best_baseline}"
+    );
 }
 
 #[test]
@@ -56,7 +63,12 @@ fn mapping_engines_order_is_preserved_end_to_end() {
     let wafer = WaferConfig::hpca();
     let model = ModelZoo::gpt3_6_7b();
     let workload = Workload::for_model(&model);
-    let cfg = HybridConfig { dp: 4, fsdp: true, tatp: 8, ..Default::default() };
+    let cfg = HybridConfig {
+        dp: 4,
+        fsdp: true,
+        tatp: 8,
+        ..Default::default()
+    };
     let smap = map_hybrid(MappingEngine::SMap, &wafer, &model, &workload, &cfg).unwrap();
     let tcme = map_hybrid(MappingEngine::Tcme, &wafer, &model, &workload, &cfg).unwrap();
     assert!(tcme.comm_time_per_layer <= smap.comm_time_per_layer * 1.01);

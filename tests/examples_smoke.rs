@@ -1,0 +1,55 @@
+//! Smoke test: every `examples/*.rs` target must run to completion.
+//!
+//! The example list is discovered from the `examples/` directory, so a
+//! new example is covered automatically. Each one is executed through
+//! `cargo run --example` (the binaries were already compiled as part of
+//! `cargo test`, so this is mostly process startup plus the example's own
+//! planning work).
+
+use std::path::Path;
+use std::process::Command;
+
+fn example_names() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                Some(
+                    path.file_stem()
+                        .expect("file stem")
+                        .to_string_lossy()
+                        .into_owned(),
+                )
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn every_example_runs_successfully() {
+    let names = example_names();
+    assert!(
+        names.len() >= 5,
+        "expected at least the five seed examples, found {names:?}"
+    );
+    for name in &names {
+        let output = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}

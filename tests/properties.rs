@@ -1,6 +1,11 @@
 //! Property-based tests over the core invariants of the reproduction.
+//!
+//! The offline build environment has no proptest, so each property is
+//! exercised over a seeded randomized sweep (deterministic per run): the
+//! same invariants, driven by explicit case loops instead of a shrinker.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use temp_repro::parallel::strategy::HybridConfig;
 use temp_repro::parallel::tatp::TatpOrchestration;
@@ -10,53 +15,64 @@ use temp_repro::wsc::config::WaferConfig;
 use temp_repro::wsc::fault::FaultMap;
 use temp_repro::wsc::topology::{DieId, Mesh, RouteOrder};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Algorithm 1 invariants hold for every group size.
-    #[test]
-    fn tatp_invariants_hold(n in 1usize..48) {
+/// Algorithm 1 invariants hold for every group size.
+#[test]
+fn tatp_invariants_hold() {
+    for n in 1usize..48 {
         let orch = TatpOrchestration::build(n);
         let stats = orch.validate().expect("valid orchestration");
-        prop_assert!(stats.max_hop_distance <= 1);
-        prop_assert!(stats.peak_buffer <= 8);
+        assert!(stats.max_hop_distance <= 1, "n={n}");
+        assert!(stats.peak_buffer <= 8, "n={n}");
     }
+}
 
-    /// The naive ring is always valid too — it is just slow, not wrong.
-    #[test]
-    fn tspp_ring_is_correct(n in 1usize..32) {
+/// The naive ring is always valid too — it is just slow, not wrong.
+#[test]
+fn tspp_ring_is_correct() {
+    for n in 1usize..32 {
         let orch = TsppOrchestration::build(n);
         let stats = orch.validate().expect("valid ring");
-        prop_assert!(stats.peak_buffer <= 2);
+        assert!(stats.peak_buffer <= 2, "n={n}");
         if n >= 2 {
-            prop_assert_eq!(stats.max_hop_distance, n - 1);
+            assert_eq!(stats.max_hop_distance, n - 1, "n={n}");
         }
     }
+}
 
-    /// XY routes have Manhattan length and valid link sequences.
-    #[test]
-    fn xy_routes_are_minimal(w in 2u32..10, h in 2u32..8, a in 0u32..80, b in 0u32..80) {
+/// XY routes have Manhattan length and valid link sequences.
+#[test]
+fn xy_routes_are_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..64 {
+        let w = rng.gen_range(2u32..10);
+        let h = rng.gen_range(2u32..8);
         let mesh = Mesh::new(w, h).unwrap();
         let n = mesh.die_count() as u32;
-        let (a, b) = (DieId(a % n), DieId(b % n));
+        let a = DieId(rng.gen_range(0u32..80) % n);
+        let b = DieId(rng.gen_range(0u32..80) % n);
         let path = mesh.route(a, b, RouteOrder::XThenY);
-        prop_assert_eq!(path.len() as u32 - 1, mesh.manhattan(a, b));
-        prop_assert!(mesh.path_links(&path).is_ok());
+        assert_eq!(
+            path.len() as u32 - 1,
+            mesh.manhattan(a, b),
+            "{w}x{h} {a:?}->{b:?}"
+        );
+        assert!(mesh.path_links(&path).is_ok(), "{w}x{h} {a:?}->{b:?}");
     }
+}
 
-    /// Max–min fair sharing never finishes earlier than the most loaded
-    /// link allows, and never later than full serialization.
-    #[test]
-    fn contention_bounds(seed in 0u64..1000) {
-        use rand::{Rng, SeedableRng};
-        let cfg = WaferConfig::hpca();
-        let mesh = cfg.mesh();
-        let sim = ContentionSim::new(&cfg);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Max–min fair sharing never finishes earlier than the most loaded link
+/// allows, and never later than full serialization.
+#[test]
+fn contention_bounds() {
+    let cfg = WaferConfig::hpca();
+    let mesh = cfg.mesh();
+    let sim = ContentionSim::new(&cfg);
+    for seed in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let flows: Vec<Flow> = (0..6)
             .map(|_| {
-                let a = DieId(rng.gen_range(0..32));
-                let b = DieId(rng.gen_range(0..32));
+                let a = DieId(rng.gen_range(0u32..32));
+                let b = DieId(rng.gen_range(0u32..32));
                 Flow::xy(&mesh, a, b, rng.gen_range(1.0e6..64.0e6))
             })
             .collect();
@@ -64,30 +80,39 @@ proptest! {
         let lower = sim.congestion_lower_bound(&flows);
         // Store-and-forward upper bound: every flow fully serialized.
         let upper: f64 = flows.iter().map(|f| sim.solo_time(f)).sum::<f64>() + 1e-9;
-        prop_assert!(report.makespan + 1e-12 >= lower);
-        prop_assert!(report.makespan <= upper * 1.001);
+        assert!(report.makespan + 1e-12 >= lower, "seed={seed}");
+        assert!(report.makespan <= upper * 1.001, "seed={seed}");
     }
+}
 
-    /// Fault-free maps keep all pairs mutually reachable; the rerouted path
-    /// is never shorter than the Manhattan distance.
-    #[test]
-    fn fault_reroutes_are_sane(rate in 0.0f64..0.2, seed in 0u64..50) {
-        let cfg = WaferConfig::hpca();
-        let mesh = cfg.mesh();
+/// Fault-free maps keep all pairs mutually reachable; the rerouted path is
+/// never shorter than the Manhattan distance.
+#[test]
+fn fault_reroutes_are_sane() {
+    let cfg = WaferConfig::hpca();
+    let mesh = cfg.mesh();
+    let mut rng = StdRng::seed_from_u64(0xFA017);
+    for seed in 0u64..50 {
+        let rate = rng.gen_range(0.0f64..0.2);
         let faults = FaultMap::inject_link_faults(&mesh, rate, seed);
         if faults.is_connected(&mesh) {
             let path = faults.route_around(&mesh, DieId(0), DieId(31)).unwrap();
-            prop_assert!(path.len() as u32 - 1 >= mesh.manhattan(DieId(0), DieId(31)));
+            assert!(
+                path.len() as u32 > mesh.manhattan(DieId(0), DieId(31)),
+                "rate={rate} seed={seed}"
+            );
         }
     }
+}
 
-    /// Hybrid configuration enumeration always covers the die count.
-    #[test]
-    fn enumerated_tuples_cover_dies(exp in 2u32..7) {
+/// Hybrid configuration enumeration always covers the die count.
+#[test]
+fn enumerated_tuples_cover_dies() {
+    for exp in 2u32..7 {
         let dies = 1usize << exp;
         for cfg in HybridConfig::enumerate_tuples(dies, false) {
-            prop_assert_eq!(cfg.intra_wafer_degree(), dies);
-            prop_assert!(cfg.validate(dies).is_ok());
+            assert_eq!(cfg.intra_wafer_degree(), dies, "dies={dies}");
+            assert!(cfg.validate(dies).is_ok(), "dies={dies}");
         }
     }
 }

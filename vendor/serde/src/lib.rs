@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in the
+//! reproduction actually serializes data yet — the `Serialize` /
+//! `Deserialize` derives on domain types only declare *intent* (reports
+//! and plans are designed to be dumpable). This crate keeps those derives
+//! compiling: the traits are markers with blanket impls and the derive
+//! macros (re-exported from `serde_derive`) expand to nothing.
+//!
+//! When the workspace gains real serialization needs (e.g. persisting
+//! bench trajectories), swap this path dependency for crates.io `serde`;
+//! every `use serde::{Deserialize, Serialize}` site is already correct.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde facade (see `vendor/serde`). Serialization is
+//! not exercised anywhere in the reproduction — the derives only need to
+//! *exist* so that `#[derive(Serialize, Deserialize)]` keeps compiling —
+//! so both macros expand to an empty token stream. The marker traits in
+//! `vendor/serde` carry blanket impls, which keeps any `T: Serialize`
+//! bound satisfiable.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
