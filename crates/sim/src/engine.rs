@@ -186,6 +186,9 @@ impl RoundReport {
 pub struct ScheduleEngine {
     cfg: WaferConfig,
     contention: ContentionSim,
+    /// Directed-link count, computed once (building a mesh per run would
+    /// put a fresh link-index table on the hot path).
+    link_count: usize,
 }
 
 impl ScheduleEngine {
@@ -194,6 +197,7 @@ impl ScheduleEngine {
         ScheduleEngine {
             cfg: cfg.clone(),
             contention: ContentionSim::new(cfg),
+            link_count: cfg.mesh().link_count(),
         }
     }
 
@@ -208,8 +212,15 @@ impl ScheduleEngine {
         let mut compute_time = 0.0;
         let mut comm_time = 0.0;
         let mut exposed = 0.0;
-        let mut die_busy: HashMap<DieId, f64> = HashMap::new();
-        let mut link_bytes: HashMap<LinkId, f64> = HashMap::new();
+        // Accumulate per-die / per-link totals in dense arrays (ids are
+        // dense indices); the report's maps are built once at the end.
+        // `touched` preserves the HashMap semantics exactly: an entry
+        // exists iff some task/flow referenced the die/link, even with a
+        // zero value (bandwidth_utilization divides by the entry count).
+        let mut die_busy_dense = vec![0.0f64; self.cfg.die_count()];
+        let mut die_touched = vec![false; self.cfg.die_count()];
+        let mut link_bytes_dense = vec![0.0f64; self.link_count];
+        let mut link_touched = vec![false; self.link_count];
         let mut energy = EnergyLedger::new();
 
         for round in &schedule.rounds {
@@ -234,18 +245,40 @@ impl ScheduleEngine {
             exposed += (round_time - comp_max).max(0.0);
 
             for t in &round.compute {
-                *die_busy.entry(t.die).or_insert(0.0) += t.seconds;
+                if t.die.index() >= die_busy_dense.len() {
+                    die_busy_dense.resize(t.die.index() + 1, 0.0);
+                    die_touched.resize(t.die.index() + 1, false);
+                }
+                die_busy_dense[t.die.index()] += t.seconds;
+                die_touched[t.die.index()] = true;
                 energy.add_compute(t.flops, &self.cfg);
                 energy.add_hbm(t.hbm_bytes, &self.cfg);
             }
             for f in &round.flows {
                 energy.add_d2d(f.bytes, f.hops() as f64, &self.cfg);
                 for l in &f.route {
-                    *link_bytes.entry(*l).or_insert(0.0) += f.bytes;
+                    if l.index() >= link_bytes_dense.len() {
+                        link_bytes_dense.resize(l.index() + 1, 0.0);
+                        link_touched.resize(l.index() + 1, false);
+                    }
+                    link_bytes_dense[l.index()] += f.bytes;
+                    link_touched[l.index()] = true;
                 }
             }
         }
 
+        let die_busy: HashMap<DieId, f64> = die_busy_dense
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| die_touched[*i])
+            .map(|(i, v)| (DieId(i as u32), v))
+            .collect();
+        let link_bytes: HashMap<LinkId, f64> = link_bytes_dense
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| link_touched[*i])
+            .map(|(i, v)| (LinkId(i as u32), v))
+            .collect();
         RoundReport {
             total_time,
             compute_time,
@@ -339,6 +372,28 @@ mod tests {
         s.push(round);
         let r = e.run(&s);
         assert!((r.compute_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_valued_entries_survive_the_dense_accumulation() {
+        // A zero-byte flow and a zero-second task must still appear in
+        // the report maps (bandwidth_utilization divides by entry count).
+        let e = engine();
+        let m = mesh();
+        let mut s = RoundSchedule::new();
+        s.push(
+            Round::overlapped("r")
+                .with_compute(ComputeTask::timed(DieId(5), 0.0))
+                .with_compute(ComputeTask::timed(DieId(0), 1.0e-3))
+                .with_flow(Flow::xy(&m, DieId(0), DieId(1), 0.0))
+                .with_flow(Flow::xy(&m, DieId(2), DieId(3), 1.0 * MB)),
+        );
+        let r = e.run(&s);
+        assert_eq!(r.die_busy.len(), 2);
+        assert_eq!(r.die_busy[&DieId(5)], 0.0);
+        assert_eq!(r.link_bytes.len(), 2);
+        let l01 = m.link_between(DieId(0), DieId(1)).unwrap();
+        assert_eq!(r.link_bytes[&l01], 0.0);
     }
 
     #[test]

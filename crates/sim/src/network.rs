@@ -115,6 +115,107 @@ pub struct ContentionSim {
     pub hop_latency: f64,
 }
 
+/// Reusable dense per-link state for the water-filling inner loop.
+///
+/// The reference implementation rebuilds `HashMap<LinkId, f64>` rate maps
+/// on every progressive-filling iteration; this scratch indexes flat
+/// `Vec`s by [`LinkId::index`] and uses a generation stamp so per-round
+/// resets touch only the links the active flows actually cross.
+struct DenseScratch {
+    /// Remaining capacity per link (valid where `stamp == generation`).
+    cap: Vec<f64>,
+    /// Unassigned active flows crossing each link.
+    count: Vec<u32>,
+    /// Active-flow positions crossing each link.
+    flows_at: Vec<Vec<u32>>,
+    /// Generation stamp per link.
+    stamp: Vec<u64>,
+    /// Current generation.
+    generation: u64,
+    /// Links touched this generation.
+    used: Vec<usize>,
+}
+
+impl DenseScratch {
+    fn new(link_count: usize) -> Self {
+        DenseScratch {
+            cap: vec![0.0; link_count],
+            count: vec![0; link_count],
+            flows_at: (0..link_count).map(|_| Vec::new()).collect(),
+            stamp: vec![0; link_count],
+            generation: 0,
+            used: Vec::with_capacity(link_count),
+        }
+    }
+
+    fn grow_to(&mut self, links: usize) {
+        if links > self.cap.len() {
+            self.cap.resize(links, 0.0);
+            self.count.resize(links, 0);
+            self.flows_at.resize_with(links, Vec::new);
+            self.stamp.resize(links, 0);
+        }
+    }
+
+    /// Max–min fair rates for the active flows, dense-array water-filling.
+    fn fair_rates(&mut self, bandwidth: f64, flows: &[Flow], active: &[usize]) -> Vec<f64> {
+        self.generation += 1;
+        self.used.clear();
+        for (pos, &i) in active.iter().enumerate() {
+            for l in &flows[i].route {
+                let idx = l.index();
+                self.grow_to(idx + 1);
+                if self.stamp[idx] != self.generation {
+                    self.stamp[idx] = self.generation;
+                    self.cap[idx] = bandwidth;
+                    self.count[idx] = 0;
+                    self.flows_at[idx].clear();
+                    self.used.push(idx);
+                }
+                self.count[idx] += 1;
+                self.flows_at[idx].push(pos as u32);
+            }
+        }
+        let mut rate = vec![0.0f64; active.len()];
+        let mut assigned = vec![false; active.len()];
+        let mut unassigned = active.len();
+        while unassigned > 0 {
+            // Bottleneck link: smallest fair share among links that still
+            // carry unassigned flows.
+            let mut best: Option<(usize, f64)> = None;
+            for &idx in &self.used {
+                if self.count[idx] == 0 {
+                    continue;
+                }
+                let share = self.cap[idx] / self.count[idx] as f64;
+                if best.map(|(_, s)| share < s).unwrap_or(true) {
+                    best = Some((idx, share));
+                }
+            }
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
+            // Freeze every unassigned flow crossing the bottleneck at the
+            // bottleneck share; subtract it along their routes.
+            for fp in 0..self.flows_at[bottleneck].len() {
+                let p = self.flows_at[bottleneck][fp] as usize;
+                if assigned[p] {
+                    continue;
+                }
+                rate[p] = share;
+                assigned[p] = true;
+                unassigned -= 1;
+                for l in &flows[active[p]].route {
+                    let idx = l.index();
+                    self.cap[idx] = (self.cap[idx] - share).max(0.0);
+                    self.count[idx] -= 1;
+                }
+            }
+        }
+        rate
+    }
+}
+
 impl ContentionSim {
     /// Builds the simulator from a wafer configuration.
     pub fn new(cfg: &WaferConfig) -> Self {
@@ -159,6 +260,18 @@ impl ContentionSim {
     /// `bytes * hops` at its max–min rate, while each crossed link is loaded
     /// with `bytes`.
     pub fn simulate(&self, flows: &[Flow]) -> ContentionReport {
+        self.run(flows, false)
+    }
+
+    /// As [`ContentionSim::simulate`] but computing fair rates with the
+    /// original `HashMap`-keyed water-filling. Retained as the reference
+    /// implementation the dense fast path is regression-tested against
+    /// (see `tests/two_tier.rs`); not intended for production use.
+    pub fn simulate_reference(&self, flows: &[Flow]) -> ContentionReport {
+        self.run(flows, true)
+    }
+
+    fn run(&self, flows: &[Flow], reference: bool) -> ContentionReport {
         let n = flows.len();
         let mut remaining: Vec<f64> = flows
             .iter()
@@ -168,13 +281,35 @@ impl ContentionSim {
         let mut active: Vec<usize> = (0..n)
             .filter(|i| !flows[*i].route.is_empty() && remaining[*i] > 0.0)
             .collect();
+        // Size the dense scratch by the links the flows actually touch —
+        // no mesh lookup needed, and single-flow runs allocate nothing.
+        let scratch_links = if reference || active.len() <= 1 {
+            0
+        } else {
+            flows
+                .iter()
+                .flat_map(|f| &f.route)
+                .map(|l| l.index() + 1)
+                .max()
+                .unwrap_or(0)
+        };
+        let mut scratch = DenseScratch::new(scratch_links);
         // Zero-route flows (local) and zero-byte flows complete immediately.
         let mut now = 0.0f64;
         let mut guard = 0usize;
         while !active.is_empty() {
             guard += 1;
             assert!(guard < 100_000, "contention sim failed to converge");
-            let rates = self.fair_rates(flows, &active);
+            let rates = if active.len() == 1 {
+                // A lone flow is never contended: every link it crosses
+                // serves exactly one flow, so its max–min rate is the full
+                // link bandwidth (identical in both formulations).
+                vec![self.link_bandwidth]
+            } else if reference {
+                self.fair_rates_reference(flows, &active)
+            } else {
+                scratch.fair_rates(self.link_bandwidth, flows, &active)
+            };
             // Time until the first active flow drains.
             let mut dt = f64::INFINITY;
             for (idx, &i) in active.iter().enumerate() {
@@ -215,12 +350,14 @@ impl ContentionSim {
         }
     }
 
-    /// Max–min fair rates for the active flows (indices into `flows`).
+    /// Max–min fair rates for the active flows (indices into `flows`) —
+    /// the `HashMap`-keyed reference formulation of the water-filling that
+    /// [`DenseScratch::fair_rates`] reimplements over flat link arrays.
     ///
     /// Water-filling: repeatedly find the link whose fair share
     /// (remaining capacity / unassigned flows crossing it) is smallest,
     /// freeze those flows at that rate, subtract, continue.
-    fn fair_rates(&self, flows: &[Flow], active: &[usize]) -> Vec<f64> {
+    fn fair_rates_reference(&self, flows: &[Flow], active: &[usize]) -> Vec<f64> {
         let mut rate = vec![0.0f64; active.len()];
         let mut assigned = vec![false; active.len()];
         // Link -> (capacity left, unassigned flow positions crossing it).
@@ -382,6 +519,26 @@ mod tests {
         let (mesh, _) = setup();
         let res = Flow::with_path(&mesh, &[DieId(0), DieId(2)], 1.0);
         assert!(matches!(res, Err(SimError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn dense_and_reference_fair_sharing_agree() {
+        let (mesh, sim) = setup();
+        // A contended mix: row traffic sharing links, column crossings and
+        // a long diagonal flow, all concurrent.
+        let mut flows = Vec::new();
+        for i in 0..4 {
+            flows.push(Flow::xy(&mesh, DieId(i), DieId(i + 2), 64.0 * MB));
+            flows.push(Flow::xy(&mesh, DieId(i), DieId(i + 16), 32.0 * MB));
+        }
+        flows.push(Flow::xy(&mesh, DieId(0), DieId(31), 128.0 * MB));
+        let dense = sim.simulate(&flows);
+        let reference = sim.simulate_reference(&flows);
+        assert!((dense.makespan - reference.makespan).abs() <= 1e-9 * reference.makespan);
+        for (d, r) in dense.completion.iter().zip(&reference.completion) {
+            assert!((d - r).abs() <= 1e-9 * r.abs().max(1e-12), "{d} vs {r}");
+        }
+        assert_eq!(dense.link_bytes, reference.link_bytes);
     }
 
     #[test]

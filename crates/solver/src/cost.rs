@@ -115,6 +115,26 @@ impl WaferCostModel {
         &self.workload
     }
 
+    /// Cheap analytic surrogate features of one evaluation key — the
+    /// tier-1 input of the two-tier search. Closed-form arithmetic only:
+    /// no layout, no routing, no contention simulation, so a whole
+    /// candidate batch can be featurized in microseconds.
+    pub fn feature_vector(
+        &self,
+        cfg: &HybridConfig,
+        engine: MappingEngine,
+        mode: temp_graph::workload::RecomputeMode,
+    ) -> Vec<f64> {
+        temp_surrogate::config_features(
+            &self.model,
+            &self.workload,
+            &self.wafer,
+            cfg,
+            engine_code(engine),
+            mode,
+        )
+    }
+
     /// Evaluates one configuration end to end (Eq. 4).
     ///
     /// # Errors
@@ -325,6 +345,16 @@ impl WaferCostModel {
 /// Micro-batching divides the batch dimension before DP does.
 fn micro_share(workload: &Workload) -> u64 {
     workload.micro_batches.max(1)
+}
+
+/// Stable engine encoding for surrogate features (the surrogate crate
+/// does not depend on `temp-mapping`).
+pub(crate) fn engine_code(engine: MappingEngine) -> u8 {
+    match engine {
+        MappingEngine::SMap => 0,
+        MappingEngine::GMap => 1,
+        MappingEngine::Tcme => 2,
+    }
 }
 
 /// Hashable key for a strategy (ParallelKind lacks Ord; a small int does).

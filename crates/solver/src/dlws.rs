@@ -98,6 +98,18 @@ impl Dlws {
         self
     }
 
+    /// Enables the surrogate gate on the shared context: candidate
+    /// batches are ranked by the learned predictor and only the top-K
+    /// survivors pay the exact cost model (see
+    /// [`crate::surrogate_gate`]). The final DP/GA ranking still consumes
+    /// exact reports, so the plan matches exhaustive search whenever the
+    /// exact winner survives the gate.
+    pub fn with_surrogate_gate(self) -> Self {
+        self.ctx
+            .set_cost_tier(crate::search::CostTier::SurrogateGated);
+        self
+    }
+
     /// All candidate configurations for this wafer (enumerated once, at
     /// context construction).
     pub fn candidates(&self) -> Vec<HybridConfig> {

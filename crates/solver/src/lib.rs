@@ -15,7 +15,10 @@
 //!   for the ILP formulation whose search time §VIII-H compares against;
 //! * [`search`] — the shared search pipeline: candidates enumerated once,
 //!   evaluations memoized behind a thread-safe cache, cache misses costed
-//!   in parallel;
+//!   in parallel, with a two-tier [`search::CostTier`] switch;
+//! * [`surrogate_gate`] — tier 1 of the two-tier pipeline: a learned
+//!   predictor ranks candidate batches so the exact model only runs on
+//!   the top-K survivors (§VII-A);
 //! * [`par`] — the scoped-thread data-parallel map the search uses;
 //! * [`dlws`] — the end-to-end solver: enumerate → cost → DP → GA → plan.
 //!
@@ -41,10 +44,12 @@ pub mod ga;
 pub mod ilp;
 pub mod par;
 pub mod search;
+pub mod surrogate_gate;
 
 pub use cost::{CostReport, WaferCostModel};
 pub use dlws::{Dlws, ExecutionPlan};
-pub use search::{SearchContext, SearchStats};
+pub use search::{CostTier, SearchContext, SearchStats};
+pub use surrogate_gate::GateParams;
 
 /// Errors produced by the solver.
 #[derive(Debug, Clone, PartialEq)]

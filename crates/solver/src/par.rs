@@ -10,10 +10,26 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of workers a parallel map would use on this machine.
+///
+/// Honors a `TEMP_THREADS` environment override (clamped to the machine's
+/// `available_parallelism`) so CI and benchmarks can pin worker counts
+/// reproducibly; unset, zero or unparsable values fall back to the
+/// hardware count.
 pub fn available_workers() -> usize {
-    std::thread::available_parallelism()
+    let hardware = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    clamp_override(std::env::var("TEMP_THREADS").ok().as_deref(), hardware)
+}
+
+/// The `TEMP_THREADS` clamping rule, factored out so it is testable
+/// without mutating process environment (setenv racing getenv across
+/// test threads is undefined behavior on glibc).
+fn clamp_override(raw: Option<&str>, hardware: usize) -> usize {
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(hardware),
+        _ => hardware,
+    }
 }
 
 /// Maps `f` over `items`, preserving order, using up to
@@ -105,5 +121,15 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let items = [1u32, 2, 3];
         assert_eq!(par_map_with(64, &items, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn temp_threads_override_clamps_and_falls_back() {
+        assert_eq!(clamp_override(Some("1"), 8), 1);
+        assert_eq!(clamp_override(Some(" 4 "), 8), 4, "whitespace tolerated");
+        assert_eq!(clamp_override(Some("1000000"), 8), 8, "clamped to machine");
+        assert_eq!(clamp_override(Some("0"), 8), 8, "zero is ignored");
+        assert_eq!(clamp_override(Some("not-a-number"), 8), 8);
+        assert_eq!(clamp_override(None, 8), 8);
     }
 }

@@ -30,11 +30,35 @@ use temp_parallel::strategy::HybridConfig;
 
 use crate::cost::{CostReport, WaferCostModel};
 use crate::par;
+use crate::surrogate_gate::{self, GateParams};
 
 /// Memoization key: one cost-model evaluation is fully determined by the
 /// configuration, the mapping engine and the recompute mode (the wafer,
 /// model and the rest of the workload are fixed per context).
 pub type EvalKey = (HybridConfig, MappingEngine, RecomputeMode);
+
+/// Which evaluation pipeline batch costing runs (§VII-A).
+///
+/// * [`CostTier::Exact`] — every candidate pays the full cost model
+///   (mapping + contention simulation). The default; bit-identical to the
+///   pre-gate behavior.
+/// * [`CostTier::SurrogateGated`] — a learned predictor ranks the batch
+///   in microseconds, the exact model runs only on a stride-sampled
+///   training set plus the top-K survivors (in surrogate-ranked order, so
+///   the most promising candidates finish first), and everything the gate
+///   prunes is reported infeasible without evaluation. The final DP/GA
+///   ranking always consumes exact [`CostReport`]s, so the returned plan
+///   is identical to exhaustive search whenever the exact winner survives
+///   the gate — which the default [`GateParams`] guarantee across the
+///   fig13 model zoo (asserted by `tests/two_tier.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostTier {
+    /// Exact costing of every candidate.
+    #[default]
+    Exact,
+    /// Surrogate-ranked shortlist, exact costing of survivors only.
+    SurrogateGated,
+}
 
 /// A costed candidate: its objective (step time; infinite when nothing
 /// fits memory) and, when feasible, the workload it was planned under
@@ -50,6 +74,8 @@ pub struct SearchStats {
     /// keys costed unless two concurrent solves race on the same key (the
     /// cache stays consistent either way; only this counter can inflate).
     pub misses: u64,
+    /// Candidates the surrogate gate pruned without exact evaluation.
+    pub gate_pruned: u64,
 }
 
 impl SearchStats {
@@ -78,9 +104,14 @@ pub struct SearchContext {
     full_reshard: f64,
     /// Whether batch costing may fan out over threads.
     parallel: AtomicBool,
+    /// Which evaluation pipeline `cost_candidates` runs.
+    tier: RwLock<CostTier>,
+    /// Surrogate-gate tuning (stride, top-K, minimum batch size).
+    gate: RwLock<GateParams>,
     cache: RwLock<HashMap<EvalKey, Option<CostReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    pruned: AtomicU64,
 }
 
 impl SearchContext {
@@ -111,9 +142,12 @@ impl SearchContext {
             base_candidates,
             full_reshard,
             parallel: AtomicBool::new(true),
+            tier: RwLock::new(CostTier::Exact),
+            gate: RwLock::new(GateParams::default()),
             cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
         }
     }
 
@@ -150,6 +184,32 @@ impl SearchContext {
         self.parallel.load(Ordering::Relaxed)
     }
 
+    /// Selects the evaluation pipeline for batch costing (default:
+    /// [`CostTier::Exact`]).
+    pub fn set_cost_tier(&self, tier: CostTier) {
+        *self.tier.write().expect("tier lock") = tier;
+    }
+
+    /// The active evaluation pipeline.
+    pub fn cost_tier(&self) -> CostTier {
+        *self.tier.read().expect("tier lock")
+    }
+
+    /// Overrides the surrogate-gate tuning parameters.
+    pub fn set_gate_params(&self, params: GateParams) {
+        *self.gate.write().expect("gate lock") = params;
+    }
+
+    /// The surrogate-gate tuning parameters.
+    pub fn gate_params(&self) -> GateParams {
+        *self.gate.read().expect("gate lock")
+    }
+
+    /// Records candidates skipped by the surrogate gate (internal).
+    pub(crate) fn note_pruned(&self, n: u64) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Resharding (transition) cost between two candidate configurations.
     pub fn resharding_cost(&self, a: &HybridConfig, b: &HybridConfig) -> f64 {
         if a == b {
@@ -164,6 +224,7 @@ impl SearchContext {
         SearchStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            gate_pruned: self.pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -192,6 +253,38 @@ impl SearchContext {
         cache.entry(key).or_insert(result).clone()
     }
 
+    /// As [`SearchContext::cost_of`] but answered purely from the cache:
+    /// returns `None` when the cached entries cannot determine the
+    /// outcome (some mode on the escalation path is not cached yet).
+    /// Never evaluates and never touches the hit/miss counters — the
+    /// surrogate gate uses this so pruning a warm context still surfaces
+    /// the exact results it already owns.
+    pub(crate) fn cost_of_cached(
+        &self,
+        cfg: &HybridConfig,
+        engine: MappingEngine,
+    ) -> Option<CandidateCost> {
+        let base_mode = self.cost.workload().recompute;
+        let cache = self.cache.read().expect("cache lock");
+        let mut tried_base = false;
+        for mode in [base_mode, RecomputeMode::Full] {
+            if tried_base && mode == base_mode {
+                continue;
+            }
+            tried_base = true;
+            match cache.get(&(*cfg, engine, mode))? {
+                Some(report) if report.fits_memory => {
+                    let workload = self.cost.workload().clone().with_recompute(mode);
+                    return Some((report.step_time, Some((workload, report.clone()))));
+                }
+                // Cached OOM or layout failure: try the next mode, exactly
+                // like `cost_of`'s escalation.
+                _ => {}
+            }
+        }
+        Some((f64::INFINITY, None))
+    }
+
     /// Costs a candidate, escalating recompute on OOM; infeasible
     /// candidates get infinite cost. Never mutates cached state — the
     /// returned payload is a clone, so the context stays valid across
@@ -214,9 +307,27 @@ impl SearchContext {
         (f64::INFINITY, None)
     }
 
-    /// Costs a batch of candidates, filling cache misses in parallel when
-    /// enabled.
+    /// Costs a batch of candidates under the active [`CostTier`], filling
+    /// cache misses in parallel when enabled. The returned vector is
+    /// aligned with `candidates`; under [`CostTier::SurrogateGated`],
+    /// candidates the gate prunes are reported as infeasible
+    /// (`f64::INFINITY`, no report) without ever running the cost model.
     pub fn cost_candidates(
+        &self,
+        candidates: &[HybridConfig],
+        engine: MappingEngine,
+    ) -> Vec<CandidateCost> {
+        match self.cost_tier() {
+            CostTier::Exact => self.cost_candidates_exact(candidates, engine),
+            CostTier::SurrogateGated => {
+                surrogate_gate::cost_candidates_gated(self, candidates, engine, self.gate_params())
+            }
+        }
+    }
+
+    /// The exact (tier-2) batch costing path: every candidate runs the
+    /// full cost model, misses fill in parallel when enabled.
+    pub fn cost_candidates_exact(
         &self,
         candidates: &[HybridConfig],
         engine: MappingEngine,
@@ -331,7 +442,11 @@ mod tests {
 
     #[test]
     fn hit_rate_reflects_counters() {
-        let s = SearchStats { hits: 3, misses: 1 };
+        let s = SearchStats {
+            hits: 3,
+            misses: 1,
+            gate_pruned: 0,
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(SearchStats::default().hit_rate(), 0.0);
     }

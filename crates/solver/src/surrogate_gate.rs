@@ -1,0 +1,281 @@
+//! Tier-1 of the two-tier evaluation pipeline: a learned cost surrogate
+//! that shortlists candidates before the exact cost model runs (§VII-A,
+//! Fig. 21 — surrogate queries are 100–1000x faster than re-simulation).
+//!
+//! For one batch of candidates the gate:
+//!
+//! 1. resolves memory feasibility with the **exact footprint arithmetic**
+//!    the cost model itself uses (`per_die_footprint` is closed-form, no
+//!    mapping or contention simulation) — candidates that OOM even under
+//!    full recomputation are reported infeasible without ever running the
+//!    expensive pipeline, which is a pure win: the exhaustive path would
+//!    simulate them only to discard them;
+//! 2. exact-costs a stride-sampled **training set** of the feasible
+//!    candidates (these evaluations land in the shared cache, so nothing
+//!    is wasted);
+//! 3. fits a [`LinearRegression`] from the cheap analytic features of
+//!    [`crate::cost::WaferCostModel::feature_vector`] to log step time;
+//! 4. predicts the remaining candidates in microseconds and keeps the
+//!    **top-K** by predicted cost, exact-costing them in surrogate-ranked
+//!    order so the most promising candidates finish first under the
+//!    work-stealing parallel map;
+//! 5. reports everything else infeasible without evaluation.
+//!
+//! The DP/GA ranking downstream only ever consumes exact
+//! [`crate::cost::CostReport`]s, so the solved plan is identical to
+//! exhaustive exact search whenever the exact winner survives the gate.
+//! The default [`GateParams`] are sized so it does across the fig13 model
+//! zoo (asserted by `tests/two_tier.rs`); if the predictor cannot be fit
+//! (degenerate batch, nothing feasible in the training set) the gate
+//! falls back to exact costing of the whole batch.
+
+use temp_graph::workload::RecomputeMode;
+use temp_mapping::engines::MappingEngine;
+use temp_parallel::memory::per_die_footprint;
+use temp_parallel::strategy::HybridConfig;
+use temp_surrogate::dataset::{Dataset, TargetClass};
+use temp_surrogate::linreg::LinearRegression;
+
+use crate::search::{CandidateCost, SearchContext};
+
+/// Tuning of the surrogate gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateParams {
+    /// Candidates kept for exact costing beyond the training set. The
+    /// default carries a safety margin: across the fig13 model zoo the
+    /// exhaustive winner always ranks well inside the top K.
+    pub top_k: usize,
+    /// Every `train_stride`-th candidate is exact-costed to fit the
+    /// predictor.
+    pub train_stride: usize,
+    /// Batches smaller than this skip the gate entirely (training +
+    /// survivors would cover most of the batch anyway).
+    pub min_batch: usize,
+}
+
+impl Default for GateParams {
+    fn default() -> Self {
+        GateParams {
+            top_k: 16,
+            train_stride: 8,
+            min_batch: 48,
+        }
+    }
+}
+
+/// Minimum finite training samples required to trust a fit.
+const MIN_TRAIN_SAMPLES: usize = 6;
+
+/// Costs a batch through the surrogate gate. The returned vector is
+/// aligned with `candidates`; pruned entries are `(f64::INFINITY, None)`.
+pub(crate) fn cost_candidates_gated(
+    ctx: &SearchContext,
+    candidates: &[HybridConfig],
+    engine: MappingEngine,
+    params: GateParams,
+) -> Vec<CandidateCost> {
+    let n = candidates.len();
+    if n < params.min_batch.max(1) {
+        return ctx.cost_candidates_exact(candidates, engine);
+    }
+
+    // Memory precheck: `cost_of` declares a candidate infeasible exactly
+    // when the per-die footprint overflows HBM in the base recompute mode
+    // *and* under full recomputation. Both footprints are closed-form, so
+    // memory-infeasible candidates are resolved here without ever running
+    // mapping + contention simulation. (Layout failures remain possible
+    // among the survivors; they cost one evaluation and come back
+    // infinite, exactly as in the exhaustive path.)
+    let model = ctx.cost_model();
+    let base_wl = model.workload().clone();
+    let full_wl = base_wl.clone().with_recompute(RecomputeMode::Full);
+    let hbm = model.wafer().hbm.capacity;
+    let fits = |cfg: &HybridConfig| {
+        per_die_footprint(model.model(), &base_wl, cfg).fits(hbm)
+            || per_die_footprint(model.model(), &full_wl, cfg).fits(hbm)
+    };
+    let feasible: Vec<usize> = (0..n).filter(|&i| fits(&candidates[i])).collect();
+    let mut out: Vec<CandidateCost> = vec![(f64::INFINITY, None); n];
+
+    let stride = params.train_stride.max(1);
+    let train_count = feasible.len().div_ceil(stride);
+    if train_count + params.top_k >= feasible.len() {
+        // The surrogate cannot save anything on a batch this small: cost
+        // every memory-feasible candidate exactly.
+        let cfgs: Vec<HybridConfig> = feasible.iter().map(|&i| candidates[i]).collect();
+        for (&i, cost) in feasible
+            .iter()
+            .zip(ctx.cost_candidates_exact(&cfgs, engine))
+        {
+            out[i] = cost;
+        }
+        ctx.note_pruned((n - feasible.len()) as u64);
+        return out;
+    }
+
+    // Tier 2 on the training set: exact costs, shared through the cache.
+    let train_idx: Vec<usize> = feasible.iter().copied().step_by(stride).collect();
+    let train_cfgs: Vec<HybridConfig> = train_idx.iter().map(|&i| candidates[i]).collect();
+    let train_costs = ctx.cost_candidates_exact(&train_cfgs, engine);
+
+    // Fit the predictor on the training samples that planned.
+    let mode = base_wl.recompute;
+    let mut features = Vec::with_capacity(train_idx.len());
+    let mut targets = Vec::with_capacity(train_idx.len());
+    for (cfg, (t, _)) in train_cfgs.iter().zip(&train_costs) {
+        if t.is_finite() {
+            features.push(model.feature_vector(cfg, engine, mode));
+            targets.push(*t);
+        }
+    }
+    if features.len() < MIN_TRAIN_SAMPLES {
+        // Not enough signal to rank safely: fall back to exact costing of
+        // the memory-feasible candidates.
+        let rest: Vec<usize> = feasible
+            .iter()
+            .copied()
+            .filter(|i| !train_idx.contains(i))
+            .collect();
+        let cfgs: Vec<HybridConfig> = rest.iter().map(|&i| candidates[i]).collect();
+        for (&i, cost) in train_idx.iter().zip(train_costs) {
+            out[i] = cost;
+        }
+        for (&i, cost) in rest.iter().zip(ctx.cost_candidates_exact(&cfgs, engine)) {
+            out[i] = cost;
+        }
+        ctx.note_pruned((n - feasible.len()) as u64);
+        return out;
+    }
+    let predictor = LinearRegression::fit(&Dataset {
+        features,
+        targets,
+        // The class tag is dataset metadata; fitting only reads
+        // features/targets.
+        class: TargetClass::Compute,
+    });
+
+    // Tier 1: rank every remaining feasible candidate by predicted step
+    // time.
+    let mut ranked: Vec<(usize, f64)> = feasible
+        .iter()
+        .enumerate()
+        .filter(|(pos, _)| pos % stride != 0)
+        .map(|(_, &i)| {
+            let f = model.feature_vector(&candidates[i], engine, mode);
+            (i, predictor.predict(&f))
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let survivors: Vec<usize> = ranked.iter().take(params.top_k).map(|(i, _)| *i).collect();
+
+    // Tier 2 on the survivors, in surrogate-ranked order: the parallel
+    // map hands out items front-to-back, so the most promising
+    // candidates are costed first.
+    let survivor_cfgs: Vec<HybridConfig> = survivors.iter().map(|&i| candidates[i]).collect();
+    let survivor_costs = ctx.cost_candidates_exact(&survivor_cfgs, engine);
+
+    for (&i, cost) in train_idx.iter().zip(train_costs) {
+        out[i] = cost;
+    }
+    for (&i, cost) in survivors.iter().zip(survivor_costs) {
+        out[i] = cost;
+    }
+    // Ranked-out candidates whose exact result already sits in the cache
+    // (e.g. a warm context from an earlier exact solve) are answered for
+    // free instead of being pruned — only genuinely unknown candidates
+    // count as pruned.
+    let mut pruned = (n - feasible.len()) as u64;
+    for &(i, _) in ranked.iter().skip(params.top_k) {
+        match ctx.cost_of_cached(&candidates[i], engine) {
+            Some(cost) => out[i] = cost,
+            None => pruned += 1,
+        }
+    }
+    if out.iter().all(|(t, _)| !t.is_finite()) {
+        // Everything the gate evaluated is infeasible (e.g. layout
+        // failures among the survivors); exhaustive search might still
+        // find a plan among the pruned candidates, so correctness demands
+        // the full pass.
+        return ctx.cost_candidates_exact(candidates, engine);
+    }
+    ctx.note_pruned(pruned);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::WaferCostModel;
+    use crate::search::CostTier;
+    use temp_graph::models::ModelZoo;
+    use temp_graph::workload::Workload;
+    use temp_wsc::config::WaferConfig;
+
+    fn context() -> SearchContext {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        SearchContext::new(WaferCostModel::new(WaferConfig::hpca(), model, workload))
+    }
+
+    #[test]
+    fn gated_batch_evaluates_far_fewer_candidates() {
+        let ctx = context();
+        ctx.set_cost_tier(CostTier::SurrogateGated);
+        let candidates = ctx.candidates().to_vec();
+        let costed = ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        assert_eq!(costed.len(), candidates.len());
+        let stats = ctx.stats();
+        assert!(stats.gate_pruned > 0, "{stats:?}");
+        let evaluated = candidates.len() as u64 - stats.gate_pruned;
+        assert!(
+            evaluated <= (candidates.len() / 2) as u64,
+            "gate should prune at least half the batch: {stats:?}"
+        );
+        // Pruned candidates carry infinite cost and no report.
+        let pruned = costed.iter().filter(|(t, p)| !t.is_finite() && p.is_none());
+        assert!(pruned.count() >= stats.gate_pruned as usize);
+    }
+
+    #[test]
+    fn gated_and_exact_agree_on_the_winner() {
+        let exact_ctx = context();
+        let gated_ctx = context();
+        gated_ctx.set_cost_tier(CostTier::SurrogateGated);
+        let candidates = exact_ctx.candidates().to_vec();
+        let exact = exact_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let gated = gated_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let argmin = |costs: &[CandidateCost]| {
+            costs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_eq!(
+            argmin(&exact),
+            argmin(&gated),
+            "the exact winner must survive the gate"
+        );
+    }
+
+    #[test]
+    fn small_batches_bypass_the_gate() {
+        let ctx = context();
+        ctx.set_cost_tier(CostTier::SurrogateGated);
+        let candidates: Vec<HybridConfig> = ctx.candidates().iter().take(10).copied().collect();
+        let costed = ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        assert!(costed.iter().any(|(t, _)| t.is_finite()));
+        assert_eq!(ctx.stats().gate_pruned, 0, "small batch must not be gated");
+    }
+
+    #[test]
+    fn default_tier_is_exact() {
+        let ctx = context();
+        assert_eq!(ctx.cost_tier(), CostTier::Exact);
+        let candidates = ctx.candidates().to_vec();
+        let costed = ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        assert_eq!(ctx.stats().gate_pruned, 0);
+        assert_eq!(costed.len(), candidates.len());
+    }
+}

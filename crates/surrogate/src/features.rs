@@ -1,0 +1,191 @@
+//! Cheap analytic features for one DLWS evaluation key.
+//!
+//! The two-tier search (paper §VII-A: surrogate queries are 100–1000x
+//! faster than re-simulation) ranks a whole candidate batch by predicted
+//! step time before the exact cost model runs on the survivors. For that
+//! to pay off the features must cost microseconds: everything here is
+//! closed-form arithmetic on the `(HybridConfig, engine, RecomputeMode)`
+//! key and the context's fixed model/workload/wafer — no layout, no
+//! routing, no contention simulation.
+//!
+//! Features are log-transformed where step time is near power-law in them
+//! (per-die FLOPs, shard bytes, stream granularity), matching the
+//! formulation the [`crate::linreg`]/[`crate::mlp`] predictors fit best.
+
+use temp_graph::models::ModelConfig;
+use temp_graph::workload::{RecomputeMode, Workload};
+use temp_parallel::strategy::HybridConfig;
+use temp_wsc::config::WaferConfig;
+
+/// Number of features produced by [`config_features`].
+pub const CONFIG_FEATURE_DIM: usize = 16;
+
+/// Extracts the feature vector of one evaluation key.
+///
+/// `engine_code` is an opaque small integer distinguishing mapping
+/// engines (this crate does not depend on `temp-mapping`); callers must
+/// use a stable encoding.
+pub fn config_features(
+    model: &ModelConfig,
+    workload: &Workload,
+    wafer: &WaferConfig,
+    cfg: &HybridConfig,
+    engine_code: u8,
+    mode: RecomputeMode,
+) -> Vec<f64> {
+    let ln = |v: f64| v.max(1e-12).ln();
+    let (dp, tp, sp, cp, tatp, pp) = (
+        cfg.dp.max(1) as f64,
+        cfg.tp.max(1) as f64,
+        cfg.sp.max(1) as f64,
+        cfg.cp.max(1) as f64,
+        cfg.tatp.max(1) as f64,
+        cfg.pp.max(1) as f64,
+    );
+    let micro = workload.micro_batches.max(1) as f64;
+    let dtype = workload.compute_dtype.bytes() as f64;
+    let recompute_factor = match mode {
+        RecomputeMode::Full => 4.0 / 3.0,
+        _ => 1.0,
+    };
+    // Per-die shares of the three step-time drivers.
+    let flops_per_die =
+        workload.step_flops(model) * recompute_factor / (dp * tp * sp * cp * tatp * pp);
+    let weight_shard = dp * tp * tatp * pp;
+    let param_bytes_per_die = model.total_params() as f64 * dtype
+        / if cfg.fsdp {
+            weight_shard
+        } else {
+            tp * tatp * pp
+        };
+    let act_bytes_per_die =
+        workload.micro_batch_size() as f64 * workload.seq_len as f64 * model.hidden as f64 * dtype
+            / (dp * sp * cp);
+    // TATP stream granularity: the per-round weight chunk (§III-B — fine
+    // chunks under-utilize the D2D links, the Fig. 9 tail).
+    let stream_chunk =
+        model.hidden as f64 * model.ffn_hidden as f64 * dtype / (tp * tatp * tatp * pp);
+    vec![
+        ln(dp),
+        ln(tp),
+        ln(sp * cp),
+        ln(tatp),
+        ln(pp),
+        if cfg.fsdp { 1.0 } else { 0.0 },
+        engine_code as f64,
+        recompute_factor,
+        ln(flops_per_die),
+        ln(param_bytes_per_die),
+        ln(act_bytes_per_die),
+        ln(stream_chunk),
+        // Ring factor of the DP gradient collective: (dp-1)/dp rounds.
+        (dp - 1.0) / dp,
+        // Pipeline bubble fraction: (pp-1)/(micro+pp-1).
+        (pp - 1.0) / (micro + pp - 1.0),
+        tatp,
+        ln(wafer.die_count() as f64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temp_graph::models::ModelZoo;
+
+    fn setup() -> (ModelConfig, Workload, WaferConfig) {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        (model, workload, WaferConfig::hpca())
+    }
+
+    #[test]
+    fn features_are_finite_and_fixed_dim() {
+        let (model, workload, wafer) = setup();
+        for cfg in [
+            HybridConfig::tuple(2, 2, 1, 8),
+            HybridConfig::tuple(32, 1, 1, 1),
+            HybridConfig {
+                dp: 4,
+                fsdp: true,
+                tatp: 8,
+                ..Default::default()
+            },
+        ] {
+            for mode in [RecomputeMode::Selective, RecomputeMode::Full] {
+                let f = config_features(&model, &workload, &wafer, &cfg, 2, mode);
+                assert_eq!(f.len(), CONFIG_FEATURE_DIM);
+                assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_keys_yield_distinct_features() {
+        let (model, workload, wafer) = setup();
+        let a = config_features(
+            &model,
+            &workload,
+            &wafer,
+            &HybridConfig::tuple(2, 2, 1, 8),
+            2,
+            RecomputeMode::Selective,
+        );
+        let b = config_features(
+            &model,
+            &workload,
+            &wafer,
+            &HybridConfig::tuple(4, 1, 1, 8),
+            2,
+            RecomputeMode::Selective,
+        );
+        assert_ne!(a, b);
+        // Engine and recompute mode are part of the key, so they must
+        // separate otherwise-identical configurations.
+        let c = config_features(
+            &model,
+            &workload,
+            &wafer,
+            &HybridConfig::tuple(2, 2, 1, 8),
+            0,
+            RecomputeMode::Selective,
+        );
+        assert_ne!(a, c);
+        let d = config_features(
+            &model,
+            &workload,
+            &wafer,
+            &HybridConfig::tuple(2, 2, 1, 8),
+            2,
+            RecomputeMode::Full,
+        );
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn fsdp_changes_the_parameter_shard_feature() {
+        let (model, workload, wafer) = setup();
+        let plain = HybridConfig::tuple(4, 1, 1, 8);
+        let sharded = HybridConfig {
+            fsdp: true,
+            ..plain
+        };
+        let fp = config_features(
+            &model,
+            &workload,
+            &wafer,
+            &plain,
+            2,
+            RecomputeMode::Selective,
+        );
+        let fs = config_features(
+            &model,
+            &workload,
+            &wafer,
+            &sharded,
+            2,
+            RecomputeMode::Selective,
+        );
+        // Feature 9 is ln(param bytes per die); FSDP divides by dp more.
+        assert!(fs[9] < fp[9]);
+    }
+}

@@ -31,10 +31,12 @@
 //! ```
 
 pub mod dataset;
+pub mod features;
 pub mod linreg;
 pub mod metrics;
 pub mod mlp;
 
 pub use dataset::{Dataset, TargetClass};
+pub use features::{config_features, CONFIG_FEATURE_DIM};
 pub use linreg::LinearRegression;
 pub use mlp::{Mlp, TrainParams};

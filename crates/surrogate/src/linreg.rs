@@ -68,6 +68,86 @@ impl LinearRegression {
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
         data.features.iter().map(|f| self.predict(f)).collect()
     }
+
+    /// Serializes the fitted model to a line-oriented text format (the
+    /// vendored `serde` stand-in has no real serialization, so persisted
+    /// surrogate predictors use this portable representation instead).
+    ///
+    /// Format: a `linreg v1 <dim>` header followed by one
+    /// whitespace-separated row each for weights, bias, feature means and
+    /// feature standard deviations. Floats round-trip exactly (shortest
+    /// `{:?}` representation).
+    pub fn to_text(&self) -> String {
+        let row = |vs: &[f64]| {
+            vs.iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!(
+            "linreg v1 {}\n{}\n{:?}\n{}\n{}\n",
+            self.weights.len(),
+            row(&self.weights),
+            self.bias,
+            row(self.norm.mean()),
+            row(self.norm.std()),
+        )
+    }
+
+    /// Parses a model serialized by [`LinearRegression::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> std::result::Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty predictor text")?;
+        let mut parts = header.split_whitespace();
+        if (parts.next(), parts.next()) != (Some("linreg"), Some("v1")) {
+            return Err(format!("unsupported predictor header: {header}"));
+        }
+        let dim: usize = parts
+            .next()
+            .and_then(|d| d.parse().ok())
+            .ok_or("missing feature dimension in header")?;
+        fn parse_row(
+            what: &str,
+            line: Option<&str>,
+            dim: usize,
+        ) -> std::result::Result<Vec<f64>, String> {
+            let line = line.ok_or(format!("missing {what} row"))?;
+            let vals: Vec<f64> = line
+                .split_whitespace()
+                .map(|v| v.parse::<f64>().map_err(|e| format!("{what}: {e}")))
+                .collect::<std::result::Result<_, _>>()?;
+            if vals.len() != dim {
+                return Err(format!("{what}: expected {dim} values, got {}", vals.len()));
+            }
+            if let Some(bad) = vals.iter().find(|v| !v.is_finite()) {
+                return Err(format!("{what}: non-finite value {bad}"));
+            }
+            Ok(vals)
+        }
+        let weights = parse_row("weights", lines.next(), dim)?;
+        let bias_line = lines.next().ok_or("missing bias row")?;
+        let bias: f64 = bias_line.trim().parse().map_err(|e| format!("bias: {e}"))?;
+        if !bias.is_finite() {
+            return Err(format!("bias: non-finite value {bias}"));
+        }
+        let mean = parse_row("mean", lines.next(), dim)?;
+        let std = parse_row("std", lines.next(), dim)?;
+        // `Standardizer::fit` clamps stds to >= 1e-9; a persisted model
+        // must satisfy the same invariant or `predict` would silently
+        // divide by zero.
+        if let Some(bad) = std.iter().find(|s| **s <= 0.0) {
+            return Err(format!("std: non-positive value {bad}"));
+        }
+        Ok(LinearRegression {
+            weights,
+            bias,
+            norm: Standardizer::from_parts(mean, std),
+        })
+    }
 }
 
 /// Gaussian elimination with partial pivoting.
@@ -129,6 +209,30 @@ mod tests {
         let pred = lr.predict_all(&test);
         let corr = pearson(&pred, &test.targets);
         assert!(corr > 0.8, "corr {corr}");
+    }
+
+    #[test]
+    fn text_serialization_round_trips_exactly() {
+        let data = generate(TargetClass::Compute, 120, 23);
+        let lr = LinearRegression::fit(&data);
+        let text = lr.to_text();
+        let back = LinearRegression::from_text(&text).unwrap();
+        assert_eq!(lr, back);
+        // Predictions are bit-identical through the round trip.
+        for f in data.features.iter().take(10) {
+            assert_eq!(lr.predict(f).to_bits(), back.predict(f).to_bits());
+        }
+        // Malformed inputs are rejected, not panicked on.
+        assert!(LinearRegression::from_text("").is_err());
+        assert!(LinearRegression::from_text("mlp v1 3\n1 2 3").is_err());
+        assert!(LinearRegression::from_text("linreg v1 2\n1.0\n0.0\n1 2\n1 2").is_err());
+        // Value-invalid files are rejected too: a zero/negative std would
+        // silently divide predictions to inf/NaN, and non-finite
+        // parameters must not round-trip.
+        assert!(LinearRegression::from_text("linreg v1 1\n1.0\n0.0\n1.0\n0.0").is_err());
+        assert!(LinearRegression::from_text("linreg v1 1\n1.0\n0.0\n1.0\n-1.0").is_err());
+        assert!(LinearRegression::from_text("linreg v1 1\nNaN\n0.0\n1.0\n1.0").is_err());
+        assert!(LinearRegression::from_text("linreg v1 1\n1.0\ninf\n1.0\n1.0").is_err());
     }
 
     #[test]

@@ -55,6 +55,21 @@ impl Standardizer {
             .map(|(v, (m, s))| (v - m) / s)
             .collect()
     }
+
+    /// Reassembles a standardizer from its parameters (deserialization).
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        Standardizer { mean, std }
+    }
+
+    /// Per-feature means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-feature standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
 }
 
 /// Training hyper-parameters.

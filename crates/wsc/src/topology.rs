@@ -103,6 +103,25 @@ pub struct Mesh {
     height: u32,
     torus: bool,
     links: Vec<Link>,
+    /// Link-index table: `link_table[die * 4 + dir]` is the outgoing link
+    /// of `die` in direction `dir` (see [`Direction`]), or `NO_LINK`.
+    /// Built once at construction so [`Mesh::link_between`] and
+    /// [`Mesh::path_links`] are O(1) per hop instead of scanning the link
+    /// list — route-to-link conversion sits on the hot path of every
+    /// contention simulation.
+    link_table: Vec<u32>,
+}
+
+/// Sentinel in [`Mesh`]'s link-index table for "no link this direction".
+const NO_LINK: u32 = u32::MAX;
+
+/// Outgoing-link direction slots of the link-index table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Left = 0,
+    Right = 1,
+    Up = 2,
+    Down = 3,
 }
 
 impl Mesh {
@@ -189,11 +208,30 @@ impl Mesh {
                 }
             }
         }
+        let mut link_table = vec![NO_LINK; (width * height) as usize * 4];
+        for (i, link) in links.iter().enumerate() {
+            let (sx, sy) = (link.src.0 % width, link.src.0 / width);
+            let (dx, dy) = (link.dst.0 % width, link.dst.0 / width);
+            let dir = if dy == sy {
+                // Horizontal: a wrap link leaves the edge it sits on.
+                if dx == sx + 1 || (link.wrap && sx == width - 1) {
+                    Direction::Right
+                } else {
+                    Direction::Left
+                }
+            } else if dy == sy + 1 || (link.wrap && sy == height - 1) {
+                Direction::Down
+            } else {
+                Direction::Up
+            };
+            link_table[link.src.index() * 4 + dir as usize] = i as u32;
+        }
         Ok(Mesh {
             width,
             height,
             torus,
             links,
+            link_table,
         })
     }
 
@@ -314,17 +352,28 @@ impl Mesh {
         self.neighbors(a).contains(&b)
     }
 
-    /// The directed link from `a` to `b`.
+    /// The directed link from `a` to `b`, answered from the precomputed
+    /// link-index table in O(1).
     ///
     /// # Errors
     ///
     /// Returns [`WscError::NotAdjacent`] if no direct link exists.
     pub fn link_between(&self, a: DieId, b: DieId) -> Result<LinkId> {
-        self.links
-            .iter()
-            .position(|l| l.src == a && l.dst == b)
-            .map(|i| LinkId(i as u32))
+        self.link_lookup(a, b)
             .ok_or(WscError::NotAdjacent(a.0, b.0))
+    }
+
+    /// As [`Mesh::link_between`] without the error wrapping (the hot-path
+    /// form used by flow construction).
+    pub fn link_lookup(&self, a: DieId, b: DieId) -> Option<LinkId> {
+        let base = a.index().checked_mul(4)?;
+        let slots = self.link_table.get(base..base + 4)?;
+        for &slot in slots {
+            if slot != NO_LINK && self.links[slot as usize].dst == b {
+                return Some(LinkId(slot));
+            }
+        }
+        None
     }
 
     /// Dimension-ordered route from `src` to `dst`, inclusive of endpoints.
@@ -527,6 +576,24 @@ mod tests {
             m.link_between(DieId(0), DieId(2)),
             Err(WscError::NotAdjacent(0, 2))
         ));
+    }
+
+    #[test]
+    fn link_table_agrees_with_link_scan() {
+        // The O(1) table must answer exactly like a linear scan of the
+        // directed link list, for both mesh and torus variants.
+        for m in [Mesh::new(8, 4).unwrap(), Mesh::torus(8, 4).unwrap()] {
+            for a in m.dies() {
+                for b in m.dies() {
+                    let scanned = m
+                        .links()
+                        .iter()
+                        .position(|l| l.src == a && l.dst == b)
+                        .map(|i| LinkId(i as u32));
+                    assert_eq!(m.link_lookup(a, b), scanned, "{a} -> {b}");
+                }
+            }
+        }
     }
 
     #[test]

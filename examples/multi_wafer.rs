@@ -52,5 +52,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.step_time / c.step_time
         );
     }
+
+    // Deployment sizing: sweep wafer counts and stages-per-wafer in one
+    // shared search context — every distinct pipeline degree is solved
+    // once and the union of candidate spaces is costed in a single batch.
+    println!("\nwafer-count sweep (TEMP):");
+    for entry in temp.evaluate_multiwafer_sweep(&BaselineSystem::temp(), &[2, 4, 6], &[1, 2]) {
+        match entry.report.report() {
+            Some(c) => println!(
+                "  {} wafers x {} stages/wafer: step={:.3}s config={}",
+                entry.wafer_count,
+                entry.pp_multiplier,
+                c.step_time,
+                c.config.label()
+            ),
+            None => println!(
+                "  {} wafers x {} stages/wafer: OOM",
+                entry.wafer_count, entry.pp_multiplier
+            ),
+        }
+    }
     Ok(())
 }
