@@ -56,7 +56,7 @@ fn main() {
         .map(|s| (0..24).map(|k| ((s * k) % 17) as f64 + 1.0).collect())
         .collect();
     timeit("chain_dp_96x24", 10, || {
-        solve_chain(&costs, |a, b| if a == b { 0.0 } else { 0.5 })
+        solve_chain(&costs, |_, a, b| if a == b { 0.0 } else { 0.5 }).expect("well-formed")
     });
 
     let model = ModelZoo::gpt3_6_7b();

@@ -33,6 +33,24 @@ fn main() {
         let reports = temp.compare_all();
         let times: Vec<f64> = reports.iter().map(|r| r.step_time()).collect();
         row(&model.name, &normalize(&times));
+        let temp_report = reports
+            .iter()
+            .find(|r| r.system == "TEMP")
+            .unwrap_or_else(|| reports.last().expect("compare_all is non-empty"));
+        if let Some(plan) = temp_report.plan.as_ref() {
+            if plan.is_heterogeneous() {
+                let assignment: Vec<String> = plan
+                    .segments
+                    .iter()
+                    .map(|s| format!("{}:{}", s.kind, s.config.label()))
+                    .collect();
+                println!(
+                    "  chain: {} ({:.2}% below uniform)",
+                    assignment.join(" -> "),
+                    100.0 * (1.0 - plan.chain_cost / plan.report.step_time)
+                );
+            }
+        }
         let mems: Vec<f64> = reports
             .iter()
             .map(|r| {

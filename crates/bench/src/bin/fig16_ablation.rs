@@ -9,11 +9,12 @@ use temp_mapping::engines::MappingEngine;
 fn main() {
     header("Fig. 16: ablation (normalized throughput; base = FSDP+SMap = 1.0)");
     println!(
-        "{:<18} {:>8} {:>10} {:>16}",
-        "model", "base", "+TATP", "+TATP+TCME"
+        "{:<18} {:>8} {:>10} {:>16} {:>8}",
+        "model", "base", "+TATP", "+TATP+TCME", "+chain"
     );
     let mut gains_tatp = Vec::new();
     let mut gains_tcme = Vec::new();
+    let mut gains_chain = Vec::new();
     for model in ModelZoo::table2() {
         let temp = Temp::hpca(model.clone());
         let base = temp.evaluate_system(&BaselineSystem {
@@ -27,18 +28,27 @@ fn main() {
         let full = temp.evaluate_system(&BaselineSystem::temp());
         let b = base.step_time();
         let base_col = if b.is_finite() { 1.0 } else { f64::INFINITY };
-        let series = [base_col, b / plus_tatp.step_time(), b / full.step_time()];
+        // The final ablation stage: the heterogeneous segment-chain DP on
+        // top of TATP+TCME (embedding/head free to diverge from blocks).
+        let series = [
+            base_col,
+            b / plus_tatp.step_time(),
+            b / full.step_time(),
+            b / full.chain_cost(),
+        ];
         row(&model.name, &series);
-        if series[1].is_finite() && series[2].is_finite() {
+        if series.iter().all(|g| g.is_finite()) {
             gains_tatp.push(series[1]);
             gains_tcme.push(series[2] / series[1]);
+            gains_chain.push(series[3] / series[2]);
         }
     }
     let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
     header("averages (paper: +TATP 1.21x, +TCME further 1.14x)");
     println!(
-        "+TATP avg: {:.2}x | +TCME avg additional: {:.2}x",
+        "+TATP avg: {:.2}x | +TCME avg additional: {:.2}x | +chain avg additional: {:.3}x",
         avg(&gains_tatp),
-        avg(&gains_tcme)
+        avg(&gains_tcme),
+        avg(&gains_chain)
     );
 }

@@ -7,6 +7,7 @@ use temp_graph::workload::Workload;
 use temp_mapping::engines::MappingEngine;
 use temp_parallel::strategy::HybridConfig;
 use temp_solver::cost::WaferCostModel;
+use temp_solver::dlws::Dlws;
 use temp_wsc::config::WaferConfig;
 
 fn main() {
@@ -47,5 +48,27 @@ fn main() {
         );
         let oom = results.iter().filter(|(_, t, _)| *t == 0.0).count();
         println!("OOM/infeasible configurations: {oom}/{}", results.len());
+
+        // The heterogeneous chain on the same sweep: per-segment tuples of
+        // the solved plan (the embedding/head may leave the blocks' tuple
+        // when the saving beats the boundary reshard).
+        let model = ModelZoo::llama2_7b();
+        let solver = Dlws::new(WaferConfig::hpca(), model, Workload::training(batch, seq));
+        match solver.solve() {
+            Ok(plan) => {
+                let assignment: Vec<String> = plan
+                    .segments
+                    .iter()
+                    .map(|s| format!("{}:{}", s.kind, s.config.label()))
+                    .collect();
+                println!(
+                    "chain assignment: {} (chain {:.4} s vs uniform {:.4} s)",
+                    assignment.join(" -> "),
+                    plan.chain_cost,
+                    plan.report.step_time
+                );
+            }
+            Err(e) => println!("chain assignment: no feasible plan ({e})"),
+        }
     }
 }

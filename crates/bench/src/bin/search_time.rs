@@ -7,7 +7,9 @@
 //! (prefix `{"bench":"search_time",...}`) for the bench trajectory.
 //! With `--json <path>` the binary additionally writes one consolidated
 //! `BENCH_search.json` record so the perf trajectory is machine-tracked
-//! across PRs.
+//! across PRs. With `--check <path>` the fresh gated eval count is diffed
+//! against a committed baseline record and the process exits non-zero on
+//! a >20% eval-count regression — the CI bench-regression gate.
 
 use std::time::Instant;
 
@@ -39,6 +41,19 @@ fn fresh_solver() -> Dlws {
     )
 }
 
+/// Pulls an integer field out of a one-record bench JSON line without a
+/// JSON parser (the vendored serde stand-in cannot deserialize).
+/// Tolerates whitespace after the colon so a pretty-printed or
+/// hand-edited baseline still parses.
+fn json_u64_field(record: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\"");
+    let after_key = record.find(&needle)? + needle.len();
+    let rest = record[after_key..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -46,6 +61,19 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    // Read the regression baseline up front: --json may overwrite the
+    // same file later in the run.
+    let check_baseline = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .map(|path| {
+            let record = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read bench baseline {path}: {e}"));
+            let evals = json_u64_field(&record, "gated_evals")
+                .unwrap_or_else(|| panic!("no gated_evals field in {path}"));
+            (path.clone(), evals)
+        });
 
     header("§VIII-H: end-to-end DLS solve time (GPT-3 6.7B, 32 dies)");
     let solver = fresh_solver();
@@ -116,21 +144,28 @@ fn main() {
     let gated_stats = gated_solver.search_stats();
 
     let gated_speedup = exact_cold_s / gated_cold_s.max(1e-9);
-    let plans_match = exact_plan.config == gated_plan.config;
+    let plans_match = exact_plan == gated_plan;
     println!(
-        "exact cold solve {exact_cold_s:.3} s ({} evals) -> {}",
+        "exact cold solve {exact_cold_s:.3} s ({} evals) -> {} (chain cost {:.4} s{})",
         exact_stats.misses,
-        exact_plan.config.label()
+        exact_plan.config.label(),
+        exact_plan.chain_cost,
+        if exact_plan.is_heterogeneous() {
+            ", heterogeneous chain"
+        } else {
+            ""
+        }
     );
     println!(
-        "gated cold solve {gated_cold_s:.3} s ({} evals, {} pruned) -> {} ({gated_speedup:.2}x, plans match: {plans_match})",
+        "gated cold solve {gated_cold_s:.3} s ({} evals, {} pruned, adaptive K {}) -> {} ({gated_speedup:.2}x, plans match: {plans_match})",
         gated_stats.misses,
         gated_stats.gate_pruned,
+        gated_stats.adaptive_top_k,
         gated_plan.config.label()
     );
     println!(
-        "{{\"bench\":\"search_time\",\"metric\":\"surrogate_gate\",\"exact_cold_s\":{exact_cold_s:.6},\"gated_cold_s\":{gated_cold_s:.6},\"speedup\":{gated_speedup:.4},\"gate_pruned\":{},\"plans_match\":{plans_match}}}",
-        gated_stats.gate_pruned
+        "{{\"bench\":\"search_time\",\"metric\":\"surrogate_gate\",\"exact_cold_s\":{exact_cold_s:.6},\"gated_cold_s\":{gated_cold_s:.6},\"speedup\":{gated_speedup:.4},\"gate_pruned\":{},\"adaptive_top_k\":{},\"plans_match\":{plans_match}}}",
+        gated_stats.gate_pruned, gated_stats.adaptive_top_k
     );
 
     header("candidate cache: the seven-system compare_all sweep");
@@ -182,10 +217,10 @@ fn main() {
                     .collect()
             })
             .collect();
-        let tr = |a: usize, b: usize| if a == b { 0.0 } else { 0.05 };
+        let tr = |_s: usize, a: usize, b: usize| if a == b { 0.0 } else { 0.05 };
         let t0 = Instant::now();
         for _ in 0..100 {
-            let _ = solve_chain(&costs, tr);
+            let _ = solve_chain(&costs, tr).expect("well-formed chain");
         }
         let dp_t = t0.elapsed().as_secs_f64() / 100.0;
         let t0 = Instant::now();
@@ -208,8 +243,8 @@ fn main() {
                 "{{\"bench\":\"search_time\",\"model\":\"GPT-3 6.7B\",\"threads\":{},",
                 "\"serial_s\":{:.6},\"parallel_s\":{:.6},\"parallel_speedup\":{:.4},",
                 "\"exact_cold_s\":{:.6},\"gated_cold_s\":{:.6},\"gated_speedup\":{:.4},",
-                "\"gated_evals\":{},\"gate_pruned\":{},\"plans_match\":{},",
-                "\"sweep_cache_hit_rate\":{:.4}}}\n"
+                "\"gated_evals\":{},\"gate_pruned\":{},\"adaptive_top_k\":{},",
+                "\"plans_match\":{},\"sweep_cache_hit_rate\":{:.4}}}\n"
             ),
             threads,
             serial_s,
@@ -220,10 +255,29 @@ fn main() {
             gated_speedup,
             gated_stats.misses,
             gated_stats.gate_pruned,
+            gated_stats.adaptive_top_k,
             plans_match,
             after_first.hit_rate(),
         );
         std::fs::write(&path, &record).expect("write bench JSON");
         println!("\nwrote {path}");
+    }
+
+    if let Some((path, baseline_evals)) = check_baseline {
+        // Bench-regression gate: fail when the gated search needs >20%
+        // more exact evaluations than the committed baseline record.
+        let fresh = gated_stats.misses;
+        let limit = (baseline_evals as f64 * 1.2).ceil() as u64;
+        println!(
+            "eval-count regression check vs {path}: fresh {fresh} vs baseline {baseline_evals} (limit {limit})"
+        );
+        if fresh > limit {
+            eprintln!(
+                "FAIL: gated eval count regressed >20% ({fresh} > {limit}); \
+                 re-baseline BENCH_search.json only if the regression is intended"
+            );
+            std::process::exit(1);
+        }
+        println!("eval-count regression check passed");
     }
 }

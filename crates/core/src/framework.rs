@@ -33,6 +33,17 @@ impl SystemReport {
             .unwrap_or(f64::INFINITY)
     }
 
+    /// The heterogeneous-chain objective (segment costs + resharding
+    /// transitions), or `f64::INFINITY` on OOM. At or below
+    /// [`SystemReport::step_time`]; strictly below when the chain DP
+    /// assigned the embedding/head a different strategy than the blocks.
+    pub fn chain_cost(&self) -> f64 {
+        self.plan
+            .as_ref()
+            .map(|p| p.chain_cost)
+            .unwrap_or(f64::INFINITY)
+    }
+
     /// The inner cost report, if planned.
     pub fn report(&self) -> Option<&CostReport> {
         self.plan.as_ref().map(|p| &p.report)
@@ -263,6 +274,9 @@ impl Temp {
                     * (pp.saturating_sub(1)) as f64
                     * workload.micro_batches as f64;
                 plan.report.step_time += handoff;
+                // The chain objective pays the same inter-wafer handoff so
+                // it stays comparable to the step time.
+                plan.chain_cost += handoff;
                 SystemReport {
                     system: system.label(),
                     plan: Some(plan),
@@ -333,6 +347,26 @@ mod tests {
                 r.step_time()
             );
         }
+    }
+
+    #[test]
+    fn temp_report_carries_the_heterogeneous_chain() {
+        let temp = Temp::hpca(ModelZoo::gpt3_6_7b());
+        let report = temp.evaluate_system(&BaselineSystem::temp());
+        let plan = report.plan.as_ref().expect("TEMP plans 6.7B");
+        assert_eq!(plan.segments.len(), 3);
+        assert!(report.chain_cost().is_finite());
+        assert!(report.chain_cost() <= report.step_time());
+        // 6.7B diverges at the embedding (tested in depth in the solver);
+        // the framework must surface that, not flatten it.
+        assert!(plan.is_heterogeneous(), "{:?}", plan.segments);
+        // OOM reports carry an infinite chain cost.
+        let oom = SystemReport {
+            system: "x".into(),
+            plan: None,
+            oom: true,
+        };
+        assert!(oom.chain_cost().is_infinite());
     }
 
     #[test]

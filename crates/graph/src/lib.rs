@@ -12,6 +12,9 @@
 //! * [`op`] — operator kinds with FLOP and footprint accounting;
 //! * [`graph`] — the operator DAG, topological order and residual-aware
 //!   segmentation (the "graph partition" step of the DLS algorithm);
+//! * [`segment`] — the segment-chain IR: embedding -> blocks -> head, each
+//!   with its own parameter/FLOP/activation footprint (what the Level-1 DP
+//!   actually solves over);
 //! * [`transformer`] — the 13-operator Transformer block of Fig. 12(a);
 //! * [`models`] — the Table II model zoo plus motivation/scalability models;
 //! * [`workload`] — training-step configuration and memory formulas
@@ -33,6 +36,7 @@
 pub mod graph;
 pub mod models;
 pub mod op;
+pub mod segment;
 pub mod tensor;
 pub mod transformer;
 pub mod workload;
@@ -40,6 +44,7 @@ pub mod workload;
 pub use graph::{ComputeGraph, OpId};
 pub use models::ModelConfig;
 pub use op::{OpKind, Operator};
+pub use segment::{Segment, SegmentChain, SegmentKind};
 pub use tensor::{DType, LinearDims};
 pub use workload::Workload;
 

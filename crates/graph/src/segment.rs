@@ -1,0 +1,243 @@
+//! The segment-chain IR: the model as a chain of *distinct* segments.
+//!
+//! TEMP's Level-1 DP (Fig. 12(b)) is defined over a chain of segments cut
+//! at residual-legal boundaries. A real decoder-only LLM is not a uniform
+//! stack of identical Transformer blocks: it is
+//!
+//! ```text
+//! [ Embedding ] -> [ Block ] x L -> [ Head ]
+//!   vocab x H       13 ops each      final LN + LM head GEMM + CE softmax
+//!   lookup-bound    GEMM-bound       vocab-GEMM-bound
+//! ```
+//!
+//! and the three segment kinds have very different cost physics: the
+//! embedding lookup is HBM-bandwidth-bound and pays a vocab-parallel
+//! output all-reduce when the table is sharded over TP/TATP, the blocks
+//! are the Fig. 12(a) GEMM pipeline, and the LM head is one huge
+//! `[B,S,H] x [H,V]` GEMM whose tied-weight gradients must synchronize
+//! across data-parallel replicas. Costing them with one replicated block
+//! cost (the pre-segment-chain behavior) makes the DP's transition matrix
+//! vacuous — every segment always picks the same candidate.
+//!
+//! [`SegmentChain::for_model`] derives the chain from a
+//! [`ModelConfig`] + [`Workload`] pair via [`TransformerBuilder`], with
+//! per-segment parameter/FLOP/activation footprints. Identical interior
+//! blocks are run-length compressed ([`Segment::count`]): a run of equal
+//! segments assigned one candidate pays no internal transitions, and for
+//! non-negative transition costs a uniform within-run assignment is
+//! optimal, so the compressed DP is exact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::models::ModelConfig;
+use crate::op::Operator;
+use crate::transformer::TransformerBuilder;
+use crate::workload::Workload;
+
+/// The segment vocabulary of a decoder-only LLM chain.
+///
+/// `Hash`/`Eq` because the solver memoizes per-segment costs under the key
+/// `(SegmentKind, HybridConfig, MappingEngine, RecomputeMode)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// Token-embedding lookup (vocab x H table).
+    Embedding,
+    /// One Fig. 12(a) Transformer block.
+    Block,
+    /// Final norm + LM-head GEMM + cross-entropy softmax.
+    Head,
+}
+
+impl SegmentKind {
+    /// Stable small-integer encoding for surrogate features.
+    pub fn code(&self) -> u8 {
+        match self {
+            SegmentKind::Embedding => 0,
+            SegmentKind::Block => 1,
+            SegmentKind::Head => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SegmentKind::Embedding => "embedding",
+            SegmentKind::Block => "block",
+            SegmentKind::Head => "head",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One run of identical segments in the chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// What kind of segment this is.
+    pub kind: SegmentKind,
+    /// How many identical instances the run covers (blocks: `model.layers`;
+    /// embedding/head: 1).
+    pub count: u64,
+    /// Trained parameters of one instance (the LM head's GEMM weight is
+    /// tied to the embedding table and owned there).
+    pub params: u64,
+    /// Training FLOPs of one instance at the global batch (fwd + bwd).
+    pub flops: f64,
+    /// Unsharded output-activation bytes of one instance for one
+    /// micro-batch.
+    pub activation_bytes: f64,
+    /// The operator list of one instance, built at the global batch (the
+    /// cost model applies per-die sharding, exactly as for blocks).
+    pub ops: Vec<Operator>,
+}
+
+/// The whole-model segment chain: embedding -> blocks -> head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentChain {
+    segments: Vec<Segment>,
+}
+
+impl SegmentChain {
+    /// Builds the chain for a model/workload pair. The block run is
+    /// derived from [`TransformerBuilder::block`]; embedding and head come
+    /// from [`TransformerBuilder::embedding_graph`] /
+    /// [`TransformerBuilder::head_graph`].
+    pub fn for_model(model: &ModelConfig, workload: &Workload) -> Self {
+        let builder = TransformerBuilder::new(model, workload);
+        let micro_tokens = workload.micro_batch_size() as f64 * workload.seq_len as f64;
+        let act_dtype = workload.compute_dtype.bytes() as f64;
+        let sbh = micro_tokens * model.hidden as f64 * act_dtype;
+
+        let make = |kind: SegmentKind, count: u64, ops: Vec<Operator>, act_bytes: f64| {
+            let params = ops.iter().map(|o| o.kind.weight_params()).sum();
+            let flops = ops.iter().map(Operator::training_flops).sum();
+            Segment {
+                kind,
+                count,
+                params,
+                flops,
+                activation_bytes: act_bytes,
+                ops,
+            }
+        };
+
+        let embedding = make(
+            SegmentKind::Embedding,
+            1,
+            builder.embedding_graph().ops().to_vec(),
+            sbh,
+        );
+        let block = make(
+            SegmentKind::Block,
+            model.layers,
+            builder.block().ops().to_vec(),
+            workload.activation_bytes_per_layer(model),
+        );
+        // The head's LM GEMM reuses the (tied) embedding table: strip its
+        // weight from the head's param accounting so the chain total
+        // matches `ModelConfig::total_params`.
+        let mut head = make(
+            SegmentKind::Head,
+            1,
+            builder.head_graph().ops().to_vec(),
+            sbh,
+        );
+        head.params = head.params.saturating_sub(model.hidden * model.vocab);
+
+        SegmentChain {
+            segments: vec![embedding, block, head],
+        }
+    }
+
+    /// The run-length-compressed segments, in chain order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total segment instances in the expanded chain (`L + 2`).
+    pub fn expanded_len(&self) -> u64 {
+        self.segments.iter().map(|s| s.count).sum()
+    }
+
+    /// The first segment of a kind, if present.
+    pub fn find(&self, kind: SegmentKind) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.kind == kind)
+    }
+
+    /// Index of the first segment of a kind within [`SegmentChain::segments`].
+    pub fn position(&self, kind: SegmentKind) -> Option<usize> {
+        self.segments.iter().position(|s| s.kind == kind)
+    }
+
+    /// Total trained parameters across the chain (tied LM-head weight
+    /// counted once, at the embedding).
+    pub fn total_params(&self) -> u64 {
+        self.segments.iter().map(|s| s.count * s.params).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelZoo;
+
+    fn chain() -> (ModelConfig, SegmentChain) {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let chain = SegmentChain::for_model(&model, &workload);
+        (model, chain)
+    }
+
+    #[test]
+    fn chain_is_embedding_blocks_head() {
+        let (model, chain) = chain();
+        let kinds: Vec<SegmentKind> = chain.segments().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::Embedding,
+                SegmentKind::Block,
+                SegmentKind::Head
+            ]
+        );
+        assert_eq!(chain.expanded_len(), model.layers + 2);
+        assert_eq!(chain.segments()[1].count, model.layers);
+    }
+
+    #[test]
+    fn chain_params_match_model_accounting() {
+        let (model, chain) = chain();
+        // Embedding holds vocab x H; blocks hold params_per_layer each; the
+        // head owns only its final norm (tied GEMM weight lives at the
+        // embedding). The model's total adds the final norm nowhere, so the
+        // chain may exceed it by exactly that 2H.
+        let slack = 2 * model.hidden;
+        assert_eq!(chain.total_params(), model.total_params() + slack);
+    }
+
+    #[test]
+    fn segment_kinds_have_distinct_cost_drivers() {
+        let (_, chain) = chain();
+        let emb = chain.find(SegmentKind::Embedding).unwrap();
+        let block = chain.find(SegmentKind::Block).unwrap();
+        let head = chain.find(SegmentKind::Head).unwrap();
+        // The head's vocab GEMM dwarfs the embedding lookup.
+        assert!(head.flops > 100.0 * emb.flops);
+        // A block is GEMM-heavy but far below the vocab GEMM per instance
+        // on this model (V >> 12H for GPT-3 6.7B at H=4096).
+        assert!(head.flops > block.flops * 0.5);
+        assert!(block.flops > emb.flops);
+    }
+
+    #[test]
+    fn positions_and_lookup_agree() {
+        let (_, chain) = chain();
+        assert_eq!(chain.position(SegmentKind::Embedding), Some(0));
+        assert_eq!(chain.position(SegmentKind::Block), Some(1));
+        assert_eq!(chain.position(SegmentKind::Head), Some(2));
+        assert_eq!(
+            chain.find(SegmentKind::Block).map(|s| s.kind),
+            Some(SegmentKind::Block)
+        );
+    }
+}

@@ -79,6 +79,65 @@ impl<'a> TransformerBuilder<'a> {
         g
     }
 
+    /// The embedding segment: token lookup into the `vocab x H` table plus
+    /// the positional/embedding-dropout elementwise pass. Built at the
+    /// global batch like [`TransformerBuilder::block`]; the cost model
+    /// applies per-die sharding.
+    pub fn embedding_graph(&self) -> ComputeGraph {
+        let m = self.model;
+        let w = self.workload;
+        let tokens = w.global_batch * w.seq_len;
+        let mut g = ComputeGraph::new();
+        let embed = g.add_op(Operator::new(
+            "embed",
+            OpKind::Embedding {
+                tokens,
+                hidden: m.hidden,
+                vocab: m.vocab,
+            },
+        ));
+        let drop = g.add_op(Operator::new(
+            "embed-drop",
+            OpKind::Activation {
+                elems: tokens * m.hidden,
+            },
+        ));
+        g.add_edge(embed, drop).expect("forward edge");
+        g
+    }
+
+    /// The LM-head segment: final norm, the `[B,S,H] x [H,V]` logits GEMM
+    /// (weight tied to the embedding table) and the cross-entropy softmax
+    /// over the vocabulary.
+    pub fn head_graph(&self) -> ComputeGraph {
+        let m = self.model;
+        let w = self.workload;
+        let (b, s) = (w.global_batch, w.seq_len);
+        let tokens = b * s;
+        let mut g = ComputeGraph::new();
+        let ln = g.add_op(Operator::new(
+            "final-ln",
+            OpKind::LayerNorm {
+                tokens,
+                hidden: m.hidden,
+            },
+        ));
+        let logits = g.add_op(Operator::new(
+            "lm-head",
+            OpKind::Gemm(LinearDims::new(b, s, m.hidden, m.vocab)),
+        ));
+        let ce = g.add_op(Operator::new(
+            "ce-softmax",
+            OpKind::Softmax {
+                rows: tokens,
+                cols: m.vocab,
+            },
+        ));
+        g.add_edge(ln, logits).expect("forward edge");
+        g.add_edge(logits, ce).expect("forward edge");
+        g
+    }
+
     /// A full model graph of `blocks` chained blocks. Residual sources chain
     /// correctly across blocks (block i's MHA skip starts at block i-1's
     /// final residual).
@@ -292,6 +351,28 @@ mod tests {
         };
         let ratio = f(&w4k) / f(&w2k);
         assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn embedding_graph_owns_the_table() {
+        let (m, w) = setup();
+        let g = TransformerBuilder::new(&m, &w).embedding_graph();
+        assert_eq!(g.op_count(), 2);
+        assert_eq!(g.total_params(), m.vocab * m.hidden);
+    }
+
+    #[test]
+    fn head_graph_is_norm_gemm_softmax() {
+        let (m, w) = setup();
+        let g = TransformerBuilder::new(&m, &w).head_graph();
+        assert_eq!(g.op_count(), 3);
+        let gemm = g.ops().iter().find(|o| o.name == "lm-head").unwrap();
+        let dims = gemm.kind.linear_dims().unwrap();
+        assert_eq!(dims.n, m.hidden);
+        assert_eq!(dims.k, m.vocab);
+        // Tied weight: the head graph carries the vocab x H matrix (the
+        // chain-level accounting de-duplicates it against the embedding).
+        assert_eq!(g.total_params(), m.vocab * m.hidden + 2 * m.hidden);
     }
 
     #[test]

@@ -20,7 +20,8 @@
 use serde::{Deserialize, Serialize};
 
 use temp_graph::models::ModelConfig;
-use temp_graph::op::OpKind;
+use temp_graph::op::{OpKind, Operator};
+use temp_graph::segment::{Segment, SegmentChain, SegmentKind};
 use temp_graph::tensor::LinearDims;
 use temp_graph::transformer::TransformerBuilder;
 use temp_graph::workload::Workload;
@@ -28,9 +29,11 @@ use temp_mapping::engines::{map_hybrid, MappingEngine};
 use temp_parallel::memory::{per_die_footprint, FootprintBreakdown};
 use temp_parallel::selective::choose_stream;
 use temp_parallel::strategy::HybridConfig;
+use temp_sim::collectives::{Collective, CollectiveKind};
 use temp_sim::compute::ComputeModel;
 use temp_sim::power::EnergyLedger;
 use temp_wsc::config::WaferConfig;
+use temp_wsc::topology::DieId;
 
 use crate::{Result, SolverError};
 
@@ -53,6 +56,12 @@ pub struct CostReport {
     pub exposed_stream_time: f64,
     /// Pipeline bubble time per step.
     pub bubble_time: f64,
+    /// Embedding-segment time per step (lookup + vocab-parallel output
+    /// all-reduce + sparse gradient exchange under this configuration).
+    pub embedding_time: f64,
+    /// LM-head-segment time per step (final norm + logits GEMM +
+    /// cross-entropy reduction + tied-weight gradient sync).
+    pub head_time: f64,
     /// Per-die memory footprint.
     pub memory: FootprintBreakdown,
     /// Whether the footprint fits per-die HBM.
@@ -77,6 +86,42 @@ impl CostReport {
         }
         (self.collective_time + self.exposed_stream_time + self.bubble_time) / self.step_time
     }
+
+    /// Step time of the Transformer-block run alone (everything except the
+    /// embedding and LM-head segments) — the per-candidate block cost the
+    /// heterogeneous chain DP consumes.
+    pub fn block_time(&self) -> f64 {
+        (self.step_time - self.embedding_time - self.head_time).max(0.0)
+    }
+}
+
+/// Cost of **one segment instance** for **one micro-batch** under a
+/// configuration (Eq. 2 shape: `collective + max(compute, stream)`).
+///
+/// Deliberately closed-form: per-die operator arithmetic plus analytic
+/// ring-collective times, no layout and no contention simulation, so a
+/// whole candidate batch can be segment-costed in microseconds and the
+/// result is independent of the evaluation tier (the surrogate gate and
+/// the exact pipeline see identical segment tables). The per-segment
+/// memory check is a *necessary* condition — the segment's own parameter
+/// state and activations must fit a die; whole-chain feasibility is still
+/// settled by the exact [`CostReport::fits_memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentCost {
+    /// Which segment kind was costed.
+    pub kind: SegmentKind,
+    /// Per-micro-batch time of one instance: `coll + max(comp, stream)`.
+    pub time: f64,
+    /// Compute component.
+    pub compute_time: f64,
+    /// Exposed collective component.
+    pub collective_time: f64,
+    /// TATP stream component (overlaps with compute).
+    pub stream_time: f64,
+    /// Per-die bytes attributable to this segment instance.
+    pub memory_bytes: f64,
+    /// Whether the segment's own footprint fits one die's HBM.
+    pub fits_memory: bool,
 }
 
 /// The analytic wafer cost model.
@@ -86,18 +131,31 @@ pub struct WaferCostModel {
     model: ModelConfig,
     workload: Workload,
     compute: ComputeModel,
+    /// The model's segment chain, built once. Segment structure (ops,
+    /// params, FLOPs) does not depend on the recompute mode, so the chain
+    /// is valid for every workload this model evaluates with; only the
+    /// block's *activation accounting* is recompute-sensitive and that is
+    /// read from the live workload, not the chain.
+    chain: SegmentChain,
 }
 
 impl WaferCostModel {
     /// Creates a cost model for a (wafer, model, workload) triple.
     pub fn new(wafer: WaferConfig, model: ModelConfig, workload: Workload) -> Self {
         let compute = ComputeModel::new(&wafer);
+        let chain = SegmentChain::for_model(&model, &workload);
         WaferCostModel {
             wafer,
             model,
             workload,
             compute,
+            chain,
         }
+    }
+
+    /// The model's segment chain IR (embedding -> blocks -> head).
+    pub fn chain(&self) -> &SegmentChain {
+        &self.chain
     }
 
     /// The wafer configuration.
@@ -125,7 +183,7 @@ impl WaferCostModel {
         engine: MappingEngine,
         mode: temp_graph::workload::RecomputeMode,
     ) -> Vec<f64> {
-        temp_surrogate::config_features(
+        temp_surrogate::chain_features(
             &self.model,
             &self.workload,
             &self.wafer,
@@ -157,7 +215,12 @@ impl WaferCostModel {
             .map_err(|e| SolverError::Internal(e.to_string()))?;
 
         // ---- Memory ---------------------------------------------------------
-        let memory = per_die_footprint(&self.model, workload, cfg);
+        let mut memory = per_die_footprint(&self.model, workload, cfg);
+        // The whole-model verdict owns chain feasibility, so it must also
+        // see the end segments' transients — notably the head's logits
+        // shard, which `per_die_footprint`'s per-layer accounting never
+        // prices.
+        memory.buffers += self.logits_transient_bytes(cfg, workload);
         let fits_memory = memory.fits(self.wafer.hbm.capacity);
 
         // ---- Per-layer compute (per micro-batch) ---------------------------
@@ -193,13 +256,9 @@ impl WaferCostModel {
                     // occasional 3-wave peak (see
                     // TatpOrchestration::peak_link_multiplicity) averages
                     // out to ~1.5 over a stage.
-                    const STREAM_WAVE_MULTIPLICITY: f64 = 1.5;
                     let t_deg = cfg.tatp.max(1) as f64;
                     let chunk = op.bytes / t_deg;
-                    let per_round = self.wafer.d2d.latency
-                        + 0.5 * STREAM_WAVE_MULTIPLICITY * chunk
-                            / self.wafer.d2d.effective_bandwidth(chunk);
-                    let t = op.per_layer_count * t_deg * per_round;
+                    let t = op.per_layer_count * t_deg * self.stream_round_time(chunk);
                     stream_layer = stream_layer.max(t);
                 }
                 _ => {
@@ -227,6 +286,28 @@ impl WaferCostModel {
         let step_body = micro * stage_time;
         let bubble_time = (pp - 1.0) * stage_time;
         let step_time = step_body + bubble_time;
+
+        // ---- Segment chain: embedding + LM head -----------------------------
+        // The block run above replicates one block cost `layers` times; the
+        // chain's end segments have their own physics (lookup-bound
+        // embedding with a vocab-parallel output all-reduce, vocab-GEMM
+        // head with tied-weight gradient sync) and are costed through the
+        // same closed-form segment evaluator the chain DP consumes, so a
+        // uniform chain assignment reproduces this step time exactly.
+        let mut embedding_time = 0.0;
+        let mut head_time = 0.0;
+        for seg in self.chain.segments() {
+            if seg.kind == SegmentKind::Block {
+                continue;
+            }
+            let t = self.evaluate_segment_with(seg, cfg, workload)?.time * seg.count as f64 * micro;
+            match seg.kind {
+                SegmentKind::Embedding => embedding_time = t,
+                SegmentKind::Head => head_time = t,
+                SegmentKind::Block => {}
+            }
+        }
+        let step_time = step_time + embedding_time + head_time;
 
         // ---- Energy ----------------------------------------------------------
         let mut energy = EnergyLedger::new();
@@ -273,6 +354,8 @@ impl WaferCostModel {
             stream_time: stream_layer * local_layers * micro,
             exposed_stream_time: exposed_stream / pp,
             bubble_time,
+            embedding_time,
+            head_time,
             memory,
             fits_memory,
             energy,
@@ -293,6 +376,19 @@ impl WaferCostModel {
     /// per-round launch overhead — the Fig. 9 diminishing-returns tail.
     pub fn layer_compute_time(&self, cfg: &HybridConfig, workload: &Workload) -> f64 {
         let block = TransformerBuilder::new(&self.model, workload).block();
+        self.ops_compute_time(block.ops(), cfg, workload)
+    }
+
+    /// Per-die, per-micro-batch compute time of an arbitrary operator list
+    /// under a configuration — the generalized body of
+    /// [`WaferCostModel::layer_compute_time`], shared by the block and the
+    /// embedding/head segment evaluations.
+    pub fn ops_compute_time(
+        &self,
+        ops: &[Operator],
+        cfg: &HybridConfig,
+        workload: &Workload,
+    ) -> f64 {
         let (dp, tp, spcp, tatp) = (
             cfg.dp as u64,
             cfg.tp as u64,
@@ -302,7 +398,7 @@ impl WaferCostModel {
         let batch_div = dp * micro_share(workload);
         let dtype = workload.compute_dtype;
         let mut total = 0.0;
-        for op in block.ops() {
+        for op in ops {
             match op.kind.linear_dims() {
                 Some(dims) => {
                     // Per-die shares: DP/micro on batch, SP/CP + TATP on
@@ -340,7 +436,207 @@ impl WaferCostModel {
         }
         total
     }
+
+    /// Evaluates one segment instance under this model's workload. See
+    /// [`SegmentCost`] for the contract (closed-form, tier-independent,
+    /// per-micro-batch units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Internal`] when the configuration is invalid
+    /// for this wafer's die count.
+    pub fn evaluate_segment(
+        &self,
+        segment: &Segment,
+        cfg: &HybridConfig,
+        _engine: MappingEngine,
+    ) -> Result<SegmentCost> {
+        self.evaluate_segment_with(segment, cfg, &self.workload)
+    }
+
+    /// As [`WaferCostModel::evaluate_segment`] with an explicit workload
+    /// (recompute escalation flows through here). The mapping engine does
+    /// not enter the arithmetic — segment comm is priced with analytic
+    /// ring collectives so the table is identical across engines and
+    /// evaluation tiers.
+    pub fn evaluate_segment_with(
+        &self,
+        segment: &Segment,
+        cfg: &HybridConfig,
+        workload: &Workload,
+    ) -> Result<SegmentCost> {
+        cfg.validate(self.wafer.die_count())
+            .map_err(|e| SolverError::Internal(e.to_string()))?;
+        let recompute_factor = match (segment.kind, workload.recompute) {
+            // Only block activations are recomputed; the embedding lookup
+            // and the head's loss path run once either way.
+            (SegmentKind::Block, temp_graph::workload::RecomputeMode::Full) => 4.0 / 3.0,
+            _ => 1.0,
+        };
+        let compute_time = self.ops_compute_time(&segment.ops, cfg, workload) * recompute_factor;
+        let (collective_time, stream_time) = self.segment_comm(segment, cfg, workload);
+        let memory_bytes = self.segment_footprint(segment, cfg, workload);
+        let fits_memory = memory_bytes <= self.wafer.hbm.capacity;
+        Ok(SegmentCost {
+            kind: segment.kind,
+            time: collective_time + compute_time.max(stream_time),
+            compute_time,
+            collective_time,
+            stream_time,
+            memory_bytes,
+            fits_memory,
+        })
+    }
+
+    /// Analytic ring-collective time over a group of `n` dies (idealized
+    /// one-hop neighbors, contention-free — the same formula the exact
+    /// path's [`Collective::analytic_time`] uses).
+    fn ring_time(&self, n: usize, kind: CollectiveKind, bytes: f64) -> f64 {
+        if n < 2 || bytes <= 0.0 {
+            return 0.0;
+        }
+        let group: Vec<DieId> = (0..n as u32).map(DieId).collect();
+        Collective::new(kind, group, bytes).analytic_time(&self.wafer.d2d)
+    }
+
+    /// Per-micro-batch exposed collective and TATP-stream time of one
+    /// segment instance. Each segment kind has its own communication
+    /// physics:
+    ///
+    /// * **Embedding** — vocab-parallel lookup needs an output all-reduce
+    ///   over the `tp x tatp` table shards; gradients are row-sparse, so
+    ///   the DP exchange moves only the touched rows (`tokens x H`), not
+    ///   the `V x H` table.
+    /// * **Block** — TP activation all-reduces, SP/CP gather/scatter
+    ///   around the norms, the DP/FSDP gradient collectives amortized over
+    ///   micro-batches and the TATP weight stream.
+    /// * **Head** — vocab-parallel cross-entropy needs only two scalars
+    ///   per token across the shard group, but the tied `V x H` weight
+    ///   picks up *dense* gradients that must all-reduce across DP
+    ///   replicas.
+    fn segment_comm(
+        &self,
+        segment: &Segment,
+        cfg: &HybridConfig,
+        workload: &Workload,
+    ) -> (f64, f64) {
+        use CollectiveKind::{AllGather, AllReduce, ReduceScatter};
+        let (dp, tp, spcp, tatp) = (
+            cfg.dp.max(1),
+            cfg.tp.max(1),
+            (cfg.sp * cfg.cp).max(1),
+            cfg.tatp.max(1),
+        );
+        let e = workload.compute_dtype.bytes() as f64;
+        let micro = workload.micro_batches.max(1) as f64;
+        let tokens_local = (workload.micro_batch_size() as f64 / dp as f64).max(1.0)
+            * (workload.seq_len as f64 / spcp as f64).max(1.0);
+        let act_local = tokens_local * self.model.hidden as f64 * e;
+        let vocab_shard = tp * tatp;
+        let params_bytes = segment.params as f64 * e;
+        let mut coll = 0.0;
+        let mut stream = 0.0;
+        match segment.kind {
+            SegmentKind::Embedding => {
+                // Forward output all-reduce over the vocab shards.
+                coll += self.ring_time(vocab_shard, AllReduce, act_local);
+                // Row-sparse gradient exchange, once per step.
+                coll += self.ring_time(dp, AllReduce, act_local) / micro;
+            }
+            SegmentKind::Head => {
+                // Vocab-parallel cross-entropy: max + sum, two FP32 scalars
+                // per token across the shard group.
+                coll += self.ring_time(vocab_shard, AllReduce, tokens_local * 8.0);
+                // Tied-weight dense gradient all-reduce across DP replicas,
+                // once per step over this rank's table shard.
+                let table_shard =
+                    self.model.hidden as f64 * self.model.vocab as f64 * e / vocab_shard as f64;
+                coll += self.ring_time(dp, AllReduce, table_shard) / micro;
+            }
+            SegmentKind::Block => {
+                // TP: two activation all-reduces forward, two backward.
+                coll += 4.0 * self.ring_time(tp, AllReduce, act_local);
+                // SP/CP: gather/scatter around the norm path, fwd + bwd.
+                coll += 2.0
+                    * (self.ring_time(spcp, AllGather, act_local)
+                        + self.ring_time(spcp, ReduceScatter, act_local));
+                // DP/FSDP parameter collectives amortized per micro-batch.
+                if cfg.fsdp {
+                    coll += self.ring_time(dp, AllGather, params_bytes)
+                        + self.ring_time(dp, ReduceScatter, params_bytes) / micro;
+                } else {
+                    coll += self.ring_time(dp, AllReduce, params_bytes) / micro;
+                }
+                // TATP weight stream (same per-round pricing as the exact
+                // path, with one stage per layer).
+                if tatp > 1 {
+                    let chunk = params_bytes / (tp * tatp * tatp) as f64;
+                    stream = tatp as f64 * self.stream_round_time(chunk);
+                }
+            }
+        }
+        (coll, stream)
+    }
+
+    /// One TATP stream round moving `chunk` bytes per direction — the
+    /// single source of the per-round pricing for both the exact
+    /// per-layer path and the closed-form segment evaluator (they must
+    /// agree or the uniform-chain identity breaks).
+    fn stream_round_time(&self, chunk: f64) -> f64 {
+        self.wafer.d2d.latency
+            + 0.5 * STREAM_WAVE_MULTIPLICITY * chunk / self.wafer.d2d.effective_bandwidth(chunk)
+    }
+
+    /// The head's transient logits shard per die:
+    /// `tokens_local x V / vocab_shard` bytes, alive while the loss is
+    /// computed. Charged both in the per-segment footprint and in the
+    /// whole-model memory verdict.
+    fn logits_transient_bytes(&self, cfg: &HybridConfig, workload: &Workload) -> f64 {
+        let (dp, tp, spcp, tatp) = (
+            cfg.dp.max(1) as f64,
+            cfg.tp.max(1) as f64,
+            (cfg.sp * cfg.cp).max(1) as f64,
+            cfg.tatp.max(1) as f64,
+        );
+        let tokens_local = (workload.micro_batch_size() as f64 / dp).max(1.0)
+            * (workload.seq_len as f64 / spcp).max(1.0);
+        tokens_local * self.model.vocab as f64 * workload.compute_dtype.bytes() as f64 / (tp * tatp)
+    }
+
+    /// Per-die bytes attributable to one segment instance: sharded
+    /// parameter states plus sharded activations (and the head's transient
+    /// logits shard). A necessary-condition footprint — whole-chain
+    /// feasibility stays with the whole-model verdict in
+    /// [`WaferCostModel::evaluate_with`] ([`per_die_footprint`] plus the
+    /// end-segment transients).
+    fn segment_footprint(&self, segment: &Segment, cfg: &HybridConfig, workload: &Workload) -> f64 {
+        let (dp, tp, spcp, tatp) = (
+            cfg.dp.max(1) as f64,
+            cfg.tp.max(1) as f64,
+            (cfg.sp * cfg.cp).max(1) as f64,
+            cfg.tatp.max(1) as f64,
+        );
+        let param_shard = tp * tatp * if cfg.fsdp { dp } else { 1.0 };
+        let params_state = segment.params as f64 * workload.bytes_per_param() / param_shard;
+        let act = match segment.kind {
+            SegmentKind::Block => {
+                workload.activation_bytes_per_layer(&self.model) / (dp * spcp * tatp)
+            }
+            _ => segment.activation_bytes / (dp * spcp * tatp),
+        };
+        let extra = match segment.kind {
+            SegmentKind::Head => self.logits_transient_bytes(cfg, workload),
+            _ => 0.0,
+        };
+        params_state + act + extra
+    }
 }
+
+/// Mean concurrent waves per directed link per TATP stream round: ~1 with
+/// the occasional 3-wave peak (see
+/// `TatpOrchestration::peak_link_multiplicity`), averaging out to ~1.5
+/// over a stage.
+const STREAM_WAVE_MULTIPLICITY: f64 = 1.5;
 
 /// Micro-batching divides the batch dimension before DP does.
 fn micro_share(workload: &Workload) -> u64 {
@@ -544,6 +840,74 @@ mod tests {
             .unwrap();
         assert_eq!(flat.bubble_time, 0.0);
         assert!(piped.bubble_time > 0.0);
+    }
+
+    #[test]
+    fn whole_model_report_prices_the_end_segments() {
+        let m = model_6_7b();
+        let r = m
+            .evaluate(&HybridConfig::tuple(2, 2, 1, 8), MappingEngine::Tcme)
+            .unwrap();
+        assert!(r.embedding_time > 0.0);
+        assert!(r.head_time > 0.0);
+        assert!(r.block_time() > 0.0);
+        assert!(
+            (r.block_time() + r.embedding_time + r.head_time - r.step_time).abs()
+                <= 1e-12 * r.step_time
+        );
+        // The end segments are a small tax on a 32-layer model, not the
+        // dominant term.
+        assert!(r.embedding_time + r.head_time < 0.2 * r.step_time, "{r:?}");
+    }
+
+    #[test]
+    fn segment_costs_reflect_their_physics() {
+        let m = model_6_7b();
+        let chain = temp_graph::segment::SegmentChain::for_model(m.model(), m.workload());
+        let emb = chain
+            .find(temp_graph::segment::SegmentKind::Embedding)
+            .unwrap();
+        let head = chain.find(temp_graph::segment::SegmentKind::Head).unwrap();
+        let block = chain.find(temp_graph::segment::SegmentKind::Block).unwrap();
+
+        // Embedding: sharding the vocab costs an output all-reduce that a
+        // pure sequence split avoids entirely.
+        let vocab_sharded = HybridConfig::tuple(2, 1, 1, 16);
+        let seq_split = HybridConfig::tuple(1, 1, 32, 1);
+        let e_vocab = m
+            .evaluate_segment(emb, &vocab_sharded, MappingEngine::Tcme)
+            .unwrap();
+        let e_seq = m
+            .evaluate_segment(emb, &seq_split, MappingEngine::Tcme)
+            .unwrap();
+        assert_eq!(e_seq.collective_time, 0.0, "{e_seq:?}");
+        assert!(e_vocab.collective_time > 0.0, "{e_vocab:?}");
+        assert!(e_seq.time < e_vocab.time);
+
+        // Head: the dense tied-weight gradient all-reduce punishes wide DP
+        // replication relative to vocab sharding.
+        let dp_wide = HybridConfig::tuple(32, 1, 1, 1);
+        let h_dp = m
+            .evaluate_segment(head, &dp_wide, MappingEngine::Tcme)
+            .unwrap();
+        let h_vocab = m
+            .evaluate_segment(head, &vocab_sharded, MappingEngine::Tcme)
+            .unwrap();
+        assert!(h_dp.collective_time > h_vocab.collective_time);
+
+        // All three kinds produce sane, feasible costs on a mid config.
+        for seg in [emb, block, head] {
+            let c = m
+                .evaluate_segment(seg, &HybridConfig::tuple(2, 2, 1, 8), MappingEngine::Tcme)
+                .unwrap();
+            assert!(c.time > 0.0, "{c:?}");
+            assert!(c.fits_memory, "{c:?}");
+            assert_eq!(c.kind, seg.kind);
+        }
+
+        // Invalid configurations are rejected, not mis-costed.
+        let bad = HybridConfig::tuple(2, 2, 1, 4); // product 16 != 32
+        assert!(m.evaluate_segment(emb, &bad, MappingEngine::Tcme).is_err());
     }
 
     #[test]

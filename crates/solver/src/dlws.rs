@@ -7,10 +7,13 @@
 //! 2. **Cost** each with the wafer-centric model under the TCME engine,
 //!    escalating to full recomputation when a configuration OOMs — cache
 //!    misses are costed in parallel, hits are free;
-//! 3. **Graph-partition + DP** — segments (Transformer blocks) pick
-//!    candidates under resharding transition costs;
-//! 4. **GA refinement** — evolves the DP assignment (and would evolve
-//!    mapping genes for heterogeneous graphs);
+//! 3. **Graph-partition + DP** — the heterogeneous segment chain
+//!    (embedding -> blocks -> LM head, [`temp_graph::segment`]) picks a
+//!    candidate **per segment** under resharding transition costs: the
+//!    blocks are priced by the exact whole-model evaluation, the end
+//!    segments by the shared closed-form segment table;
+//! 4. **GA refinement** — evolves the DP assignment over each segment's
+//!    own (possibly ragged) candidate list;
 //! 5. Emit the best [`ExecutionPlan`].
 //!
 //! A [`Dlws`] is a thin façade over a shared [`SearchContext`]: cloning
@@ -24,6 +27,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use temp_graph::models::ModelConfig;
+use temp_graph::segment::SegmentKind;
 use temp_graph::workload::Workload;
 use temp_mapping::engines::MappingEngine;
 use temp_parallel::strategy::HybridConfig;
@@ -31,30 +35,59 @@ use temp_wsc::config::WaferConfig;
 
 use crate::cost::{CostReport, WaferCostModel};
 use crate::dp::solve_chain;
-use crate::ga::{optimize, GaParams};
+use crate::ga::{optimize_ragged, GaParams};
 use crate::search::{CandidateCost, SearchContext, SearchStats};
 use crate::{Result, SolverError};
+
+/// One segment run's strategy in a solved heterogeneous chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentAssignment {
+    /// Which segment kind the run covers.
+    pub kind: SegmentKind,
+    /// Number of identical instances in the run.
+    pub count: u64,
+    /// The strategy the run executes under.
+    pub config: HybridConfig,
+    /// The run's per-step cost contribution in the chain objective.
+    pub step_time: f64,
+}
 
 /// A solved plan ready for execution/evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionPlan {
-    /// The chosen hybrid configuration.
+    /// The chosen hybrid configuration of the Transformer-block run (the
+    /// chain's dominant segment, and what the whole-model [`CostReport`]
+    /// was evaluated under).
     pub config: HybridConfig,
     /// The mapping engine.
     pub engine: MappingEngine,
     /// The workload actually planned (recompute mode may have escalated).
     pub workload: Workload,
-    /// The cost report of the chosen plan.
+    /// The cost report of the chosen plan (uniform-replication evaluation
+    /// of [`ExecutionPlan::config`]).
     pub report: CostReport,
+    /// The per-segment strategy assignment of the heterogeneous chain DP:
+    /// embedding and head may legitimately pick different strategies from
+    /// the blocks when the saving beats the boundary resharding.
+    pub segments: Vec<SegmentAssignment>,
+    /// Total chain objective (segment costs + resharding transitions).
+    /// Equals [`CostReport::step_time`] when the assignment is uniform;
+    /// strictly below it when heterogeneity pays.
+    pub chain_cost: f64,
+}
+
+impl ExecutionPlan {
+    /// Whether the chain assigned different strategies to different
+    /// segments.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.segments.windows(2).any(|w| w[0].config != w[1].config)
+    }
 }
 
 /// The dual-level wafer solver.
 #[derive(Debug, Clone)]
 pub struct Dlws {
     ctx: Arc<SearchContext>,
-    /// Representative segments for the DP/GA stages (blocks are identical,
-    /// so a handful suffices; heterogeneous graphs would use all).
-    dp_segments: usize,
     ga: GaParams,
 }
 
@@ -72,7 +105,6 @@ impl Dlws {
     pub fn from_context(ctx: Arc<SearchContext>) -> Self {
         Dlws {
             ctx,
-            dp_segments: 4,
             ga: GaParams::default(),
         }
     }
@@ -181,39 +213,85 @@ impl Dlws {
             ));
         }
 
-        // Level 1: DP over representative segments with resharding costs
-        // (per-segment costs are uniform across identical blocks, so the
-        // block cost is step_time / segments).
-        let segs = self.dp_segments;
-        let seg_costs: Vec<Vec<f64>> = (0..segs)
-            .map(|_| costed.iter().map(|(t, _)| *t / segs as f64).collect())
+        // Level 1: DP over the real heterogeneous segment chain
+        // (embedding -> blocks -> head) with resharding transition costs.
+        //
+        // The block run's per-candidate cost is the *exact* whole-model
+        // step time minus the embedding/head contributions (contention
+        // simulation included); the end segments are priced from the
+        // shared closed-form segment table, which is identical across
+        // evaluation tiers — so the surrogate gate can prune block
+        // candidates without ever perturbing the end segments' choices.
+        // A resharding boundary is crossed once per micro-batch.
+        let base_mode = self.ctx.cost_model().workload().recompute;
+        let micro = self.ctx.cost_model().workload().micro_batches.max(1) as f64;
+        let chain = self.ctx.chain();
+        let block_row = chain
+            .position(SegmentKind::Block)
+            .ok_or_else(|| SolverError::Internal("chain has no block segment".into()))?;
+        let seg_costs: Vec<Vec<f64>> = chain
+            .segments()
+            .iter()
+            .map(|seg| match seg.kind {
+                SegmentKind::Block => costed
+                    .iter()
+                    .map(|(t, payload)| match payload {
+                        Some((_, report)) if t.is_finite() => report.block_time(),
+                        _ => f64::INFINITY,
+                    })
+                    .collect(),
+                // End segments: the shared per-step row (one source of
+                // truth with the gate's chain correction).
+                kind => self
+                    .ctx
+                    .segment_step_costs(kind, &candidates, engine, base_mode),
+            })
             .collect();
-        let reshard = |a: usize, b: usize| self.ctx.resharding_cost(&candidates[a], &candidates[b]);
-        let dp = solve_chain(&seg_costs, reshard);
+        let reshard = |_s: usize, a: usize, b: usize| {
+            micro * self.ctx.resharding_cost(&candidates[a], &candidates[b])
+        };
+        let dp = solve_chain(&seg_costs, reshard)
+            .map_err(|e| SolverError::Internal(format!("chain DP: {e}")))?;
 
-        // Level 2: GA refinement seeded with the DP assignment.
-        let ga = optimize(segs, candidates.len(), &dp.choices, &self.ga, |genome| {
+        // Level 2: GA refinement seeded with the DP assignment, each
+        // segment evolving over its own candidate list.
+        let cards: Vec<usize> = seg_costs.iter().map(Vec::len).collect();
+        let ga = optimize_ragged(&cards, &dp.choices, &self.ga, |genome| {
             let mut total = 0.0;
             for (s, &c) in genome.iter().enumerate() {
                 total += seg_costs[s][c];
                 if s > 0 {
-                    total += reshard(genome[s - 1], c);
+                    total += reshard(s, genome[s - 1], c);
                 }
             }
             total
         });
-        let winner = ga.genome[0];
+        let winner = ga.genome[block_row];
         // Clone the winner's payload out of the costed vector instead of
         // `mem::take`-ing it: the shared cache must stay intact so the
         // context remains reusable across solves.
         let (workload, report) = costed[winner].1.clone().ok_or_else(|| {
             SolverError::NoFeasiblePlan("GA converged on an infeasible candidate".into())
         })?;
+        let segments: Vec<SegmentAssignment> = chain
+            .segments()
+            .iter()
+            .zip(&ga.genome)
+            .enumerate()
+            .map(|(s, (seg, &c))| SegmentAssignment {
+                kind: seg.kind,
+                count: seg.count,
+                config: candidates[c],
+                step_time: seg_costs[s][c],
+            })
+            .collect();
         Ok(ExecutionPlan {
             config: candidates[winner],
             engine,
             workload,
             report,
+            segments,
+            chain_cost: ga.cost,
         })
     }
 }
@@ -297,6 +375,40 @@ mod tests {
         // 175B on one 32-die wafer cannot keep 34·sbh activations around.
         assert_eq!(plan.workload.recompute, RecomputeMode::Full);
         assert!(plan.report.fits_memory);
+    }
+
+    #[test]
+    fn chain_assignment_is_heterogeneous_and_beats_uniform() {
+        let plan = solver(ModelZoo::gpt3_6_7b()).solve().unwrap();
+        assert_eq!(plan.segments.len(), 3);
+        assert_eq!(plan.segments[0].kind, SegmentKind::Embedding);
+        assert_eq!(plan.segments[1].kind, SegmentKind::Block);
+        assert_eq!(plan.segments[2].kind, SegmentKind::Head);
+        // The block run is what the plan's config/report describe.
+        assert_eq!(plan.segments[1].config, plan.config);
+        // The chain objective can only improve on the uniform evaluation,
+        // and on GPT-3 6.7B it strictly does: the embedding escapes the
+        // blocks' vocab-parallel all-reduce.
+        assert!(plan.chain_cost <= plan.report.step_time);
+        assert!(plan.is_heterogeneous(), "{:?}", plan.segments);
+        assert_ne!(plan.segments[0].config, plan.segments[1].config);
+        assert!(plan.chain_cost < plan.report.step_time);
+        // Chain-cost bookkeeping: segment contributions plus boundary
+        // transitions reproduce the total.
+        let micro = plan.workload.micro_batches as f64;
+        let boundary = solver(ModelZoo::gpt3_6_7b()).context().full_reshard_cost();
+        let mut total = 0.0;
+        for (i, seg) in plan.segments.iter().enumerate() {
+            total += seg.step_time;
+            if i > 0 && plan.segments[i - 1].config != seg.config {
+                total += micro * boundary;
+            }
+        }
+        assert!(
+            (total - plan.chain_cost).abs() <= 1e-9 * plan.chain_cost,
+            "{total} vs {}",
+            plan.chain_cost
+        );
     }
 
     #[test]

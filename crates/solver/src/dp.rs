@@ -2,16 +2,41 @@
 //!
 //! After the residual-aware graph partition (see
 //! [`temp_graph::graph::ComputeGraph::segments`]), the model is a chain of
-//! segments. Each segment independently picks a strategy from a candidate
-//! set; adjacent segments with different strategies pay a resharding
-//! (transition) cost. The DP finds the optimal assignment in
-//! `O(segments x candidates^2)` — the "recursive dynamic-programming routine
-//! [that] iteratively optimizes one operator at a time" of Fig. 12(b).
+//! segments. Each segment independently picks a strategy from **its own**
+//! candidate list (lists may be ragged — the embedding can admit
+//! strategies the blocks cannot, and vice versa); adjacent segments with
+//! different strategies pay a resharding (transition) cost. The DP finds
+//! the optimal assignment in `O(segments x candidates^2)` — the "recursive
+//! dynamic-programming routine [that] iteratively optimizes one operator
+//! at a time" of Fig. 12(b).
+
+/// Typed failure of a chain solve — malformed chains surface as errors
+/// instead of aborting a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DpError {
+    /// Segment `segment` has an empty candidate list.
+    EmptyCandidateList {
+        /// Index of the offending segment.
+        segment: usize,
+    },
+}
+
+impl std::fmt::Display for DpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpError::EmptyCandidateList { segment } => {
+                write!(f, "segment {segment} has an empty candidate list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
 
 /// Result of a chain DP solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DpSolution {
-    /// Chosen candidate index per segment.
+    /// Chosen candidate index per segment (into that segment's own list).
     pub choices: Vec<usize>,
     /// Total cost (segment costs + transitions).
     pub cost: f64,
@@ -19,35 +44,41 @@ pub struct DpSolution {
 
 /// Solves the segment-chain assignment problem.
 ///
-/// `segment_costs[s][c]` is the cost of running segment `s` under candidate
-/// `c` (use `f64::INFINITY` for infeasible pairs); `transition(a, b)` prices
-/// switching from candidate `a` to candidate `b` between adjacent segments.
+/// `segment_costs[s][c]` is the cost of running segment `s` under its
+/// candidate `c` (use `f64::INFINITY` for infeasible pairs); the lists may
+/// have different lengths per segment. `transition(s, a, b)` prices
+/// switching from segment `s-1`'s candidate `a` to segment `s`'s candidate
+/// `b` — with ragged lists the segment index disambiguates what `a` and
+/// `b` refer to.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any segment has an empty candidate list.
+/// Returns [`DpError::EmptyCandidateList`] when any segment has no
+/// candidates (an empty chain is trivially solvable and returns an empty
+/// solution).
 pub fn solve_chain(
     segment_costs: &[Vec<f64>],
-    transition: impl Fn(usize, usize) -> f64,
-) -> DpSolution {
+    transition: impl Fn(usize, usize, usize) -> f64,
+) -> Result<DpSolution, DpError> {
     if segment_costs.is_empty() {
-        return DpSolution {
+        return Ok(DpSolution {
             choices: Vec::new(),
             cost: 0.0,
-        };
+        });
     }
-    let k = segment_costs[0].len();
-    assert!(k > 0, "each segment needs at least one candidate");
-    // best[c] = min cost of prefix ending with candidate c.
+    if let Some(segment) = segment_costs.iter().position(Vec::is_empty) {
+        return Err(DpError::EmptyCandidateList { segment });
+    }
+    // best[c] = min cost of prefix ending with candidate c of the current
+    // segment.
     let mut best: Vec<f64> = segment_costs[0].clone();
-    let mut back: Vec<Vec<usize>> = vec![vec![0; k]];
-    for costs in segment_costs.iter().skip(1) {
-        assert_eq!(costs.len(), k, "candidate sets must be uniform");
-        let mut next = vec![f64::INFINITY; k];
-        let mut bk = vec![0usize; k];
+    let mut back: Vec<Vec<usize>> = vec![vec![0; best.len()]];
+    for (s, costs) in segment_costs.iter().enumerate().skip(1) {
+        let mut next = vec![f64::INFINITY; costs.len()];
+        let mut bk = vec![0usize; costs.len()];
         for (c, &seg_cost) in costs.iter().enumerate() {
             for (p, &prev_cost) in best.iter().enumerate() {
-                let total = prev_cost + transition(p, c) + seg_cost;
+                let total = prev_cost + transition(s, p, c) + seg_cost;
                 if total < next[c] {
                     next[c] = total;
                     bk[c] = p;
@@ -68,7 +99,7 @@ pub fn solve_chain(
         choices[s] = cur;
         cur = back[s][cur];
     }
-    DpSolution { choices, cost }
+    Ok(DpSolution { choices, cost })
 }
 
 #[cfg(test)]
@@ -77,15 +108,23 @@ mod tests {
 
     #[test]
     fn empty_chain_is_free() {
-        let s = solve_chain(&[], |_, _| 0.0);
+        let s = solve_chain(&[], |_, _, _| 0.0).unwrap();
         assert_eq!(s.cost, 0.0);
         assert!(s.choices.is_empty());
     }
 
     #[test]
+    fn empty_candidate_list_is_a_typed_error() {
+        let costs = vec![vec![1.0, 2.0], Vec::new(), vec![3.0]];
+        let err = solve_chain(&costs, |_, _, _| 0.0).unwrap_err();
+        assert_eq!(err, DpError::EmptyCandidateList { segment: 1 });
+        assert!(err.to_string().contains("segment 1"));
+    }
+
+    #[test]
     fn picks_per_segment_minimum_without_transitions() {
         let costs = vec![vec![3.0, 1.0, 2.0], vec![5.0, 9.0, 4.0]];
-        let s = solve_chain(&costs, |_, _| 0.0);
+        let s = solve_chain(&costs, |_, _, _| 0.0).unwrap();
         assert_eq!(s.choices, vec![1, 2]);
         assert!((s.cost - 5.0).abs() < 1e-12);
     }
@@ -94,7 +133,7 @@ mod tests {
     fn transitions_keep_assignment_uniform_when_expensive() {
         // Candidate 0 slightly worse per segment, but switching costs 100.
         let costs = vec![vec![1.0, 0.9], vec![1.0, 0.9], vec![0.5, 2.0]];
-        let s = solve_chain(&costs, |a, b| if a == b { 0.0 } else { 100.0 });
+        let s = solve_chain(&costs, |_, a, b| if a == b { 0.0 } else { 100.0 }).unwrap();
         // Uniform candidate 1: 0.9+0.9+2.0 = 3.8; uniform 0: 2.5 — wins.
         assert_eq!(s.choices, vec![0, 0, 0]);
         assert!((s.cost - 2.5).abs() < 1e-12);
@@ -103,15 +142,34 @@ mod tests {
     #[test]
     fn cheap_transitions_allow_switching() {
         let costs = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
-        let s = solve_chain(&costs, |a, b| if a == b { 0.0 } else { 0.5 });
+        let s = solve_chain(&costs, |_, a, b| if a == b { 0.0 } else { 0.5 }).unwrap();
         assert_eq!(s.choices, vec![0, 1]);
         assert!((s.cost - 2.5).abs() < 1e-12);
     }
 
     #[test]
+    fn ragged_candidate_lists_are_solved() {
+        // Segment 0 has three candidates, segment 1 only one, segment 2
+        // two; the transition keys on (segment, index) pairs.
+        let costs = vec![vec![3.0, 1.0, 2.0], vec![4.0], vec![0.5, 0.1]];
+        let s = solve_chain(&costs, |s, _a, b| {
+            // Entering segment 2's candidate 0 is expensive; its cheaper
+            // sibling is free to reach.
+            if s == 2 && b == 0 {
+                10.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        assert_eq!(s.choices, vec![1, 0, 1]);
+        assert!((s.cost - (1.0 + 4.0 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
     fn infeasible_candidates_are_avoided() {
         let costs = vec![vec![f64::INFINITY, 2.0], vec![1.0, f64::INFINITY]];
-        let s = solve_chain(&costs, |_, _| 0.0);
+        let s = solve_chain(&costs, |_, _, _| 0.0).unwrap();
         assert_eq!(s.choices, vec![1, 0]);
         assert!(s.cost.is_finite());
     }
@@ -123,15 +181,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..20 {
             let segs = rng.gen_range(1..5usize);
-            let k = rng.gen_range(1..4usize);
-            let costs: Vec<Vec<f64>> = (0..segs)
-                .map(|_| (0..k).map(|_| rng.gen_range(0.0..10.0)).collect())
+            // Ragged: every segment draws its own candidate count.
+            let ks: Vec<usize> = (0..segs).map(|_| rng.gen_range(1..4usize)).collect();
+            let costs: Vec<Vec<f64>> = ks
+                .iter()
+                .map(|&k| (0..k).map(|_| rng.gen_range(0.0..10.0)).collect())
                 .collect();
-            let tr: Vec<Vec<f64>> = (0..k)
-                .map(|_| (0..k).map(|_| rng.gen_range(0.0..3.0)).collect())
+            let kmax = ks.iter().copied().max().unwrap();
+            let tr: Vec<Vec<f64>> = (0..kmax)
+                .map(|_| (0..kmax).map(|_| rng.gen_range(0.0..3.0)).collect())
                 .collect();
-            let dp = solve_chain(&costs, |a, b| tr[a][b]);
-            // Brute force.
+            let dp = solve_chain(&costs, |_, a, b| tr[a][b]).unwrap();
+            // Brute force over the ragged product space.
             let mut best = f64::INFINITY;
             let mut stack = vec![(0usize, 0.0f64, usize::MAX)];
             while let Some((s, acc, prev)) = stack.pop() {
@@ -139,7 +200,7 @@ mod tests {
                     best = best.min(acc);
                     continue;
                 }
-                for c in 0..k {
+                for c in 0..ks[s] {
                     let t = if prev == usize::MAX { 0.0 } else { tr[prev][c] };
                     stack.push((s + 1, acc + costs[s][c] + t, c));
                 }

@@ -48,7 +48,8 @@ pub struct GaOutcome {
 }
 
 /// Minimizes `fitness` over genomes of length `genome_len` with gene values
-/// in `0..gene_cardinality`, seeding the population with `seed_genome`.
+/// in `0..gene_cardinality` (uniform alphabet), seeding the population with
+/// `seed_genome`. Thin wrapper over [`optimize_ragged`].
 ///
 /// # Panics
 ///
@@ -58,10 +59,37 @@ pub fn optimize(
     gene_cardinality: usize,
     seed_genome: &[usize],
     params: &GaParams,
-    mut fitness: impl FnMut(&[usize]) -> f64,
+    fitness: impl FnMut(&[usize]) -> f64,
 ) -> GaOutcome {
     assert!(genome_len > 0, "empty genome");
-    assert!(gene_cardinality > 0, "empty gene alphabet");
+    optimize_ragged(
+        &vec![gene_cardinality; genome_len],
+        seed_genome,
+        params,
+        fitness,
+    )
+}
+
+/// Minimizes `fitness` over genomes where gene `i` takes values in
+/// `0..gene_cardinality[i]` — the heterogeneous-chain form: every segment
+/// evolves over **its own** candidate list, which may be ragged across
+/// segments.
+///
+/// # Panics
+///
+/// Panics when `gene_cardinality` is empty or any gene's alphabet is 0.
+pub fn optimize_ragged(
+    gene_cardinality: &[usize],
+    seed_genome: &[usize],
+    params: &GaParams,
+    mut fitness: impl FnMut(&[usize]) -> f64,
+) -> GaOutcome {
+    let genome_len = gene_cardinality.len();
+    assert!(genome_len > 0, "empty genome");
+    assert!(
+        gene_cardinality.iter().all(|&k| k > 0),
+        "empty gene alphabet"
+    );
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut evaluations = 0usize;
     let mut eval = |g: &[usize], evaluations: &mut usize| {
@@ -74,8 +102,9 @@ pub fn optimize(
     population.push(seed_genome.to_vec());
     while population.len() < params.population {
         population.push(
-            (0..genome_len)
-                .map(|_| rng.gen_range(0..gene_cardinality))
+            gene_cardinality
+                .iter()
+                .map(|&k| rng.gen_range(0..k))
                 .collect(),
         );
     }
@@ -96,10 +125,10 @@ pub fn optimize(
             // Single-point crossover.
             let cut = rng.gen_range(0..genome_len);
             let mut child: Vec<usize> = pa[..cut].iter().chain(pb[cut..].iter()).copied().collect();
-            // Mutation.
-            for gene in child.iter_mut() {
+            // Mutation (per-gene alphabet).
+            for (gene, &k) in child.iter_mut().zip(gene_cardinality) {
                 if rng.gen_bool(params.mutation_rate) {
-                    *gene = rng.gen_range(0..gene_cardinality);
+                    *gene = rng.gen_range(0..k);
                 }
             }
             let score = eval(&child, &mut evaluations);
@@ -150,6 +179,21 @@ mod tests {
                 1.0
             }
         });
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn ragged_alphabets_are_respected() {
+        // Gene i may only take values < cardinality[i]; the optimum sits at
+        // each gene's maximum legal value.
+        let cards = [2usize, 5, 3, 1];
+        let out = optimize_ragged(&cards, &[0, 0, 0, 0], &GaParams::default(), |g| {
+            g.iter()
+                .zip(&cards)
+                .map(|(&x, &k)| (k - 1 - x) as f64)
+                .sum()
+        });
+        assert_eq!(out.genome, vec![1, 4, 2, 0]);
         assert_eq!(out.cost, 0.0);
     }
 

@@ -20,11 +20,12 @@ pub struct IlpSolution {
 
 /// Exhaustive branch-and-bound over the full assignment space.
 ///
-/// Same inputs as [`crate::dp::solve_chain`]; same optimum, exponentially
-/// more work.
+/// Same inputs as [`crate::dp::solve_chain`] (ragged per-segment candidate
+/// lists, segment-indexed transitions); same optimum, exponentially more
+/// work.
 pub fn solve_exact(
     segment_costs: &[Vec<f64>],
-    transition: impl Fn(usize, usize) -> f64 + Copy,
+    transition: impl Fn(usize, usize, usize) -> f64 + Copy,
 ) -> IlpSolution {
     if segment_costs.is_empty() {
         return IlpSolution {
@@ -33,19 +34,17 @@ pub fn solve_exact(
             nodes_expanded: 0,
         };
     }
-    let k = segment_costs[0].len();
     let mut best_cost = f64::INFINITY;
     let mut best_choices: Vec<usize> = Vec::new();
     let mut nodes = 0usize;
     let mut prefix: Vec<usize> = Vec::with_capacity(segment_costs.len());
 
     // The recursion threads the whole solver state explicitly; packing it
-    // into a struct would only rename the eight arguments.
+    // into a struct would only rename the seven arguments.
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         segment_costs: &[Vec<f64>],
-        transition: impl Fn(usize, usize) -> f64 + Copy,
-        k: usize,
+        transition: impl Fn(usize, usize, usize) -> f64 + Copy,
         acc: f64,
         prefix: &mut Vec<usize>,
         best_cost: &mut f64,
@@ -60,9 +59,9 @@ pub fn solve_exact(
             }
             return;
         }
-        for c in 0..k {
+        for c in 0..segment_costs[s].len() {
             *nodes += 1;
-            let t = prefix.last().map(|&p| transition(p, c)).unwrap_or(0.0);
+            let t = prefix.last().map(|&p| transition(s, p, c)).unwrap_or(0.0);
             let cost = acc + segment_costs[s][c] + t;
             // Bound: costs are non-negative, prune dominated prefixes.
             if cost >= *best_cost {
@@ -72,7 +71,6 @@ pub fn solve_exact(
             recurse(
                 segment_costs,
                 transition,
-                k,
                 cost,
                 prefix,
                 best_cost,
@@ -86,7 +84,6 @@ pub fn solve_exact(
     recurse(
         segment_costs,
         transition,
-        k,
         0.0,
         &mut prefix,
         &mut best_cost,
@@ -112,15 +109,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..10 {
             let segs = rng.gen_range(1..6usize);
-            let k = rng.gen_range(1..4usize);
-            let costs: Vec<Vec<f64>> = (0..segs)
-                .map(|_| (0..k).map(|_| rng.gen_range(0.0..10.0)).collect())
+            let ks: Vec<usize> = (0..segs).map(|_| rng.gen_range(1..4usize)).collect();
+            let costs: Vec<Vec<f64>> = ks
+                .iter()
+                .map(|&k| (0..k).map(|_| rng.gen_range(0.0..10.0)).collect())
                 .collect();
-            let tr: Vec<Vec<f64>> = (0..k)
-                .map(|_| (0..k).map(|_| rng.gen_range(0.0..2.0)).collect())
+            let kmax = ks.iter().copied().max().unwrap();
+            let tr: Vec<Vec<f64>> = (0..kmax)
+                .map(|_| (0..kmax).map(|_| rng.gen_range(0.0..2.0)).collect())
                 .collect();
-            let dp = solve_chain(&costs, |a, b| tr[a][b]);
-            let exact = solve_exact(&costs, |a, b| tr[a][b]);
+            let dp = solve_chain(&costs, |_, a, b| tr[a][b]).unwrap();
+            let exact = solve_exact(&costs, |_, a, b| tr[a][b]);
             assert!((dp.cost - exact.cost).abs() < 1e-9);
         }
     }
@@ -132,8 +131,8 @@ mod tests {
             // first path found is the worst.
             (0..segs).map(|_| vec![3.0, 2.0, 1.0]).collect()
         };
-        let small = solve_exact(&costs_for(4), |_, _| 0.1);
-        let large = solve_exact(&costs_for(8), |_, _| 0.1);
+        let small = solve_exact(&costs_for(4), |_, _, _| 0.1);
+        let large = solve_exact(&costs_for(8), |_, _, _| 0.1);
         assert!(
             large.nodes_expanded > 4 * small.nodes_expanded,
             "small {} vs large {}",
@@ -144,7 +143,7 @@ mod tests {
 
     #[test]
     fn empty_instance_is_trivial() {
-        let s = solve_exact(&[], |_, _| 0.0);
+        let s = solve_exact(&[], |_, _, _| 0.0);
         assert_eq!(s.cost, 0.0);
         assert_eq!(s.nodes_expanded, 0);
     }

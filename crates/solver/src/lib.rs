@@ -4,11 +4,14 @@
 //!
 //! * [`cost`] — the analytic cost model of Eqs. 2–4: per-layer time is
 //!   `Collective + max(Comp, P2P-stream)`, per-step time adds pipeline
-//!   bubbles and gradient synchronization; memory feasibility, energy,
-//!   throughput and power efficiency are produced alongside;
-//! * [`dp`] — recursive dynamic programming over operator-chain segments
-//!   with resharding transition costs (level 1 of the DLS algorithm,
-//!   Fig. 12(b));
+//!   bubbles, gradient synchronization and the embedding/LM-head end
+//!   segments; memory feasibility, energy, throughput and power
+//!   efficiency are produced alongside, plus per-segment costing via
+//!   [`cost::WaferCostModel::evaluate_segment`];
+//! * [`dp`] — recursive dynamic programming over the heterogeneous
+//!   segment chain, with ragged per-segment candidate lists, resharding
+//!   transition costs and typed [`dp::DpError`]s (level 1 of the DLS
+//!   algorithm, Fig. 12(b));
 //! * [`ga`] — the genetic refinement stage (level 2): configuration genes,
 //!   crossover, mutation and elitist selection;
 //! * [`ilp`] — an exact exhaustive/branch-and-bound baseline, standing in
@@ -46,8 +49,9 @@ pub mod par;
 pub mod search;
 pub mod surrogate_gate;
 
-pub use cost::{CostReport, WaferCostModel};
-pub use dlws::{Dlws, ExecutionPlan};
+pub use cost::{CostReport, SegmentCost, WaferCostModel};
+pub use dlws::{Dlws, ExecutionPlan, SegmentAssignment};
+pub use dp::DpError;
 pub use search::{CostTier, SearchContext, SearchStats};
 pub use surrogate_gate::GateParams;
 

@@ -24,11 +24,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::RwLock;
 
+use temp_graph::segment::{SegmentChain, SegmentKind};
 use temp_graph::workload::{RecomputeMode, Workload};
 use temp_mapping::engines::MappingEngine;
 use temp_parallel::strategy::HybridConfig;
 
-use crate::cost::{CostReport, WaferCostModel};
+use crate::cost::{CostReport, SegmentCost, WaferCostModel};
 use crate::par;
 use crate::surrogate_gate::{self, GateParams};
 
@@ -36,6 +37,11 @@ use crate::surrogate_gate::{self, GateParams};
 /// configuration, the mapping engine and the recompute mode (the wafer,
 /// model and the rest of the workload are fixed per context).
 pub type EvalKey = (HybridConfig, MappingEngine, RecomputeMode);
+
+/// Memoization key of the per-segment cost table: one entry per
+/// `(SegmentKind, HybridConfig, engine, recompute)` — block instances are
+/// identical, so the kind (not the instance index) keys the table.
+pub type SegmentKey = (SegmentKind, HybridConfig, MappingEngine, RecomputeMode);
 
 /// Which evaluation pipeline batch costing runs (§VII-A).
 ///
@@ -76,6 +82,14 @@ pub struct SearchStats {
     pub misses: u64,
     /// Candidates the surrogate gate pruned without exact evaluation.
     pub gate_pruned: u64,
+    /// Per-segment cost-table entries computed (closed-form; cheap, but
+    /// counted so tests can assert the table is memoized).
+    pub seg_misses: u64,
+    /// The top-K the surrogate gate is currently using: the configured
+    /// default until a gated batch has been observed, then adapted from
+    /// rank-of-winner statistics (see
+    /// [`SearchContext::effective_top_k`]).
+    pub adaptive_top_k: u64,
 }
 
 impl SearchStats {
@@ -109,9 +123,16 @@ pub struct SearchContext {
     /// Surrogate-gate tuning (stride, top-K, minimum batch size).
     gate: RwLock<GateParams>,
     cache: RwLock<HashMap<EvalKey, Option<CostReport>>>,
+    /// Per-segment cost table — closed-form entries, memoized so repeated
+    /// chain solves (and the gate's chain correction) featurize for free.
+    seg_cache: RwLock<HashMap<SegmentKey, Option<SegmentCost>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     pruned: AtomicU64,
+    seg_misses: AtomicU64,
+    /// Max observed surrogate rank of a gated batch's exact winner, stored
+    /// as `rank + 1` (0 = no observation yet).
+    winner_rank: AtomicU64,
 }
 
 impl SearchContext {
@@ -145,10 +166,44 @@ impl SearchContext {
             tier: RwLock::new(CostTier::Exact),
             gate: RwLock::new(GateParams::default()),
             cache: RwLock::new(HashMap::new()),
+            seg_cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            seg_misses: AtomicU64::new(0),
+            winner_rank: AtomicU64::new(0),
         }
+    }
+
+    /// The model's segment chain IR (embedding -> blocks -> head), built
+    /// once by the cost model.
+    pub fn chain(&self) -> &SegmentChain {
+        self.cost.chain()
+    }
+
+    /// Memoized per-segment cost of one `(kind, config, engine, recompute)`
+    /// key. `None` records "the segment could not be evaluated" (invalid
+    /// configuration), exactly like the whole-chain cache.
+    pub fn segment_cost(
+        &self,
+        kind: SegmentKind,
+        cfg: &HybridConfig,
+        engine: MappingEngine,
+        mode: RecomputeMode,
+    ) -> Option<SegmentCost> {
+        let key = (kind, *cfg, engine, mode);
+        if let Some(cached) = self.seg_cache.read().expect("seg cache lock").get(&key) {
+            return *cached;
+        }
+        self.seg_misses.fetch_add(1, Ordering::Relaxed);
+        let segment = self.cost.chain().find(kind)?;
+        let workload = self.cost.workload().clone().with_recompute(mode);
+        let result = self
+            .cost
+            .evaluate_segment_with(segment, cfg, &workload)
+            .ok();
+        let mut cache = self.seg_cache.write().expect("seg cache lock");
+        *cache.entry(key).or_insert(result)
     }
 
     /// The underlying cost model.
@@ -210,6 +265,73 @@ impl SearchContext {
         self.pruned.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records the surrogate rank at which a gated batch's exact winner
+    /// was found (internal; feeds [`SearchContext::effective_top_k`]).
+    pub(crate) fn observe_winner_rank(&self, rank: usize) {
+        self.winner_rank
+            .fetch_max(rank as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// The top-K the surrogate gate should use *now*: the configured
+    /// default until the first gated batch completes, afterwards adapted
+    /// from the observed rank-of-winner statistics — twice the worst rank
+    /// at which an exact winner has been found (safety margin), clamped to
+    /// `[default, 2 x default]`.
+    ///
+    /// Adaptation only ever **widens** the shortlist: a winner that gets
+    /// pruned is unobservable (the gate never learns its rank), so
+    /// shrinking below the empirically-safe default could silently break
+    /// the winner-retention guarantee with no signal to recover from.
+    /// Deep observed winners widen K; a well-ranked history keeps the
+    /// default.
+    pub fn effective_top_k(&self) -> usize {
+        let params = self.gate_params();
+        if !params.adaptive {
+            return params.top_k;
+        }
+        match self.winner_rank.load(Ordering::Relaxed) {
+            0 => params.top_k,
+            observed => (2 * observed as usize).clamp(params.top_k, 2 * params.top_k.max(1)),
+        }
+    }
+
+    /// Per-step DP-row costs of one segment kind over a candidate list:
+    /// `count x micro_batches x` the memoized per-instance segment time,
+    /// `INFINITY` where the segment's own footprint does not fit a die.
+    /// When *every* candidate fails the per-segment check the row is
+    /// rebuilt without it (the check is a necessary-condition heuristic;
+    /// whole-chain feasibility is settled by the exact evaluation), so the
+    /// chain objective never silently drops a segment's real cost.
+    ///
+    /// This is the single source of the end-segment rows for both the
+    /// chain DP (`Dlws`) and the surrogate gate's chain correction — they
+    /// must agree or the winner-retention guarantee degrades.
+    pub fn segment_step_costs(
+        &self,
+        kind: SegmentKind,
+        candidates: &[HybridConfig],
+        engine: MappingEngine,
+        mode: RecomputeMode,
+    ) -> Vec<f64> {
+        let count = self.cost.chain().find(kind).map(|s| s.count).unwrap_or(1) as f64;
+        let micro = self.cost.workload().micro_batches.max(1) as f64;
+        let row_with = |require_fit: bool| -> Vec<f64> {
+            candidates
+                .iter()
+                .map(|cfg| match self.segment_cost(kind, cfg, engine, mode) {
+                    Some(sc) if sc.fits_memory || !require_fit => sc.time * count * micro,
+                    _ => f64::INFINITY,
+                })
+                .collect()
+        };
+        let row = row_with(true);
+        if row.iter().all(|t| !t.is_finite()) {
+            row_with(false)
+        } else {
+            row
+        }
+    }
+
     /// Resharding (transition) cost between two candidate configurations.
     pub fn resharding_cost(&self, a: &HybridConfig, b: &HybridConfig) -> f64 {
         if a == b {
@@ -219,12 +341,21 @@ impl SearchContext {
         }
     }
 
+    /// The off-diagonal resharding cost (one layer-boundary activation
+    /// over the wafer bisection) — what any two distinct strategies pay
+    /// per boundary crossing.
+    pub fn full_reshard_cost(&self) -> f64 {
+        self.full_reshard
+    }
+
     /// Cache counters so far.
     pub fn stats(&self) -> SearchStats {
         SearchStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             gate_pruned: self.pruned.load(Ordering::Relaxed),
+            seg_misses: self.seg_misses.load(Ordering::Relaxed),
+            adaptive_top_k: self.effective_top_k() as u64,
         }
     }
 
@@ -431,6 +562,107 @@ mod tests {
     }
 
     #[test]
+    fn segment_cost_table_is_memoized_per_key() {
+        let ctx = context();
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let first = ctx.segment_cost(
+            SegmentKind::Head,
+            &cfg,
+            MappingEngine::Tcme,
+            RecomputeMode::Selective,
+        );
+        assert!(first.is_some());
+        let misses = ctx.stats().seg_misses;
+        assert!(misses >= 1);
+        let second = ctx.segment_cost(
+            SegmentKind::Head,
+            &cfg,
+            MappingEngine::Tcme,
+            RecomputeMode::Selective,
+        );
+        assert_eq!(first, second);
+        assert_eq!(ctx.stats().seg_misses, misses, "second lookup must hit");
+        // A different kind under the same config is a distinct key.
+        let emb = ctx.segment_cost(
+            SegmentKind::Embedding,
+            &cfg,
+            MappingEngine::Tcme,
+            RecomputeMode::Selective,
+        );
+        assert!(emb.is_some());
+        assert_ne!(first, emb);
+        assert_eq!(ctx.stats().seg_misses, misses + 1);
+        // Invalid configurations memoize their failure too.
+        let bad = HybridConfig::tuple(2, 2, 1, 4);
+        for _ in 0..2 {
+            assert!(ctx
+                .segment_cost(
+                    SegmentKind::Block,
+                    &bad,
+                    MappingEngine::Tcme,
+                    RecomputeMode::Selective
+                )
+                .is_none());
+        }
+        assert_eq!(ctx.stats().seg_misses, misses + 2);
+    }
+
+    #[test]
+    fn segment_step_costs_never_drop_a_segment() {
+        let ctx = context();
+        let candidates = ctx.candidates().to_vec();
+        let row = ctx.segment_step_costs(
+            SegmentKind::Head,
+            &candidates,
+            MappingEngine::Tcme,
+            RecomputeMode::Selective,
+        );
+        assert_eq!(row.len(), candidates.len());
+        // The row is never all-infinite: if the per-segment footprint
+        // check rejected everything, it is rebuilt without the check so
+        // the chain objective keeps the segment's real cost.
+        assert!(row.iter().any(|t| t.is_finite()), "{row:?}");
+        // Entries are per-step costs (count x micro x per-instance time),
+        // consistent with the memoized table.
+        let micro = ctx.cost_model().workload().micro_batches as f64;
+        let sc = ctx
+            .segment_cost(
+                SegmentKind::Head,
+                &candidates[0],
+                MappingEngine::Tcme,
+                RecomputeMode::Selective,
+            )
+            .unwrap();
+        if sc.fits_memory {
+            assert!((row[0] - sc.time * micro).abs() <= 1e-12 * row[0].abs());
+        }
+    }
+
+    #[test]
+    fn adaptive_top_k_follows_observed_winner_ranks() {
+        let ctx = context();
+        let default_k = ctx.gate_params().top_k;
+        assert_eq!(ctx.effective_top_k(), default_k, "no observations yet");
+        ctx.observe_winner_rank(0);
+        // A well-ranked winner keeps the default: adaptation never
+        // shrinks below the empirically-safe shortlist (a pruned winner
+        // is unobservable, so there would be no signal to recover from).
+        assert_eq!(ctx.effective_top_k(), default_k);
+        ctx.observe_winner_rank(13);
+        // A deep winner widens K (2x worst observed rank), clamped.
+        assert_eq!(ctx.effective_top_k(), (2 * 14).min(2 * default_k));
+        ctx.observe_winner_rank(40);
+        // The ceiling caps runaway widening.
+        assert_eq!(ctx.effective_top_k(), 2 * default_k);
+        // Disabling adaptation restores the fixed default.
+        ctx.set_gate_params(GateParams {
+            adaptive: false,
+            ..GateParams::default()
+        });
+        assert_eq!(ctx.effective_top_k(), default_k);
+    }
+
+    #[test]
     fn resharding_is_free_only_on_the_diagonal() {
         let ctx = context();
         let a = HybridConfig::tuple(2, 2, 1, 8);
@@ -445,7 +677,7 @@ mod tests {
         let s = SearchStats {
             hits: 3,
             misses: 1,
-            gate_pruned: 0,
+            ..Default::default()
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(SearchStats::default().hit_rate(), 0.0);

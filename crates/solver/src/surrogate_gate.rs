@@ -43,7 +43,9 @@ use crate::search::{CandidateCost, SearchContext};
 pub struct GateParams {
     /// Candidates kept for exact costing beyond the training set. The
     /// default carries a safety margin: across the fig13 model zoo the
-    /// exhaustive winner always ranks well inside the top K.
+    /// exhaustive winner always ranks well inside the top K. When
+    /// [`GateParams::adaptive`] is set this is only the *initial* K — see
+    /// [`crate::search::SearchContext::effective_top_k`].
     pub top_k: usize,
     /// Every `train_stride`-th candidate is exact-costed to fit the
     /// predictor.
@@ -51,6 +53,11 @@ pub struct GateParams {
     /// Batches smaller than this skip the gate entirely (training +
     /// survivors would cover most of the batch anyway).
     pub min_batch: usize,
+    /// Adapt the top-K from observed rank-of-winner statistics: after each
+    /// gated batch the rank at which the exact winner surfaced is
+    /// recorded, and later batches keep twice the worst observed rank
+    /// (clamped) instead of the fixed default.
+    pub adaptive: bool,
 }
 
 impl Default for GateParams {
@@ -59,6 +66,7 @@ impl Default for GateParams {
             top_k: 16,
             train_stride: 8,
             min_batch: 48,
+            adaptive: true,
         }
     }
 }
@@ -97,9 +105,14 @@ pub(crate) fn cost_candidates_gated(
     let feasible: Vec<usize> = (0..n).filter(|&i| fits(&candidates[i])).collect();
     let mut out: Vec<CandidateCost> = vec![(f64::INFINITY, None); n];
 
+    // Top-K: the configured default until rank-of-winner statistics have
+    // been observed, adapted afterwards (see
+    // `SearchContext::effective_top_k`).
+    let top_k = ctx.effective_top_k();
+
     let stride = params.train_stride.max(1);
     let train_count = feasible.len().div_ceil(stride);
-    if train_count + params.top_k >= feasible.len() {
+    if train_count + top_k >= feasible.len() {
         // The surrogate cannot save anything on a batch this small: cost
         // every memory-feasible candidate exactly.
         let cfgs: Vec<HybridConfig> = feasible.iter().map(|&i| candidates[i]).collect();
@@ -154,25 +167,111 @@ pub(crate) fn cost_candidates_gated(
         class: TargetClass::Compute,
     });
 
-    // Tier 1: rank every remaining feasible candidate by predicted step
-    // time.
+    // Heterogeneous-chain correction: the DP downstream prices the
+    // embedding/head segments from the tier-independent segment table and
+    // may move them off a candidate whose end segments are expensive
+    // (paying one resharding boundary instead). Rank candidates by that
+    // *effective* chain objective — predicted uniform step time minus
+    // what the chain can save on each end segment — so the block winner
+    // of the heterogeneous DP survives the gate, not merely the uniform
+    // winner.
+    let micro = base_wl.micro_batches.max(1) as f64;
+    let boundary = micro * ctx.full_reshard_cost();
+    // The same per-step rows the chain DP consumes
+    // (`SearchContext::segment_step_costs` is the single source of truth,
+    // so the correction and the DP objective cannot drift apart).
+    let end_rows = [
+        ctx.segment_step_costs(
+            temp_graph::segment::SegmentKind::Embedding,
+            candidates,
+            engine,
+            base_wl.recompute,
+        ),
+        ctx.segment_step_costs(
+            temp_graph::segment::SegmentKind::Head,
+            candidates,
+            engine,
+            base_wl.recompute,
+        ),
+    ];
+    // The per-row minima are loop invariants: hoist them so the
+    // correction is O(1) per candidate instead of rescanning both rows.
+    let end_best: Vec<f64> = end_rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .copied()
+                .filter(|t| t.is_finite())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let chain_correction = |i: usize| -> f64 {
+        end_rows
+            .iter()
+            .zip(&end_best)
+            .map(|(row, &best)| {
+                let own = row[i];
+                if !own.is_finite() {
+                    return 0.0;
+                }
+                (best + boundary).min(own) - own
+            })
+            .sum()
+    };
+
+    // Tier 1: rank every remaining feasible candidate by predicted
+    // chain-effective step time.
     let mut ranked: Vec<(usize, f64)> = feasible
         .iter()
         .enumerate()
         .filter(|(pos, _)| pos % stride != 0)
         .map(|(_, &i)| {
             let f = model.feature_vector(&candidates[i], engine, mode);
-            (i, predictor.predict(&f))
+            (i, predictor.predict(&f) + chain_correction(i))
         })
         .collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    let survivors: Vec<usize> = ranked.iter().take(params.top_k).map(|(i, _)| *i).collect();
+    let survivors: Vec<usize> = ranked.iter().take(top_k).map(|(i, _)| *i).collect();
 
     // Tier 2 on the survivors, in surrogate-ranked order: the parallel
     // map hands out items front-to-back, so the most promising
     // candidates are costed first.
     let survivor_cfgs: Vec<HybridConfig> = survivors.iter().map(|&i| candidates[i]).collect();
     let survivor_costs = ctx.cost_candidates_exact(&survivor_cfgs, engine);
+
+    // Rank-of-winner statistics: where in the surrogate order did the
+    // batch's winner actually surface? Feeds the adaptive top-K. The
+    // "winner" is judged by the same chain-effective objective the
+    // ranking sorts by (exact step time + chain correction) — that is the
+    // quantity the downstream heterogeneous DP minimizes over block
+    // candidates, so it is the retention target the shortlist must cover.
+    if params.adaptive {
+        let effective = |i: usize, t: f64| {
+            if t.is_finite() {
+                t + chain_correction(i)
+            } else {
+                t
+            }
+        };
+        let train_best = train_idx
+            .iter()
+            .zip(&train_costs)
+            .map(|(&i, (t, _))| effective(i, *t))
+            .filter(|t| t.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        let best_survivor = survivors
+            .iter()
+            .zip(&survivor_costs)
+            .enumerate()
+            .map(|(rank, (&i, (t, _)))| (rank, effective(i, *t)))
+            .filter(|(_, t)| t.is_finite())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some((rank, t)) = best_survivor {
+            if t <= train_best {
+                ctx.observe_winner_rank(rank);
+            }
+        }
+    }
 
     for (&i, cost) in train_idx.iter().zip(train_costs) {
         out[i] = cost;
@@ -185,7 +284,7 @@ pub(crate) fn cost_candidates_gated(
     // free instead of being pruned — only genuinely unknown candidates
     // count as pruned.
     let mut pruned = (n - feasible.len()) as u64;
-    for &(i, _) in ranked.iter().skip(params.top_k) {
+    for &(i, _) in ranked.iter().skip(top_k) {
         match ctx.cost_of_cached(&candidates[i], engine) {
             Some(cost) => out[i] = cost,
             None => pruned += 1,

@@ -13,12 +13,20 @@
 //! formulation the [`crate::linreg`]/[`crate::mlp`] predictors fit best.
 
 use temp_graph::models::ModelConfig;
+use temp_graph::segment::SegmentKind;
 use temp_graph::workload::{RecomputeMode, Workload};
 use temp_parallel::strategy::HybridConfig;
 use temp_wsc::config::WaferConfig;
 
 /// Number of features produced by [`config_features`].
 pub const CONFIG_FEATURE_DIM: usize = 16;
+
+/// Number of features produced by [`segment_features`] for one segment.
+pub const SEGMENT_FEATURE_DIM: usize = 4;
+
+/// Number of features produced by [`chain_features`]: the configuration
+/// features plus the embedding and head segment summaries.
+pub const CHAIN_FEATURE_DIM: usize = CONFIG_FEATURE_DIM + 2 * SEGMENT_FEATURE_DIM;
 
 /// Extracts the feature vector of one evaluation key.
 ///
@@ -85,6 +93,101 @@ pub fn config_features(
         tatp,
         ln(wafer.die_count() as f64),
     ]
+}
+
+/// Cheap analytic cost drivers of one chain segment under a configuration
+/// (§VII-A two-tier search over the *heterogeneous* segment chain).
+///
+/// The three segment kinds fail in different ways, so each gets its own
+/// drivers:
+///
+/// * **Embedding** — vocab-parallel output all-reduce volume, its ring
+///   factor, the sharded lookup traffic and the (row-sparse) gradient
+///   exchange;
+/// * **Block** — per-die GEMM FLOPs, the activation shard, the TP ring
+///   factor and the TATP stream chunk (mirrors [`config_features`]);
+/// * **Head** — per-die logits-GEMM FLOPs, the cross-entropy scalar
+///   reduction, the tied-weight gradient all-reduce and the vocab shard.
+///
+/// All closed-form — no layout, no contention simulation — so a whole
+/// candidate batch featurizes in microseconds.
+pub fn segment_features(
+    model: &ModelConfig,
+    workload: &Workload,
+    _wafer: &WaferConfig,
+    cfg: &HybridConfig,
+    kind: SegmentKind,
+) -> Vec<f64> {
+    let ln = |v: f64| v.max(1e-12).ln();
+    let (dp, tp, spcp, tatp) = (
+        cfg.dp.max(1) as f64,
+        cfg.tp.max(1) as f64,
+        (cfg.sp * cfg.cp).max(1) as f64,
+        cfg.tatp.max(1) as f64,
+    );
+    let degree = dp * tp * spcp * tatp;
+    let e = workload.compute_dtype.bytes() as f64;
+    let tokens = workload.micro_batch_size() as f64 * workload.seq_len as f64;
+    let tokens_local = tokens / (dp * spcp);
+    let h = model.hidden as f64;
+    let v = model.vocab as f64;
+    let vocab_shard = tp * tatp;
+    let ring = |g: f64| if g > 1.0 { 2.0 * (g - 1.0) / g } else { 0.0 };
+    match kind {
+        SegmentKind::Embedding => vec![
+            // Vocab-parallel output all-reduce (zero when unsharded).
+            ln(tokens_local * h * e * ring(vocab_shard)),
+            ring(vocab_shard),
+            ln(tokens * h * e / degree),
+            // Row-sparse gradient exchange across DP replicas.
+            ln(tokens_local * h * e * ring(dp)),
+        ],
+        SegmentKind::Block => vec![
+            ln(workload.step_flops(model) / (model.layers.max(1) as f64 * degree)),
+            ln(tokens_local * h * e / tatp),
+            ring(tp),
+            ln(h * model.ffn_hidden as f64 * e / (tp * tatp * tatp)),
+        ],
+        SegmentKind::Head => vec![
+            // Per-die logits GEMM (fwd+bwd ~ 6 flops per MAC position).
+            ln(6.0 * tokens * h * v / degree),
+            // Cross-entropy max+sum exchange: two FP32 scalars per token.
+            ln(tokens_local * 8.0 * ring(vocab_shard)),
+            // Tied-weight dense gradient all-reduce across DP replicas.
+            ln(h * v * e / vocab_shard * ring(dp)),
+            ln(vocab_shard),
+        ],
+    }
+}
+
+/// The full heterogeneous-chain feature vector of one evaluation key:
+/// [`config_features`] extended with the embedding and head segment
+/// summaries, so a predictor trained on whole-chain step times can rank
+/// candidates whose embedding/head economics differ from their blocks'.
+pub fn chain_features(
+    model: &ModelConfig,
+    workload: &Workload,
+    wafer: &WaferConfig,
+    cfg: &HybridConfig,
+    engine_code: u8,
+    mode: RecomputeMode,
+) -> Vec<f64> {
+    let mut f = config_features(model, workload, wafer, cfg, engine_code, mode);
+    f.extend(segment_features(
+        model,
+        workload,
+        wafer,
+        cfg,
+        SegmentKind::Embedding,
+    ));
+    f.extend(segment_features(
+        model,
+        workload,
+        wafer,
+        cfg,
+        SegmentKind::Head,
+    ));
+    f
 }
 
 #[cfg(test)]
@@ -159,6 +262,43 @@ mod tests {
             RecomputeMode::Full,
         );
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn chain_features_extend_config_features() {
+        let (model, workload, wafer) = setup();
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let f = chain_features(&model, &workload, &wafer, &cfg, 2, RecomputeMode::Selective);
+        assert_eq!(f.len(), CHAIN_FEATURE_DIM);
+        assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+        let base = config_features(&model, &workload, &wafer, &cfg, 2, RecomputeMode::Selective);
+        assert_eq!(&f[..CONFIG_FEATURE_DIM], &base[..]);
+    }
+
+    #[test]
+    fn segment_features_separate_kinds_and_configs() {
+        let (model, workload, wafer) = setup();
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let emb = segment_features(&model, &workload, &wafer, &cfg, SegmentKind::Embedding);
+        let blk = segment_features(&model, &workload, &wafer, &cfg, SegmentKind::Block);
+        let head = segment_features(&model, &workload, &wafer, &cfg, SegmentKind::Head);
+        for f in [&emb, &blk, &head] {
+            assert_eq!(f.len(), SEGMENT_FEATURE_DIM);
+            assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+        }
+        assert_ne!(emb, blk);
+        assert_ne!(blk, head);
+        // A pure-DP configuration pays no vocab-parallel all-reduce at the
+        // embedding; a TATP-heavy one does.
+        let dp_only = segment_features(
+            &model,
+            &workload,
+            &wafer,
+            &HybridConfig::tuple(32, 1, 1, 1),
+            SegmentKind::Embedding,
+        );
+        assert!(dp_only[1] == 0.0, "{dp_only:?}");
+        assert!(emb[1] > 0.0, "{emb:?}");
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub mod metrics;
 pub mod mlp;
 
 pub use dataset::{Dataset, TargetClass};
-pub use features::{config_features, CONFIG_FEATURE_DIM};
+pub use features::{
+    chain_features, config_features, segment_features, CHAIN_FEATURE_DIM, CONFIG_FEATURE_DIM,
+    SEGMENT_FEATURE_DIM,
+};
 pub use linreg::LinearRegression;
 pub use mlp::{Mlp, TrainParams};

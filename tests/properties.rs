@@ -7,10 +7,15 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use temp_repro::graph::models::ModelZoo;
+use temp_repro::graph::segment::SegmentKind;
+use temp_repro::graph::workload::Workload;
+use temp_repro::mapping::engines::MappingEngine;
 use temp_repro::parallel::strategy::HybridConfig;
 use temp_repro::parallel::tatp::TatpOrchestration;
 use temp_repro::parallel::tspp::TsppOrchestration;
 use temp_repro::sim::network::{ContentionSim, Flow};
+use temp_repro::solver::dlws::Dlws;
 use temp_repro::wsc::config::WaferConfig;
 use temp_repro::wsc::fault::FaultMap;
 use temp_repro::wsc::topology::{DieId, Mesh, RouteOrder};
@@ -103,6 +108,66 @@ fn fault_reroutes_are_sane() {
             );
         }
     }
+}
+
+/// The heterogeneous segment-chain DP can only improve on uniform
+/// replication: for every fig13 zoo model the solved chain objective is
+/// at or below the cheapest uniform candidate (the DP can always pick the
+/// uniform assignment), and on at least one model the chain legitimately
+/// diverges — embedding or head under a different strategy than the
+/// blocks — with a strictly lower total.
+#[test]
+fn segment_chain_dp_beats_uniform_replication_on_the_fig13_zoo() {
+    let mut heterogeneous_wins = 0usize;
+    for model in ModelZoo::table2() {
+        let name = model.name.clone();
+        let workload = Workload::for_model(&model);
+        let solver = Dlws::new(WaferConfig::hpca(), model, workload);
+        let plan = solver.solve().unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        // The uniform-replication baseline: the cheapest single candidate
+        // applied to every segment of the chain.
+        let uniform_best = solver
+            .candidates()
+            .iter()
+            .map(|cfg| solver.cost_of(cfg, MappingEngine::Tcme).0)
+            .filter(|t| t.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        assert!(uniform_best.is_finite(), "{name}: no uniform plan");
+        assert!(
+            plan.chain_cost <= uniform_best * (1.0 + 1e-9),
+            "{name}: chain {} above uniform baseline {}",
+            plan.chain_cost,
+            uniform_best
+        );
+
+        // The chain must be exactly the IR's shape.
+        let kinds: Vec<SegmentKind> = plan.segments.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::Embedding,
+                SegmentKind::Block,
+                SegmentKind::Head
+            ],
+            "{name}"
+        );
+
+        if plan.is_heterogeneous() {
+            assert!(
+                plan.chain_cost < uniform_best * (1.0 - 1e-9),
+                "{name}: heterogeneous chain must strictly beat uniform \
+                 ({} vs {})",
+                plan.chain_cost,
+                uniform_best
+            );
+            heterogeneous_wins += 1;
+        }
+    }
+    assert!(
+        heterogeneous_wins >= 1,
+        "no fig13 zoo model chose a non-uniform per-segment assignment"
+    );
 }
 
 /// Hybrid configuration enumeration always covers the die count.

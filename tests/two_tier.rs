@@ -65,6 +65,59 @@ fn gated_search_matches_exhaustive_on_the_fig13_zoo() {
     }
 }
 
+/// The winner-retention guarantee must hold on *heterogeneous* chains:
+/// when the exact solve assigns the embedding or head a different
+/// strategy than the blocks, the gated solve must reproduce the identical
+/// per-segment assignment — not merely the same block winner. The
+/// chain-aware surrogate features plus the gate's closed-form chain
+/// correction are what make this hold.
+#[test]
+fn gated_matches_exact_on_a_heterogeneous_chain() {
+    let model = ModelZoo::gpt3_6_7b();
+    let workload = Workload::for_model(&model);
+    // One shared context so the comparison is bit-exact (re-evaluating a
+    // key in a fresh context agrees only up to float association).
+    let ctx = std::sync::Arc::new(SearchContext::new(WaferCostModel::new(
+        WaferConfig::hpca(),
+        model,
+        workload,
+    )));
+    let solver = Dlws::from_context(ctx.clone());
+
+    // Gated solve first, on the cold context, so the gate really prunes.
+    ctx.set_cost_tier(CostTier::SurrogateGated);
+    let gated = solver.solve().expect("gated plan");
+    assert!(
+        ctx.stats().gate_pruned > 0,
+        "the gate never engaged: {:?}",
+        ctx.stats()
+    );
+
+    ctx.set_cost_tier(CostTier::Exact);
+    let exact = solver.solve().expect("exact plan");
+    assert!(
+        exact.is_heterogeneous(),
+        "GPT-3 6.7B must exercise the heterogeneous chain: {:?}",
+        exact
+            .segments
+            .iter()
+            .map(|s| s.config.label())
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        exact.chain_cost < exact.report.step_time,
+        "heterogeneous chain must beat the uniform evaluation \
+         ({} vs {})",
+        exact.chain_cost,
+        exact.report.step_time
+    );
+    assert_eq!(
+        exact.segments, gated.segments,
+        "gated solve must reproduce the exact per-segment assignment"
+    );
+    assert_eq!(exact, gated, "gated and exact plans must be identical");
+}
+
 /// Fig. 5(b)-style contended flow sets: neighbor chains forced through
 /// shared links, row/column crossings, plus seeded random traffic. The
 /// dense water-filling must agree with the HashMap reference to 1e-9
