@@ -72,7 +72,9 @@ fn main() {
                 .unwrap_or_else(|e| panic!("read bench baseline {path}: {e}"));
             let evals = json_u64_field(&record, "gated_evals")
                 .unwrap_or_else(|| panic!("no gated_evals field in {path}"));
-            (path.clone(), evals)
+            let mw_evals = json_u64_field(&record, "multiwafer_gated_evals")
+                .unwrap_or_else(|| panic!("no multiwafer_gated_evals field in {path}"));
+            (path.clone(), evals, mw_evals)
         });
 
     header("§VIII-H: end-to-end DLS solve time (GPT-3 6.7B, 32 dies)");
@@ -168,6 +170,62 @@ fn main() {
         gated_stats.gate_pruned, gated_stats.adaptive_top_k
     );
 
+    header("multi-wafer sweep: per-degree gated batch mode vs exact");
+    // Fresh frameworks so both sweeps cost from cold caches. The gated
+    // sweep runs the surrogate gate once per pipeline degree (per-degree
+    // batch mode: each degree ranked and shortlisted on its own, so the
+    // winner-retention guarantee holds per solve).
+    use temp_core::baselines::BaselineSystem;
+    let sweep_wafers = [2usize, 4];
+    let sweep_multipliers = [1usize];
+    let exact_temp = Temp::hpca(ModelZoo::gpt3_6_7b());
+    let t0 = Instant::now();
+    let exact_entries = exact_temp.evaluate_multiwafer_sweep(
+        &BaselineSystem::temp(),
+        &sweep_wafers,
+        &sweep_multipliers,
+    );
+    let exact_sweep_s = t0.elapsed().as_secs_f64();
+    let exact_sweep_evals = exact_temp.search_stats().misses;
+
+    let gated_temp = Temp::hpca(ModelZoo::gpt3_6_7b()).with_surrogate_gate();
+    let t0 = Instant::now();
+    let gated_entries = gated_temp.evaluate_multiwafer_sweep(
+        &BaselineSystem::temp(),
+        &sweep_wafers,
+        &sweep_multipliers,
+    );
+    let gated_sweep_s = t0.elapsed().as_secs_f64();
+    let mw_gated_stats = gated_temp.search_stats();
+    let mw_gated_evals = mw_gated_stats.misses;
+
+    // Winner retention across the sweep: every point's body strategy and
+    // stage cuts must match the exact sweep's (bit-exact equality needs a
+    // shared context; tests/two_tier.rs asserts that form).
+    let mw_plans_match = exact_entries.len() == gated_entries.len()
+        && exact_entries.iter().zip(&gated_entries).all(|(e, g)| {
+            e.report
+                .plan
+                .as_ref()
+                .map(|p| (p.body.config, p.blocks_per_stage()))
+                == g.report
+                    .plan
+                    .as_ref()
+                    .map(|p| (p.body.config, p.blocks_per_stage()))
+        });
+    let mw_speedup = exact_sweep_s / gated_sweep_s.max(1e-9);
+    println!(
+        "exact sweep {exact_sweep_s:.3} s ({exact_sweep_evals} evals) over {} points",
+        exact_entries.len()
+    );
+    println!(
+        "gated sweep {gated_sweep_s:.3} s ({mw_gated_evals} evals, {} pruned) -> {mw_speedup:.2}x, plans match: {mw_plans_match}",
+        mw_gated_stats.gate_pruned
+    );
+    println!(
+        "{{\"bench\":\"search_time\",\"metric\":\"multiwafer_sweep\",\"exact_s\":{exact_sweep_s:.6},\"gated_s\":{gated_sweep_s:.6},\"exact_evals\":{exact_sweep_evals},\"gated_evals\":{mw_gated_evals},\"plans_match\":{mw_plans_match}}}"
+    );
+
     header("candidate cache: the seven-system compare_all sweep");
     let temp = Temp::hpca(ModelZoo::gpt3_6_7b());
     let t0 = Instant::now();
@@ -244,7 +302,9 @@ fn main() {
                 "\"serial_s\":{:.6},\"parallel_s\":{:.6},\"parallel_speedup\":{:.4},",
                 "\"exact_cold_s\":{:.6},\"gated_cold_s\":{:.6},\"gated_speedup\":{:.4},",
                 "\"gated_evals\":{},\"gate_pruned\":{},\"adaptive_top_k\":{},",
-                "\"plans_match\":{},\"sweep_cache_hit_rate\":{:.4}}}\n"
+                "\"plans_match\":{},\"multiwafer_gated_evals\":{},",
+                "\"multiwafer_exact_evals\":{},\"multiwafer_plans_match\":{},",
+                "\"sweep_cache_hit_rate\":{:.4}}}\n"
             ),
             threads,
             serial_s,
@@ -257,27 +317,39 @@ fn main() {
             gated_stats.gate_pruned,
             gated_stats.adaptive_top_k,
             plans_match,
+            mw_gated_evals,
+            exact_sweep_evals,
+            mw_plans_match,
             after_first.hit_rate(),
         );
         std::fs::write(&path, &record).expect("write bench JSON");
         println!("\nwrote {path}");
     }
 
-    if let Some((path, baseline_evals)) = check_baseline {
-        // Bench-regression gate: fail when the gated search needs >20%
-        // more exact evaluations than the committed baseline record.
-        let fresh = gated_stats.misses;
-        let limit = (baseline_evals as f64 * 1.2).ceil() as u64;
-        println!(
-            "eval-count regression check vs {path}: fresh {fresh} vs baseline {baseline_evals} (limit {limit})"
-        );
-        if fresh > limit {
-            eprintln!(
-                "FAIL: gated eval count regressed >20% ({fresh} > {limit}); \
-                 re-baseline BENCH_search.json only if the regression is intended"
+    if let Some((path, baseline_evals, baseline_mw_evals)) = check_baseline {
+        // Bench-regression gate: fail when the gated search — single
+        // wafer or the multi-wafer sweep — needs >20% more exact
+        // evaluations than the committed baseline record.
+        let mut failed = false;
+        for (what, fresh, baseline) in [
+            ("gated_evals", gated_stats.misses, baseline_evals),
+            ("multiwafer_gated_evals", mw_gated_evals, baseline_mw_evals),
+        ] {
+            let limit = (baseline as f64 * 1.2).ceil() as u64;
+            println!(
+                "{what} regression check vs {path}: fresh {fresh} vs baseline {baseline} (limit {limit})"
             );
+            if fresh > limit {
+                eprintln!(
+                    "FAIL: {what} regressed >20% ({fresh} > {limit}); \
+                     re-baseline BENCH_search.json only if the regression is intended"
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("eval-count regression check passed");
+        println!("eval-count regression checks passed");
     }
 }

@@ -46,6 +46,17 @@ impl Partitioner {
             Partitioner::Temp => true,
         }
     }
+
+    /// Whether a configuration is legal for this partitioner *ignoring
+    /// its pipeline degree*. Admission governs intra-wafer structure only
+    /// (every partitioner can pipeline across wafers), so multi-wafer
+    /// planning — where candidates carry `pp = stage count` — must
+    /// normalize `pp` before checking. This helper is the single home of
+    /// that convention; use it anywhere a filter sees candidates whose
+    /// `pp` is not 1, so the single- and multi-wafer paths cannot drift.
+    pub fn admits_intra(&self, cfg: &HybridConfig) -> bool {
+        self.admits(&HybridConfig { pp: 1, ..*cfg })
+    }
 }
 
 impl std::fmt::Display for Partitioner {
@@ -171,6 +182,33 @@ mod tests {
             ..Default::default()
         }));
         assert!(!p.admits(&HybridConfig::tuple(4, 8, 1, 1)));
+    }
+
+    #[test]
+    fn intra_admission_ignores_the_pipeline_degree() {
+        // A Megatron-legal tuple stays legal at any pipeline degree...
+        let cfg = HybridConfig {
+            pp: 4,
+            ..HybridConfig::tuple(4, 8, 1, 1)
+        };
+        assert!(Partitioner::Megatron1.admits_intra(&cfg));
+        // ...and an illegal intra-wafer structure stays illegal.
+        let bad = HybridConfig {
+            pp: 4,
+            ..HybridConfig::tuple(4, 1, 1, 8)
+        };
+        assert!(!Partitioner::Megatron1.admits_intra(&bad));
+        // At pp = 1 the two predicates coincide on the whole space.
+        for cfg in HybridConfig::enumerate_tuples(32, false) {
+            for p in [
+                Partitioner::Megatron1,
+                Partitioner::MeSP,
+                Partitioner::Fsdp,
+                Partitioner::Temp,
+            ] {
+                assert_eq!(p.admits(&cfg), p.admits_intra(&cfg));
+            }
+        }
     }
 
     #[test]

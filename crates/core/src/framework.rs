@@ -6,7 +6,9 @@ use temp_graph::models::ModelConfig;
 use temp_graph::workload::Workload;
 use temp_solver::cost::CostReport;
 use temp_solver::dlws::{Dlws, ExecutionPlan};
+use temp_solver::pool::ContextPool;
 use temp_solver::search::SearchStats;
+use temp_solver::stage::MultiWaferPlan;
 use temp_wsc::config::WaferConfig;
 use temp_wsc::multiwafer::MultiWaferSystem;
 
@@ -50,6 +52,46 @@ impl SystemReport {
     }
 }
 
+/// One system's stage-partitioned multi-wafer evaluation (or its OOM
+/// verdict): pipeline stages are contiguous [`temp_graph::segment`] chain
+/// slices with per-stage strategies and priced inter-wafer handoffs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiWaferReport {
+    /// System label ("Mega+SMap", ..., "TEMP").
+    pub system: String,
+    /// The stage-partitioned plan, when one fits memory.
+    pub plan: Option<MultiWaferPlan>,
+    /// Whether every legal configuration ran out of memory.
+    pub oom: bool,
+}
+
+impl MultiWaferReport {
+    /// Pipelined step time, or `f64::INFINITY` on OOM.
+    pub fn step_time(&self) -> f64 {
+        self.plan
+            .as_ref()
+            .map(|p| p.step_time)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// The pipeline body's exact cost report, if planned.
+    pub fn report(&self) -> Option<&CostReport> {
+        self.plan.as_ref().map(|p| &p.body.report)
+    }
+
+    /// Training throughput of the pipelined execution in tokens/s (the
+    /// body report's throughput describes the uniform-multiplier costing,
+    /// not the stage-partitioned step).
+    pub fn throughput(&self, workload: &Workload) -> f64 {
+        let t = self.step_time();
+        if t.is_finite() && t > 0.0 {
+            workload.tokens_per_step() as f64 / t
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One `(wafer count, pipeline multiplier)` point of a multi-wafer sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiWaferSweepEntry {
@@ -58,7 +100,7 @@ pub struct MultiWaferSweepEntry {
     /// Pipeline stages per wafer.
     pub pp_multiplier: usize,
     /// The planned (or OOM) outcome for this point.
-    pub report: SystemReport,
+    pub report: MultiWaferReport,
 }
 
 /// The TEMP framework: inputs (architecture, model, workload) in; optimal
@@ -89,6 +131,39 @@ impl Temp {
     pub fn hpca(model: ModelConfig) -> Self {
         let workload = Workload::for_model(&model);
         Temp::new(WaferConfig::hpca(), model, workload)
+    }
+
+    /// A framework instance over a [`ContextPool`]'s shared context: zoo
+    /// sweeps (fig13/fig18) build one pool and route every model through
+    /// it, so wafer-level state (candidate enumeration) is shared across
+    /// models and repeated sweeps over one model replay from its warm
+    /// evaluation cache.
+    pub fn pooled(pool: &ContextPool, model: ModelConfig) -> Self {
+        let workload = Workload::for_model(&model);
+        Temp {
+            solver: pool.solver(&model, &workload),
+        }
+    }
+
+    /// Enables the surrogate gate on the shared search context (see
+    /// [`Dlws::with_surrogate_gate`]).
+    ///
+    /// The cost tier is **context-scoped** state: every solver holding
+    /// the same context — clones of this framework, and in particular
+    /// other [`Temp::pooled`] instances built from the same pool entry —
+    /// switches tier with it. Gate a pooled framework only when every
+    /// holder of that `(model, workload)` context wants gated costing.
+    pub fn with_surrogate_gate(self) -> Self {
+        Temp {
+            solver: self.solver.with_surrogate_gate(),
+        }
+    }
+
+    /// Wraps an existing solver (and its shared search context) in a
+    /// framework instance — tests and tools that need direct control of
+    /// the context (cost tier, gate parameters) build through here.
+    pub fn from_solver(solver: Dlws) -> Self {
+        Temp { solver }
     }
 
     /// The wafer configuration.
@@ -124,10 +199,15 @@ impl Temp {
     }
 
     /// Plans one compared system over its legal configuration space.
+    ///
+    /// The admission filter is [`crate::baselines::Partitioner::admits_intra`]
+    /// — the same convention every multi-wafer path uses, so the two
+    /// cannot drift on how pipeline degrees interact with admission.
     pub fn evaluate_system(&self, system: &BaselineSystem) -> SystemReport {
         let solver = self.solver();
         let partitioner = system.partitioner;
-        let outcome = solver.solve_with_engine(system.engine, move |cfg| partitioner.admits(cfg));
+        let outcome =
+            solver.solve_with_engine(system.engine, move |cfg| partitioner.admits_intra(cfg));
         match outcome {
             Ok(plan) => SystemReport {
                 system: system.label(),
@@ -155,121 +235,69 @@ impl Temp {
             .collect()
     }
 
-    /// Plans a multi-wafer deployment (Fig. 19): pipeline stages span the
-    /// wafers of `system`; each stage runs this framework's intra-wafer plan
-    /// for the given compared system. Returns the per-step report of the
-    /// pipelined execution.
+    /// Plans a stage-partitioned multi-wafer deployment (Fig. 19):
+    /// pipeline stages are contiguous slices of the segment chain, cut
+    /// positions and per-stage strategies are solved jointly (the first
+    /// stage owns the embedding, the last the LM head), and inter-wafer
+    /// handoffs are priced from the boundary activation tensors at the
+    /// actual cuts. With one wafer and one stage per wafer this
+    /// reproduces [`Temp::evaluate_system`]'s single-wafer plan
+    /// bit-for-bit.
     pub fn evaluate_multiwafer(
+        &self,
+        system: &BaselineSystem,
+        wafers: &MultiWaferSystem,
+        pp_multiplier: usize,
+    ) -> MultiWaferReport {
+        let partitioner = system.partitioner;
+        let outcome = self.solver().solve_stage_partitioned(
+            system.engine,
+            wafers,
+            pp_multiplier,
+            move |cfg| partitioner.admits_intra(cfg),
+        );
+        match outcome {
+            Ok(plan) => MultiWaferReport {
+                system: system.label(),
+                plan: Some(plan),
+                oom: false,
+            },
+            Err(_) => MultiWaferReport {
+                system: system.label(),
+                plan: None,
+                oom: true,
+            },
+        }
+    }
+
+    /// The pre-refactor uniform-multiplier costing, kept as the reference
+    /// baseline the stage-partitioned planner is measured against: one
+    /// uniform intra-wafer solve at `pp = wafers x multiplier`, the
+    /// embedding/head charged outside the pipeline, and every stage
+    /// border billed a full inter-wafer handoff.
+    pub fn evaluate_multiwafer_uniform(
         &self,
         system: &BaselineSystem,
         wafers: &MultiWaferSystem,
         pp_multiplier: usize,
     ) -> SystemReport {
         let pp = wafers.wafer_count * pp_multiplier.max(1);
-        let outcome = self.solve_multiwafer_pp(system, pp);
-        self.multiwafer_report(system, wafers, pp, outcome)
-    }
-
-    /// Sweeps wafer counts and pipeline multipliers inside this
-    /// framework's one shared search context: every distinct pipeline
-    /// degree is solved exactly once (combinations like 2 wafers x 2
-    /// stages and 4 wafers x 1 stage share the `pp = 4` solve), and under
-    /// the exact cost tier the union of all admitted candidates across
-    /// degrees is pre-costed in a single parallel batch before any solve
-    /// runs. The seed behavior — one context rebuild and one costing pass
-    /// per `(wafer count, multiplier)` combination — becomes one batched
-    /// pass for the whole sweep.
-    pub fn evaluate_multiwafer_sweep(
-        &self,
-        system: &BaselineSystem,
-        wafer_counts: &[usize],
-        pp_multipliers: &[usize],
-    ) -> Vec<MultiWaferSweepEntry> {
-        use std::collections::{BTreeSet, HashMap};
-
-        let combos: Vec<(usize, usize)> = wafer_counts
-            .iter()
-            .filter(|c| **c > 0)
-            .flat_map(|&c| pp_multipliers.iter().map(move |&m| (c, m.max(1))))
-            .collect();
-        let distinct_pps: BTreeSet<usize> = combos.iter().map(|&(c, m)| c * m).collect();
-
-        // Pre-cost the union of every degree's admitted candidates in one
-        // batch, so the parallel map load-balances across the whole sweep
-        // instead of per-degree slices. Skipped under the surrogate gate:
-        // gating must rank each degree's batch on its own for the
-        // winner-retention guarantee to hold per solve.
-        // No dedup needed: every candidate carries its pipeline degree, so
-        // batches from distinct degrees are disjoint by construction.
-        let ctx = self.solver.context();
-        if ctx.cost_tier() == temp_solver::search::CostTier::Exact {
-            let partitioner = system.partitioner;
-            let batch: Vec<temp_parallel::strategy::HybridConfig> = distinct_pps
-                .iter()
-                .flat_map(|&pp| ctx.candidates_with_pp(pp))
-                .filter(|cfg| {
-                    partitioner.admits(&temp_parallel::strategy::HybridConfig { pp: 1, ..*cfg })
-                })
-                .collect();
-            let _ = ctx.cost_candidates(&batch, system.engine);
-        }
-
-        let mut solved: HashMap<usize, std::result::Result<ExecutionPlan, String>> = HashMap::new();
-        combos
-            .into_iter()
-            .map(|(wafer_count, pp_multiplier)| {
-                let pp = wafer_count * pp_multiplier;
-                let outcome = solved
-                    .entry(pp)
-                    .or_insert_with(|| {
-                        self.solve_multiwafer_pp(system, pp)
-                            .map_err(|e| e.to_string())
-                    })
-                    .clone()
-                    .map_err(temp_solver::SolverError::NoFeasiblePlan);
-                let wafers = MultiWaferSystem::new(self.wafer().clone(), wafer_count)
-                    .expect("positive wafer count");
-                let report = self.multiwafer_report(system, &wafers, pp, outcome);
-                MultiWaferSweepEntry {
-                    wafer_count,
-                    pp_multiplier,
-                    report,
-                }
-            })
-            .collect()
-    }
-
-    /// The intra-wafer solve of a multi-wafer deployment: the pipeline
-    /// degree is fixed, layers divide across stages, shrinking per-die
-    /// weights and activations.
-    fn solve_multiwafer_pp(
-        &self,
-        system: &BaselineSystem,
-        pp: usize,
-    ) -> temp_solver::Result<ExecutionPlan> {
         let partitioner = system.partitioner;
-        self.solver()
-            .solve_with_engine_pp(system.engine, pp, move |cfg| {
-                partitioner.admits(&temp_parallel::strategy::HybridConfig { pp: 1, ..*cfg })
-            })
-    }
-
-    /// Wraps a multi-wafer solve outcome into a [`SystemReport`], charging
-    /// the inter-wafer activation handoff per stage border.
-    fn multiwafer_report(
-        &self,
-        system: &BaselineSystem,
-        wafers: &MultiWaferSystem,
-        pp: usize,
-        outcome: temp_solver::Result<ExecutionPlan>,
-    ) -> SystemReport {
+        let outcome = self
+            .solver()
+            .solve_with_engine_pp(system.engine, pp, move |cfg| partitioner.admits_intra(cfg));
         match outcome {
             Ok(mut plan) => {
                 let workload = self.workload();
-                let act = workload.micro_batch_size() as f64
-                    * workload.seq_len as f64
-                    * self.model().hidden as f64
-                    * workload.compute_dtype.bytes() as f64;
+                // The residual-stream boundary tensor, from the same
+                // canonical source the stage-partitioned path prices
+                // handoffs with (every dense-chain cut carries it).
+                let act = self
+                    .solver
+                    .context()
+                    .chain()
+                    .boundary_activation_bytes(1)
+                    .unwrap_or(0.0);
                 let handoff = wafers.inter_wafer_transfer_time(act)
                     * (pp.saturating_sub(1)) as f64
                     * workload.micro_batches as f64;
@@ -289,6 +317,79 @@ impl Temp {
                 oom: true,
             },
         }
+    }
+
+    /// Sweeps wafer counts and pipeline multipliers inside this
+    /// framework's one shared search context. The union of every distinct
+    /// pipeline degree's admitted candidates is pre-costed up front —
+    /// under the exact tier as **one** parallel batch (best load
+    /// balancing), under the surrogate gate in **per-degree batch mode**
+    /// (each degree ranked and shortlisted on its own, preserving the
+    /// winner-retention guarantee per solve) — so the per-combination
+    /// stage solves that follow replay from the warm cache. Combinations
+    /// sharing a pipeline degree (2 wafers x 2 stages, 4 wafers x 1)
+    /// share all candidate costing and differ only in wafer placement and
+    /// handoff pricing.
+    pub fn evaluate_multiwafer_sweep(
+        &self,
+        system: &BaselineSystem,
+        wafer_counts: &[usize],
+        pp_multipliers: &[usize],
+    ) -> Vec<MultiWaferSweepEntry> {
+        use std::collections::BTreeSet;
+
+        let combos: Vec<(usize, usize)> = wafer_counts
+            .iter()
+            .filter(|c| **c > 0)
+            .flat_map(|&c| pp_multipliers.iter().map(move |&m| (c, m.max(1))))
+            .collect();
+        // The pipeline degree each combo actually solves at: one wafer
+        // has no pipeline boundaries, so the planner collapses it to a
+        // single stage (`pp = 1`) regardless of the multiplier.
+        let distinct_pps: BTreeSet<usize> = combos
+            .iter()
+            .map(|&(c, m)| if c == 1 { 1 } else { c * m })
+            .collect();
+
+        // Pre-cost every degree's admitted batch. No dedup needed across
+        // degrees: every candidate carries its pipeline degree, so the
+        // batches are disjoint by construction.
+        let ctx = self.solver.context();
+        let partitioner = system.partitioner;
+        let groups: Vec<Vec<temp_parallel::strategy::HybridConfig>> = distinct_pps
+            .iter()
+            .map(|&pp| {
+                ctx.candidates_with_pp(pp)
+                    .into_iter()
+                    .filter(|cfg| partitioner.admits_intra(cfg))
+                    .collect()
+            })
+            .collect();
+        let _ = ctx.cost_candidate_groups(&groups, system.engine);
+
+        combos
+            .into_iter()
+            .map(|(wafer_count, pp_multiplier)| {
+                let wafers = MultiWaferSystem::new(self.wafer().clone(), wafer_count)
+                    .expect("positive wafer count");
+                let report = self.evaluate_multiwafer(system, &wafers, pp_multiplier);
+                MultiWaferSweepEntry {
+                    wafer_count,
+                    pp_multiplier,
+                    report,
+                }
+            })
+            .collect()
+    }
+
+    /// The smallest wafer count whose aggregate HBM can hold this
+    /// model's parameter state — a necessary lower bound on deployment
+    /// size (Fig. 19 sizes its chains from this).
+    pub fn min_wafer_count(&self) -> usize {
+        MultiWaferSystem::minimum_wafers_for(
+            self.wafer(),
+            self.workload().param_state_bytes(self.model()),
+        )
     }
 
     /// The shared DLWS solver (one search context for every entry point).
@@ -414,12 +515,15 @@ mod tests {
             let single = temp.evaluate_multiwafer(&system, &wafers, e.pp_multiplier);
             assert_eq!(e.report, single, "{}x{}", e.wafer_count, e.pp_multiplier);
         }
-        // ...and replaying every point costs nothing new: the sweep's one
-        // batched pass already covered all distinct pipeline degrees.
+        // ...and replaying every point costs nothing new: the sweep's
+        // up-front batched pass already covered all distinct pipeline
+        // degrees.
         assert_eq!(temp.search_stats().misses, after_sweep.misses);
 
-        // 2x2 and 4x1 share the pp = 4 solve, so their underlying plans
-        // coincide (same per-step report after the same handoff charge).
+        // 2x2 and 4x1 share the pp = 4 candidate costing but differ in
+        // wafer placement: four wafers halve the per-wafer load (faster
+        // pace) at the price of three inter-wafer handoffs instead of
+        // one.
         let e22 = entries
             .iter()
             .find(|e| (e.wafer_count, e.pp_multiplier) == (2, 2))
@@ -428,9 +532,73 @@ mod tests {
             .iter()
             .find(|e| (e.wafer_count, e.pp_multiplier) == (4, 1))
             .unwrap();
+        let p22 = e22.report.plan.as_ref().unwrap();
+        let p41 = e41.report.plan.as_ref().unwrap();
+        assert_eq!(p22.stage_count(), 4);
+        assert_eq!(p41.stage_count(), 4);
+        assert!(p41.bottleneck_time < p22.bottleneck_time);
+        assert!(p41.handoff_time > p22.handoff_time);
+        let layers = temp.model().layers;
+        assert_eq!(p22.blocks_per_stage().iter().sum::<u64>(), layers);
+        assert_eq!(p41.blocks_per_stage().iter().sum::<u64>(), layers);
+    }
+
+    #[test]
+    fn multiwafer_stage_plans_are_embedding_and_head_aware() {
+        use temp_graph::segment::SegmentKind;
+        let temp = Temp::hpca(ModelZoo::gpt3_76b());
+        let wafers = MultiWaferSystem::new(temp.wafer().clone(), 2).unwrap();
+        let report = temp.evaluate_multiwafer(&BaselineSystem::temp(), &wafers, 1);
+        let plan = report.plan.as_ref().expect("76B plans on two wafers");
+        assert_eq!(plan.stage_count(), 2);
+        // First stage owns the embedding, last the head, blocks partition.
         assert_eq!(
-            e22.report.plan.as_ref().map(|p| p.config),
-            e41.report.plan.as_ref().map(|p| p.config)
+            plan.stages[0].chain.segments()[0].kind,
+            SegmentKind::Embedding
+        );
+        assert_eq!(
+            plan.stages[1].chain.segments().last().unwrap().kind,
+            SegmentKind::Head
+        );
+        let blocks: u64 = plan.blocks_per_stage().iter().sum();
+        assert_eq!(blocks, temp.model().layers);
+        // The single inter-wafer boundary is priced from the boundary
+        // tensor, not assumed.
+        assert!(plan.stages[1].inter_wafer_inbound);
+        assert!(plan.stages[1].inbound_bytes > 0.0);
+        assert!(plan.handoff_time > 0.0);
+        assert!(report.step_time().is_finite());
+        assert!(report.throughput(temp.workload()) > 0.0);
+    }
+
+    #[test]
+    fn single_wafer_multiwafer_report_is_the_single_wafer_plan() {
+        let temp = Temp::hpca(ModelZoo::gpt3_6_7b());
+        let wafers = MultiWaferSystem::new(temp.wafer().clone(), 1).unwrap();
+        let multi = temp.evaluate_multiwafer(&BaselineSystem::temp(), &wafers, 1);
+        let single = temp.evaluate_system(&BaselineSystem::temp());
+        let plan = multi.plan.as_ref().unwrap();
+        assert_eq!(Some(&plan.body), single.plan.as_ref());
+        assert_eq!(multi.step_time(), single.step_time());
+    }
+
+    #[test]
+    fn sweeping_a_single_wafer_point_pre_costs_the_degree_it_solves_at() {
+        // One wafer collapses to a single stage (`pp = 1`) whatever the
+        // multiplier; the sweep's up-front batch must cost that degree,
+        // not `1 x multiplier` — no wasted batch, no cold solve.
+        let swept = Temp::hpca(ModelZoo::gpt3_6_7b());
+        let entries = swept.evaluate_multiwafer_sweep(&BaselineSystem::temp(), &[1], &[2]);
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].report.oom);
+        let sweep_misses = swept.search_stats().misses;
+
+        let direct = Temp::hpca(ModelZoo::gpt3_6_7b());
+        let _ = direct.evaluate_system(&BaselineSystem::temp());
+        assert_eq!(
+            sweep_misses,
+            direct.search_stats().misses,
+            "the sweep must cost exactly the pp = 1 batch the point solves at"
         );
     }
 

@@ -83,9 +83,14 @@ pub struct Segment {
     pub params: u64,
     /// Training FLOPs of one instance at the global batch (fwd + bwd).
     pub flops: f64,
-    /// Unsharded output-activation bytes of one instance for one
-    /// micro-batch.
+    /// Unsharded *stored* activation bytes of one instance for one
+    /// micro-batch (what the backward pass keeps around).
     pub activation_bytes: f64,
+    /// Unsharded *boundary* tensor bytes of one instance for one
+    /// micro-batch: what the segment hands to its successor (the residual
+    /// stream, `B x S x H` for every kind in the dense chain). This is the
+    /// tensor a pipeline cut after this segment must move between stages.
+    pub output_bytes: f64,
     /// The operator list of one instance, built at the global batch (the
     /// cost model applies per-die sharding, exactly as for blocks).
     pub ops: Vec<Operator>,
@@ -117,6 +122,8 @@ impl SegmentChain {
                 params,
                 flops,
                 activation_bytes: act_bytes,
+                // Every dense-chain segment emits the residual stream.
+                output_bytes: sbh,
                 ops,
             }
         };
@@ -174,6 +181,96 @@ impl SegmentChain {
     pub fn total_params(&self) -> u64 {
         self.segments.iter().map(|s| s.count * s.params).sum()
     }
+
+    /// Rebuilds a chain from explicit runs (sub-chains produced by
+    /// [`SegmentChain::slice`] go through here). Zero-count runs are
+    /// dropped; adjacent runs are *not* merged — a slice preserves the
+    /// run order of its parent.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        SegmentChain {
+            segments: segments.into_iter().filter(|s| s.count > 0).collect(),
+        }
+    }
+
+    /// The segment kind at expanded position `idx` (0-based over the
+    /// `L + 2` expanded instances).
+    pub fn kind_at(&self, idx: u64) -> Option<SegmentKind> {
+        let mut offset = 0;
+        for seg in &self.segments {
+            if idx < offset + seg.count {
+                return Some(seg.kind);
+            }
+            offset += seg.count;
+        }
+        None
+    }
+
+    /// The contiguous sub-chain covering expanded positions
+    /// `[start, end)` — the slice of the chain a pipeline stage owns.
+    /// Runs straddling the range boundary are split with adjusted counts;
+    /// per-instance quantities (params, FLOPs, ops) are unchanged.
+    /// Returns `None` for an empty or out-of-range window.
+    pub fn slice(&self, start: u64, end: u64) -> Option<SegmentChain> {
+        if start >= end || end > self.expanded_len() {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut offset = 0;
+        for seg in &self.segments {
+            let run_start = offset;
+            let run_end = offset + seg.count;
+            offset = run_end;
+            let lo = run_start.max(start);
+            let hi = run_end.min(end);
+            if lo < hi {
+                out.push(Segment {
+                    count: hi - lo,
+                    ..seg.clone()
+                });
+            }
+        }
+        Some(SegmentChain::from_segments(out))
+    }
+
+    /// Splits the chain into `cuts.len() + 1` contiguous stage sub-chains
+    /// at the given expanded cut positions (a cut at `p` separates
+    /// expanded instance `p - 1` from instance `p`). Cuts must be strictly
+    /// increasing and interior (`0 < cut < expanded_len`), so every stage
+    /// is non-empty and the stages partition the chain exactly — no
+    /// instance lost or duplicated.
+    pub fn split_at(&self, cuts: &[u64]) -> Option<Vec<SegmentChain>> {
+        let len = self.expanded_len();
+        let interior =
+            cuts.windows(2).all(|w| w[0] < w[1]) && cuts.iter().all(|&c| c > 0 && c < len);
+        if !interior {
+            return None;
+        }
+        let mut stages = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for &cut in cuts.iter().chain(std::iter::once(&len)) {
+            stages.push(self.slice(start, cut)?);
+            start = cut;
+        }
+        Some(stages)
+    }
+
+    /// The boundary activation tensor a pipeline cut at expanded position
+    /// `cut` must move between stages: the *output* bytes of the producing
+    /// instance (`cut - 1`) for one micro-batch. This is what an
+    /// inter-wafer handoff is priced from.
+    pub fn boundary_activation_bytes(&self, cut: u64) -> Option<f64> {
+        if cut == 0 || cut >= self.expanded_len() {
+            return None;
+        }
+        let mut offset = 0;
+        for seg in &self.segments {
+            if cut - 1 < offset + seg.count {
+                return Some(seg.output_bytes);
+            }
+            offset += seg.count;
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +324,72 @@ mod tests {
         // on this model (V >> 12H for GPT-3 6.7B at H=4096).
         assert!(head.flops > block.flops * 0.5);
         assert!(block.flops > emb.flops);
+    }
+
+    #[test]
+    fn slices_partition_the_expanded_chain() {
+        let (model, chain) = chain();
+        let len = chain.expanded_len();
+        // A three-way split with the cuts inside the block run.
+        let cuts = [5u64, len - 1];
+        let stages = chain.split_at(&cuts).expect("valid cuts");
+        assert_eq!(stages.len(), 3);
+        // No instance lost or duplicated, kinds preserved in order.
+        let total: u64 = stages.iter().map(SegmentChain::expanded_len).sum();
+        assert_eq!(total, len);
+        let expanded: Vec<SegmentKind> = stages
+            .iter()
+            .flat_map(|s| {
+                s.segments()
+                    .iter()
+                    .flat_map(|seg| std::iter::repeat_n(seg.kind, seg.count as usize))
+            })
+            .collect();
+        let reference: Vec<SegmentKind> = (0..len).map(|i| chain.kind_at(i).unwrap()).collect();
+        assert_eq!(expanded, reference);
+        // Params are conserved across the split.
+        let split_params: u64 = stages.iter().map(SegmentChain::total_params).sum();
+        assert_eq!(split_params, chain.total_params());
+        // First stage owns the embedding and 4 blocks; last owns the head.
+        assert_eq!(stages[0].segments()[0].kind, SegmentKind::Embedding);
+        assert_eq!(stages[0].segments()[1].count, 4);
+        assert_eq!(stages[2].segments()[0].kind, SegmentKind::Head);
+        // The middle stage holds every block the end stages did not take.
+        assert_eq!(stages[1].expanded_len(), model.layers - 4);
+    }
+
+    #[test]
+    fn invalid_cuts_are_rejected() {
+        let (_, chain) = chain();
+        let len = chain.expanded_len();
+        assert!(chain.split_at(&[0]).is_none(), "cut at the chain start");
+        assert!(chain.split_at(&[len]).is_none(), "cut at the chain end");
+        assert!(chain.split_at(&[7, 7]).is_none(), "non-increasing cuts");
+        assert!(chain.split_at(&[9, 3]).is_none(), "descending cuts");
+        assert!(chain.slice(5, 5).is_none(), "empty slice");
+        assert!(chain.slice(0, len + 1).is_none(), "out-of-range slice");
+        // No cuts at all: one stage covering the whole chain.
+        let whole = chain.split_at(&[]).unwrap();
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0], chain);
+    }
+
+    #[test]
+    fn boundary_bytes_come_from_the_producer() {
+        let (model, chain) = chain();
+        let len = chain.expanded_len();
+        // Every interior cut of the dense chain moves the residual stream.
+        let sbh = chain.find(SegmentKind::Embedding).unwrap().output_bytes;
+        assert!(sbh > 0.0);
+        for cut in 1..len {
+            assert_eq!(chain.boundary_activation_bytes(cut), Some(sbh), "{cut}");
+        }
+        assert_eq!(chain.boundary_activation_bytes(0), None);
+        assert_eq!(chain.boundary_activation_bytes(len), None);
+        // The block's stored activations are not its boundary tensor:
+        // selective recompute keeps far more than one residual stream.
+        let block = chain.find(SegmentKind::Block).unwrap();
+        assert!(block.activation_bytes > block.output_bytes, "{model:?}");
     }
 
     #[test]

@@ -12,12 +12,20 @@
 
 /// Typed failure of a chain solve — malformed chains surface as errors
 /// instead of aborting a sweep.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DpError {
     /// Segment `segment` has an empty candidate list.
     EmptyCandidateList {
         /// Index of the offending segment.
         segment: usize,
+    },
+    /// A stage partition cannot be formed: fewer blocks than interior
+    /// stages, or degenerate stage times.
+    InfeasibleCut {
+        /// Block instances available.
+        blocks: u64,
+        /// Pipeline stages requested.
+        stages: usize,
     },
 }
 
@@ -26,6 +34,9 @@ impl std::fmt::Display for DpError {
         match self {
             DpError::EmptyCandidateList { segment } => {
                 write!(f, "segment {segment} has an empty candidate list")
+            }
+            DpError::InfeasibleCut { blocks, stages } => {
+                write!(f, "{blocks} blocks cannot fill {stages} pipeline stages")
             }
         }
     }
@@ -102,6 +113,183 @@ pub fn solve_chain(
     Ok(DpSolution { choices, cost })
 }
 
+/// Result of a stage-cut solve: how many block instances each pipeline
+/// stage owns, and the per-micro-batch bottleneck stage time the
+/// allocation achieves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCuts {
+    /// Block instances per stage, in pipeline order (sums to the chain's
+    /// block count). The first stage additionally owns the embedding, the
+    /// last the LM head.
+    pub blocks: Vec<u64>,
+    /// The achieved bottleneck: `max_s` of stage `s`'s per-micro-batch
+    /// time under this allocation.
+    pub bottleneck: f64,
+}
+
+/// The stage-cut solver (level 1 of the multi-wafer planning pass): split
+/// `blocks` identical block instances across `stages` pipeline stages so
+/// the *bottleneck* stage time is minimal. One block instance costs
+/// `unit` seconds per micro-batch; the first stage carries `first_extra`
+/// on top (embedding + any intra-stage resharding), the last `last_extra`
+/// (LM head). `min_blocks` is the per-stage floor on block counts: pass
+/// an empty slice for the default — interior stages own at least one
+/// block, the end stages may own zero (their end segment keeps them
+/// non-empty) — or one entry per stage (multi-stage wafers raise the
+/// floors so every *virtual* stage inside a wafer stays non-empty).
+///
+/// In a 1F1B pipeline the step time is
+/// `sum_s t_s + (micro - 1) x max_s t_s` — the cut positions only enter
+/// through the bottleneck term (the sum is invariant), so minimizing the
+/// bottleneck is exact. The solver runs a parametric search over the
+/// `O(blocks)` candidate bottleneck values (each is `k x unit` plus one
+/// of the end extras) and then water-fills blocks under the winning
+/// threshold, yielding a balanced allocation.
+///
+/// # Errors
+///
+/// Returns [`DpError::InfeasibleCut`] when the floors cannot be met
+/// (`blocks < sum(min_blocks)`), when `stages` is zero or `min_blocks`
+/// has the wrong length, or when the stage times are degenerate (`unit`
+/// non-finite or negative).
+pub fn balance_stage_cuts(
+    blocks: u64,
+    stages: usize,
+    unit: f64,
+    first_extra: f64,
+    last_extra: f64,
+    min_blocks: &[u64],
+) -> Result<StageCuts, DpError> {
+    let infeasible = DpError::InfeasibleCut { blocks, stages };
+    if stages == 0 || !unit.is_finite() || unit < 0.0 {
+        return Err(infeasible);
+    }
+    if !first_extra.is_finite() || !last_extra.is_finite() {
+        return Err(infeasible);
+    }
+    if !min_blocks.is_empty() && min_blocks.len() != stages {
+        return Err(infeasible);
+    }
+    let min_of = |s: usize| -> u64 {
+        if min_blocks.is_empty() {
+            u64::from(stages > 1 && s != 0 && s != stages - 1)
+        } else {
+            min_blocks[s]
+        }
+    };
+    let floor_total: u64 = (0..stages).map(min_of).sum();
+    if blocks < floor_total {
+        return Err(infeasible);
+    }
+    if stages == 1 {
+        return Ok(StageCuts {
+            blocks: vec![blocks],
+            bottleneck: blocks as f64 * unit + first_extra + last_extra,
+        });
+    }
+    let extra = |s: usize| -> f64 {
+        if s == 0 {
+            first_extra
+        } else if s == stages - 1 {
+            last_extra
+        } else {
+            0.0
+        }
+    };
+    // Zero-cost blocks: any allocation works; balance counts evenly
+    // above the floors.
+    if unit == 0.0 {
+        let mut alloc: Vec<u64> = (0..stages).map(min_of).collect();
+        let mut remaining = blocks - floor_total;
+        let mut s = 0;
+        while remaining > 0 {
+            alloc[s] += 1;
+            remaining -= 1;
+            s = (s + 1) % stages;
+        }
+        let bottleneck = first_extra.max(last_extra);
+        return Ok(StageCuts {
+            blocks: alloc,
+            bottleneck,
+        });
+    }
+
+    // Capacity of stage `s` under a bottleneck threshold `b`: the largest
+    // block count keeping `k x unit + extra(s) <= b`. The tiny relative
+    // slack absorbs float noise in thresholds built as `k x unit + extra`.
+    let capacity = |s: usize, b: f64| -> u64 {
+        let room = b - extra(s);
+        if room < 0.0 {
+            return 0;
+        }
+        (((room / unit) * (1.0 + 1e-12) + 1e-9).floor() as u64).min(blocks)
+    };
+    let feasible = |b: f64| -> bool {
+        let mut total = 0u64;
+        for s in 0..stages {
+            let cap = capacity(s, b);
+            if cap < min_of(s) {
+                return false;
+            }
+            total += cap;
+        }
+        total >= blocks
+    };
+
+    // Candidate bottlenecks: `k x unit` plus each distinct extra.
+    let mut thresholds: Vec<f64> = Vec::with_capacity(3 * (blocks as usize + 1));
+    for k in 0..=blocks {
+        let base = k as f64 * unit;
+        thresholds.push(base);
+        thresholds.push(base + first_extra);
+        thresholds.push(base + last_extra);
+    }
+    thresholds.retain(|b| b.is_finite());
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+    // Binary search the smallest feasible threshold (feasibility is
+    // monotone in `b`).
+    let mut lo = 0usize;
+    let mut hi = thresholds.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if feasible(thresholds[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if lo == thresholds.len() {
+        return Err(infeasible);
+    }
+    let bound = thresholds[lo];
+
+    // Water-fill under the winning threshold: start from the floors, then
+    // repeatedly grow the currently-fastest stage that still has
+    // capacity — a balanced assignment with bottleneck <= bound.
+    let mut alloc: Vec<u64> = (0..stages).map(min_of).collect();
+    let mut remaining = blocks - floor_total;
+    let caps: Vec<u64> = (0..stages).map(|s| capacity(s, bound)).collect();
+    while remaining > 0 {
+        let next = (0..stages)
+            .filter(|&s| alloc[s] < caps[s])
+            .min_by(|&a, &b| {
+                let ta = alloc[a] as f64 * unit + extra(a);
+                let tb = alloc[b] as f64 * unit + extra(b);
+                ta.partial_cmp(&tb).expect("finite stage times")
+            })
+            .ok_or(infeasible.clone())?;
+        alloc[next] += 1;
+        remaining -= 1;
+    }
+    let bottleneck = (0..stages)
+        .map(|s| alloc[s] as f64 * unit + extra(s))
+        .fold(0.0f64, f64::max);
+    Ok(StageCuts {
+        blocks: alloc,
+        bottleneck,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +360,125 @@ mod tests {
         let s = solve_chain(&costs, |_, _, _| 0.0).unwrap();
         assert_eq!(s.choices, vec![1, 0]);
         assert!(s.cost.is_finite());
+    }
+
+    #[test]
+    fn balanced_cuts_split_evenly_without_extras() {
+        let cuts = balance_stage_cuts(32, 4, 1.0, 0.0, 0.0, &[]).unwrap();
+        assert_eq!(cuts.blocks, vec![8, 8, 8, 8]);
+        assert!((cuts.bottleneck - 8.0).abs() < 1e-12);
+        assert_eq!(cuts.blocks.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn end_extras_shift_blocks_off_the_end_stages() {
+        // The first stage carries a 4-block-equivalent embedding, the last
+        // a 2-block-equivalent head: the optimum sheds blocks from both.
+        let cuts = balance_stage_cuts(32, 4, 1.0, 4.0, 2.0, &[]).unwrap();
+        assert_eq!(cuts.blocks.iter().sum::<u64>(), 32);
+        assert!(cuts.blocks[0] < cuts.blocks[1], "{cuts:?}");
+        assert!(cuts.blocks[3] < cuts.blocks[2], "{cuts:?}");
+        // Bottleneck strictly beats the naive even split's first-stage
+        // time (8 blocks + the 4-block embedding).
+        assert!(cuts.bottleneck < 8.0 + 4.0, "{cuts:?}");
+        // And matches the brute-force optimum over all partitions.
+        let mut best = f64::INFINITY;
+        for k0 in 0..=32u64 {
+            for k1 in 1..=32u64.saturating_sub(k0) {
+                for k2 in 1..=32u64.saturating_sub(k0 + k1) {
+                    let k3 = 32 - k0 - k1 - k2;
+                    let b = (k0 as f64 + 4.0)
+                        .max(k1 as f64)
+                        .max(k2 as f64)
+                        .max(k3 as f64 + 2.0);
+                    best = best.min(b);
+                }
+            }
+        }
+        assert!(
+            (cuts.bottleneck - best).abs() < 1e-9,
+            "{} vs brute {best}",
+            cuts.bottleneck
+        );
+    }
+
+    #[test]
+    fn single_stage_owns_everything() {
+        let cuts = balance_stage_cuts(10, 1, 0.5, 1.0, 2.0, &[]).unwrap();
+        assert_eq!(cuts.blocks, vec![10]);
+        assert!((cuts.bottleneck - (5.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_cuts_are_typed_errors() {
+        // Fewer blocks than interior stages.
+        assert_eq!(
+            balance_stage_cuts(2, 6, 1.0, 0.0, 0.0, &[]).unwrap_err(),
+            DpError::InfeasibleCut {
+                blocks: 2,
+                stages: 6
+            }
+        );
+        assert!(balance_stage_cuts(8, 0, 1.0, 0.0, 0.0, &[]).is_err());
+        assert!(balance_stage_cuts(8, 2, f64::NAN, 0.0, 0.0, &[]).is_err());
+        assert!(balance_stage_cuts(8, 2, 1.0, f64::INFINITY, 0.0, &[]).is_err());
+        // Zero-cost blocks balance by count alone.
+        let cuts = balance_stage_cuts(9, 3, 0.0, 0.5, 0.25, &[]).unwrap();
+        assert_eq!(cuts.blocks.iter().sum::<u64>(), 9);
+        assert!((cuts.bottleneck - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_bottleneck_is_optimal_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..40 {
+            let blocks = rng.gen_range(4..40u64);
+            let stages = rng.gen_range(2..6usize);
+            if blocks < (stages as u64).saturating_sub(2) {
+                continue;
+            }
+            let unit = rng.gen_range(0.1..2.0);
+            let e = rng.gen_range(0.0..5.0);
+            let h = rng.gen_range(0.0..5.0);
+            let cuts = balance_stage_cuts(blocks, stages, unit, e, h, &[]).unwrap();
+            assert_eq!(cuts.blocks.iter().sum::<u64>(), blocks);
+            for (s, &k) in cuts.blocks.iter().enumerate() {
+                if s != 0 && s != stages - 1 {
+                    assert!(k >= 1, "interior stage {s} empty: {cuts:?}");
+                }
+            }
+            // Exhaustive check on small instances: enumerate partitions.
+            let mut best = f64::INFINITY;
+            let mut stack = vec![(0usize, 0u64, 0.0f64)];
+            while let Some((s, used, worst)) = stack.pop() {
+                if s == stages {
+                    if used == blocks {
+                        best = best.min(worst);
+                    }
+                    continue;
+                }
+                let min_k = u64::from(s != 0 && s != stages - 1);
+                let extra = if s == 0 {
+                    e
+                } else if s == stages - 1 {
+                    h
+                } else {
+                    0.0
+                };
+                for k in min_k..=(blocks - used) {
+                    let t = k as f64 * unit + extra;
+                    stack.push((s + 1, used + k, worst.max(t)));
+                }
+            }
+            assert!(
+                cuts.bottleneck <= best + 1e-9,
+                "blocks={blocks} stages={stages} unit={unit} e={e} h={h}: \
+                 {} vs brute {best}",
+                cuts.bottleneck
+            );
+        }
     }
 
     #[test]

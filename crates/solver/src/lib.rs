@@ -23,7 +23,12 @@
 //!   predictor ranks candidate batches so the exact model only runs on
 //!   the top-K survivors (§VII-A);
 //! * [`par`] — the scoped-thread data-parallel map the search uses;
-//! * [`dlws`] — the end-to-end solver: enumerate → cost → DP → GA → plan.
+//! * [`dlws`] — the end-to-end solver: enumerate → cost → DP → GA → plan;
+//! * [`stage`] — stage-partitioned multi-wafer planning: pipeline stages
+//!   as contiguous segment-chain slices, with cut positions, per-stage
+//!   strategies and inter-wafer handoffs solved jointly (Fig. 19);
+//! * [`pool`] — the cross-model context pool zoo sweeps share wafer-level
+//!   state through.
 //!
 //! # Example
 //!
@@ -46,13 +51,17 @@ pub mod dp;
 pub mod ga;
 pub mod ilp;
 pub mod par;
+pub mod pool;
 pub mod search;
+pub mod stage;
 pub mod surrogate_gate;
 
 pub use cost::{CostReport, SegmentCost, WaferCostModel};
 pub use dlws::{Dlws, ExecutionPlan, SegmentAssignment};
 pub use dp::DpError;
+pub use pool::ContextPool;
 pub use search::{CostTier, SearchContext, SearchStats};
+pub use stage::{MultiWaferPlan, StagePlan};
 pub use surrogate_gate::GateParams;
 
 /// Errors produced by the solver.

@@ -1,0 +1,134 @@
+//! Cross-model context pool: share wafer-level search state across the
+//! models of a zoo sweep.
+//!
+//! A [`crate::search::SearchContext`] memoizes evaluations for **one**
+//! `(wafer, model, workload)` triple. Zoo sweeps (fig13's seven-system
+//! comparison, fig18's scale/sequence grid) plan many models on the same
+//! wafer; before the pool each model rebuilt the wafer-level state from
+//! scratch — re-enumerating the candidate space — and repeated sweeps
+//! over the same model rebuilt the whole context, discarding its warm
+//! evaluation cache.
+//!
+//! [`ContextPool`] fixes both:
+//!
+//! * the **candidate enumeration** (a function of the die count alone) is
+//!   computed once and shared by `Arc` across every pooled context;
+//! * contexts are **keyed by `(model, workload)`** and handed out as
+//!   shared `Arc`s, so asking for the same model twice returns the same
+//!   warm context — a second sweep over the zoo is answered entirely from
+//!   the caches the first sweep filled.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use temp_graph::models::ModelConfig;
+use temp_graph::workload::Workload;
+use temp_parallel::strategy::HybridConfig;
+use temp_wsc::config::WaferConfig;
+
+use crate::cost::WaferCostModel;
+use crate::dlws::Dlws;
+use crate::search::SearchContext;
+
+/// A pool of shared search contexts for one wafer configuration.
+#[derive(Debug)]
+pub struct ContextPool {
+    wafer: WaferConfig,
+    base_candidates: Arc<Vec<HybridConfig>>,
+    contexts: Mutex<HashMap<String, Arc<SearchContext>>>,
+}
+
+impl ContextPool {
+    /// Creates a pool for one wafer, enumerating the candidate space once.
+    pub fn new(wafer: WaferConfig) -> Self {
+        let base_candidates = Arc::new(SearchContext::enumerate_base_candidates(wafer.die_count()));
+        ContextPool {
+            wafer,
+            base_candidates,
+            contexts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wafer every pooled context plans on.
+    pub fn wafer(&self) -> &WaferConfig {
+        &self.wafer
+    }
+
+    /// The shared candidate enumeration (pointer-identical across every
+    /// context this pool hands out).
+    pub fn candidates(&self) -> Arc<Vec<HybridConfig>> {
+        Arc::clone(&self.base_candidates)
+    }
+
+    /// The shared context for a `(model, workload)` pair: built on first
+    /// request, returned warm afterwards. Distinct workloads on the same
+    /// model get distinct contexts (the evaluation cache is only valid
+    /// per workload).
+    ///
+    /// Sharing is by `Arc`, so context-scoped knobs — the cost tier, the
+    /// gate parameters, the parallel switch — are shared too: flipping
+    /// one holder's tier flips it for every solver built from this
+    /// entry.
+    pub fn context(&self, model: &ModelConfig, workload: &Workload) -> Arc<SearchContext> {
+        let key = format!("{model:?}#{workload:?}");
+        let mut contexts = self.contexts.lock().expect("pool lock");
+        Arc::clone(contexts.entry(key).or_insert_with(|| {
+            Arc::new(SearchContext::with_shared_candidates(
+                WaferCostModel::new(self.wafer.clone(), model.clone(), workload.clone()),
+                Arc::clone(&self.base_candidates),
+            ))
+        }))
+    }
+
+    /// A solver over the pooled context for a `(model, workload)` pair.
+    pub fn solver(&self, model: &ModelConfig, workload: &Workload) -> Dlws {
+        Dlws::from_context(self.context(model, workload))
+    }
+
+    /// How many distinct `(model, workload)` contexts the pool holds.
+    pub fn len(&self) -> usize {
+        self.contexts.lock().expect("pool lock").len()
+    }
+
+    /// Whether the pool has handed out any context yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temp_graph::models::ModelZoo;
+
+    #[test]
+    fn contexts_are_shared_per_model_and_workload() {
+        let pool = ContextPool::new(WaferConfig::hpca());
+        assert!(pool.is_empty());
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let a = pool.context(&model, &workload);
+        let b = pool.context(&model, &workload);
+        assert!(Arc::ptr_eq(&a, &b), "same key must return the same context");
+        assert_eq!(pool.len(), 1);
+        // A different workload on the same model is a distinct context.
+        let other = pool.context(&model, &workload.clone().with_micro_batches(4));
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn models_share_one_candidate_enumeration() {
+        let pool = ContextPool::new(WaferConfig::hpca());
+        let m1 = ModelZoo::gpt3_6_7b();
+        let m2 = ModelZoo::llama2_7b();
+        let c1 = pool.context(&m1, &Workload::for_model(&m1));
+        let c2 = pool.context(&m2, &Workload::for_model(&m2));
+        assert!(!Arc::ptr_eq(&c1, &c2), "distinct models, distinct caches");
+        assert!(
+            Arc::ptr_eq(&c1.candidates_arc(), &c2.candidates_arc()),
+            "wafer-level enumeration must be shared"
+        );
+        assert!(Arc::ptr_eq(&c1.candidates_arc(), &pool.candidates()));
+    }
+}

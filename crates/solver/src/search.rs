@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use temp_graph::segment::{SegmentChain, SegmentKind};
 use temp_graph::workload::{RecomputeMode, Workload};
@@ -110,8 +110,10 @@ impl SearchStats {
 pub struct SearchContext {
     cost: WaferCostModel,
     /// The full intra-wafer candidate space (pp = 1): every power-of-two
-    /// degree tuple, with and without FSDP sharding.
-    base_candidates: Vec<HybridConfig>,
+    /// degree tuple, with and without FSDP sharding. `Arc` so a
+    /// [`crate::pool::ContextPool`] can share one enumeration across every
+    /// model planned on the same wafer.
+    base_candidates: Arc<Vec<HybridConfig>>,
     /// Transition cost between two distinct configurations: the
     /// layer-boundary activation redistributed over the wafer bisection.
     /// Identical configurations transition for free.
@@ -140,12 +142,34 @@ impl SearchContext {
     /// resharding transition once.
     pub fn new(cost: WaferCostModel) -> Self {
         let dies = cost.wafer().die_count();
+        let base = Arc::new(Self::enumerate_base_candidates(dies));
+        Self::with_shared_candidates(cost, base)
+    }
+
+    /// The wafer-level candidate enumeration a context is built over —
+    /// it depends only on the die count, so zoo sweeps on one wafer can
+    /// compute it once and share it across models (see
+    /// [`crate::pool::ContextPool`]).
+    pub fn enumerate_base_candidates(dies: usize) -> Vec<HybridConfig> {
         let mut base_candidates = HybridConfig::enumerate_tuples(dies, false);
         base_candidates.extend(
             HybridConfig::enumerate_tuples(dies, true)
                 .into_iter()
                 .filter(|c| c.dp > 1),
         );
+        base_candidates
+    }
+
+    /// As [`SearchContext::new`] with an externally-shared candidate
+    /// enumeration (must match this wafer's die count).
+    pub fn with_shared_candidates(
+        cost: WaferCostModel,
+        base_candidates: Arc<Vec<HybridConfig>>,
+    ) -> Self {
+        let dies = cost.wafer().die_count();
+        debug_assert!(base_candidates
+            .iter()
+            .all(|c| c.intra_wafer_degree() == dies));
 
         // All-to-all of one layer-boundary activation over the wafer
         // bisection, approximated as sqrt(dies) rows of links.
@@ -214,6 +238,12 @@ impl SearchContext {
     /// The base (pp = 1) candidate space, enumerated once at construction.
     pub fn candidates(&self) -> &[HybridConfig] {
         &self.base_candidates
+    }
+
+    /// The shared handle behind [`SearchContext::candidates`] — pooled
+    /// contexts on one wafer return pointer-identical enumerations.
+    pub fn candidates_arc(&self) -> Arc<Vec<HybridConfig>> {
+        Arc::clone(&self.base_candidates)
     }
 
     /// The base candidates with a fixed pipeline degree applied
@@ -452,6 +482,35 @@ impl SearchContext {
             CostTier::Exact => self.cost_candidates_exact(candidates, engine),
             CostTier::SurrogateGated => {
                 surrogate_gate::cost_candidates_gated(self, candidates, engine, self.gate_params())
+            }
+        }
+    }
+
+    /// Costs several candidate batches — one per pipeline degree of a
+    /// multi-wafer sweep — under the active [`CostTier`]. Under
+    /// [`CostTier::Exact`] the groups are flattened into **one** batch so
+    /// the parallel map load-balances across the whole sweep; under
+    /// [`CostTier::SurrogateGated`] each group is gated **on its own**
+    /// (its own training sample, fit and top-K shortlist), because the
+    /// winner-retention guarantee is per solve: a single ranking across
+    /// degrees could shortlist one degree's candidates at the expense of
+    /// another's winner. Returned vectors align with the input groups.
+    pub fn cost_candidate_groups(
+        &self,
+        groups: &[Vec<HybridConfig>],
+        engine: MappingEngine,
+    ) -> Vec<Vec<CandidateCost>> {
+        match self.cost_tier() {
+            CostTier::Exact => {
+                let flat: Vec<HybridConfig> = groups.iter().flatten().copied().collect();
+                let mut costed = self.cost_candidates_exact(&flat, engine).into_iter();
+                groups
+                    .iter()
+                    .map(|g| costed.by_ref().take(g.len()).collect())
+                    .collect()
+            }
+            CostTier::SurrogateGated => {
+                surrogate_gate::cost_candidate_groups(self, groups, engine, self.gate_params())
             }
         }
     }

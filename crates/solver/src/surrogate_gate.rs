@@ -74,6 +74,27 @@ impl Default for GateParams {
 /// Minimum finite training samples required to trust a fit.
 const MIN_TRAIN_SAMPLES: usize = 6;
 
+/// The per-degree batch mode of the gate: costs one candidate batch per
+/// pipeline degree of a multi-wafer sweep, gating each batch **on its
+/// own** — its own memory precheck, stride-sampled training set, fit and
+/// top-K shortlist. Ranking every degree independently is what keeps the
+/// winner-retention guarantee intact per solve: a pipeline degree whose
+/// step times run higher (deeper bubbles) would otherwise lose its whole
+/// batch to a shallower degree's candidates in a single cross-degree
+/// ranking. All batches still share the context's evaluation cache, so
+/// the per-degree solves that follow a sweep replay from warm state.
+pub(crate) fn cost_candidate_groups(
+    ctx: &SearchContext,
+    groups: &[Vec<HybridConfig>],
+    engine: MappingEngine,
+    params: GateParams,
+) -> Vec<Vec<CandidateCost>> {
+    groups
+        .iter()
+        .map(|g| cost_candidates_gated(ctx, g, engine, params))
+        .collect()
+}
+
 /// Costs a batch through the surrogate gate. The returned vector is
 /// aligned with `candidates`; pruned entries are `(f64::INFINITY, None)`.
 pub(crate) fn cost_candidates_gated(
@@ -107,8 +128,16 @@ pub(crate) fn cost_candidates_gated(
 
     // Top-K: the configured default until rank-of-winner statistics have
     // been observed, adapted afterwards (see
-    // `SearchContext::effective_top_k`).
-    let top_k = ctx.effective_top_k();
+    // `SearchContext::effective_top_k`). Pipelined batches (multi-wafer
+    // degrees, `pp > 1`) keep twice the shortlist: their step times are
+    // bubble-dominated and cluster tightly, so the predictor's ranking
+    // margin shrinks while a pruned winner would stay unobservable.
+    let pipelined = candidates.iter().any(|c| c.pp > 1);
+    let top_k = if pipelined {
+        2 * ctx.effective_top_k()
+    } else {
+        ctx.effective_top_k()
+    };
 
     let stride = params.train_stride.max(1);
     let train_count = feasible.len().div_ceil(stride);
@@ -175,6 +204,15 @@ pub(crate) fn cost_candidates_gated(
     // what the chain can save on each end segment — so the block winner
     // of the heterogeneous DP survives the gate, not merely the uniform
     // winner.
+    //
+    // Pipelined batches (`pp > 1`) get one more term: the stage-
+    // partitioned planner runs the embedding/head *inside* their stages,
+    // where all but the bottleneck repetition overlaps the pipeline — of
+    // the `micro` end-segment executions the uniform evaluation charges,
+    // only ~1 + (micro-1) x [end stage is the bottleneck] remain exposed.
+    // Ranking must price that overlap (cheapest-end variant, the
+    // first-order term) or a candidate with cheap-but-nonzero ends loses
+    // its shortlist slot to one the stage objective ranks worse.
     let micro = base_wl.micro_batches.max(1) as f64;
     let boundary = micro * ctx.full_reshard_cost();
     // The same per-step rows the chain DP consumes
@@ -206,17 +244,30 @@ pub(crate) fn cost_candidates_gated(
         })
         .collect();
     let chain_correction = |i: usize| -> f64 {
-        end_rows
-            .iter()
-            .zip(&end_best)
-            .map(|(row, &best)| {
-                let own = row[i];
-                if !own.is_finite() {
-                    return 0.0;
-                }
-                (best + boundary).min(own) - own
-            })
-            .sum()
+        let mut effective = [f64::INFINITY; 2];
+        let mut swap_saving = 0.0;
+        for (k, (row, &best)) in end_rows.iter().zip(&end_best).enumerate() {
+            let own = row[i];
+            if own.is_finite() {
+                effective[k] = (best + boundary).min(own);
+                swap_saving += effective[k] - own;
+            } else {
+                effective[k] = best + boundary;
+            }
+        }
+        // Pipeline overlap of the cheaper end stage (see above): the
+        // stage planner exposes roughly one of its `micro` executions.
+        let overlap = if candidates[i].pp > 1 {
+            let cheaper = effective[0].min(effective[1]);
+            if cheaper.is_finite() {
+                (micro - 1.0) / micro * cheaper
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        swap_saving - overlap
     };
 
     // Tier 1: rank every remaining feasible candidate by predicted

@@ -80,6 +80,35 @@ impl MultiWaferSystem {
         self.wafer.total_peak_flops() * self.wafer_count as f64
     }
 
+    /// Pipeline stages hosted by the chain at `pp_multiplier` stages per
+    /// wafer.
+    pub fn stage_count(&self, pp_multiplier: usize) -> usize {
+        self.wafer_count * pp_multiplier.max(1)
+    }
+
+    /// Which wafer hosts pipeline stage `stage`: stages fill wafers in
+    /// chain order, `pp_multiplier` consecutive stages per wafer.
+    pub fn wafer_of_stage(&self, stage: usize, pp_multiplier: usize) -> usize {
+        (stage / pp_multiplier.max(1)).min(self.wafer_count.saturating_sub(1))
+    }
+
+    /// Whether the boundary between stage `stage` and `stage + 1` crosses
+    /// wafers (and therefore pays the inter-wafer link) or stays on one
+    /// wafer (the activation stays resident on the same dies).
+    pub fn boundary_crosses_wafers(&self, stage: usize, pp_multiplier: usize) -> bool {
+        self.wafer_of_stage(stage, pp_multiplier) != self.wafer_of_stage(stage + 1, pp_multiplier)
+    }
+
+    /// The smallest wafer count whose aggregate HBM can hold `bytes` — a
+    /// necessary (not sufficient) lower bound on deployment size.
+    pub fn minimum_wafers_for(wafer: &WaferConfig, bytes: f64) -> usize {
+        let per_wafer = wafer.total_hbm_capacity();
+        if per_wafer <= 0.0 {
+            return 1;
+        }
+        (bytes / per_wafer).ceil().max(1.0) as usize
+    }
+
     /// Time to move `bytes` between adjacent wafers (activation handoff of a
     /// pipeline stage boundary).
     pub fn inter_wafer_transfer_time(&self, bytes: f64) -> f64 {
@@ -108,6 +137,39 @@ mod tests {
         assert_eq!(four.total_dies(), 4 * one.total_dies());
         assert!((four.total_hbm_capacity() - 4.0 * one.total_hbm_capacity()).abs() < 1.0);
         assert!((four.total_peak_flops() - 4.0 * one.total_peak_flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn stage_placement_fills_wafers_in_order() {
+        let sys = MultiWaferSystem::new(WaferConfig::hpca(), 3).unwrap();
+        assert_eq!(sys.stage_count(2), 6);
+        assert_eq!(sys.stage_count(0), 3, "multiplier clamps to 1");
+        let wafers: Vec<usize> = (0..6).map(|s| sys.wafer_of_stage(s, 2)).collect();
+        assert_eq!(wafers, vec![0, 0, 1, 1, 2, 2]);
+        // Only every second boundary crosses wafers at 2 stages/wafer.
+        let crossings: Vec<bool> = (0..5).map(|s| sys.boundary_crosses_wafers(s, 2)).collect();
+        assert_eq!(crossings, vec![false, true, false, true, false]);
+        // At 1 stage/wafer every boundary is an inter-wafer handoff.
+        assert!((0..2).all(|s| sys.boundary_crosses_wafers(s, 1)));
+    }
+
+    #[test]
+    fn minimum_wafers_matches_aggregate_hbm() {
+        let wafer = WaferConfig::hpca();
+        let per_wafer = wafer.total_hbm_capacity();
+        assert_eq!(MultiWaferSystem::minimum_wafers_for(&wafer, 0.0), 1);
+        assert_eq!(
+            MultiWaferSystem::minimum_wafers_for(&wafer, per_wafer * 0.7),
+            1
+        );
+        assert_eq!(
+            MultiWaferSystem::minimum_wafers_for(&wafer, per_wafer * 1.3),
+            2
+        );
+        assert_eq!(
+            MultiWaferSystem::minimum_wafers_for(&wafer, per_wafer * 4.0),
+            4
+        );
     }
 
     #[test]

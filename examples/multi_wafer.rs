@@ -1,4 +1,5 @@
-//! Multi-wafer planning: Grok-1 341B across four WSCs (Fig. 19 workflow).
+//! Multi-wafer planning: Grok-1 341B across four WSCs (Fig. 19 workflow),
+//! with pipeline stages as real segment-chain slices.
 //!
 //! ```sh
 //! cargo run --release --example multi_wafer
@@ -27,6 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model,
         temp_graph::workload::Workload::training(128, 8192),
     );
+    println!(
+        "(parameter state alone needs at least {} wafer(s))",
+        temp.min_wafer_count()
+    );
 
     // TEMP: pipeline degree = wafer count, TATP inside each wafer.
     let t = temp.evaluate_multiwafer(&BaselineSystem::temp(), &wafers, 1);
@@ -34,37 +39,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = temp.evaluate_multiwafer(&BaselineSystem::six_baselines()[5], &wafers, 2);
 
     for rep in [&base, &t] {
-        match rep.report() {
-            Some(c) => println!(
-                "{:<12} pp={} step={:.3}s bubbles={:.0}% config={}",
+        match rep.plan.as_ref() {
+            Some(plan) => println!(
+                "{:<12} stages={} step={:.3}s bubbles={:.0}% handoff={:.1}ms body={}",
                 rep.system,
-                c.config.pp,
-                c.step_time,
-                100.0 * c.bubble_time / c.step_time,
-                c.config.label()
+                plan.stage_count(),
+                plan.step_time,
+                100.0 * plan.bubble_time / plan.step_time,
+                1e3 * plan.handoff_time,
+                plan.body.config.label()
             ),
             None => println!("{:<12} OOM", rep.system),
         }
     }
-    if let (Some(b), Some(c)) = (base.report(), t.report()) {
+    if let (Some(b), Some(c)) = (base.plan.as_ref(), t.plan.as_ref()) {
         println!(
             "\nTEMP speedup over FSDP+GMap: {:.2}x",
             b.step_time / c.step_time
         );
     }
 
+    // The stage table: which slice of the chain each wafer owns. The
+    // first stage carries the embedding, the last the LM head; handoffs
+    // are priced from the boundary activation tensor at each cut.
+    if let Some(plan) = t.plan.as_ref() {
+        println!("\nTEMP stage partition:");
+        for stage in &plan.stages {
+            let runs: Vec<String> = stage
+                .chain
+                .segments()
+                .iter()
+                .map(|seg| format!("{}x{}", seg.count, seg.kind))
+                .collect();
+            println!(
+                "  stage {} on wafer {}: {:<24} {:>7.1} ms/micro{}",
+                stage.stage,
+                stage.wafer,
+                runs.join(" + "),
+                1e3 * stage.stage_time,
+                if stage.inter_wafer_inbound {
+                    format!(
+                        "  (receives {:.0} MB over the inter-wafer link)",
+                        stage.inbound_bytes / 1e6
+                    )
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+
     // Deployment sizing: sweep wafer counts and stages-per-wafer in one
-    // shared search context — every distinct pipeline degree is solved
-    // once and the union of candidate spaces is costed in a single batch.
+    // shared search context — every distinct pipeline degree's candidate
+    // batch is costed once and reused across combinations.
     println!("\nwafer-count sweep (TEMP):");
     for entry in temp.evaluate_multiwafer_sweep(&BaselineSystem::temp(), &[2, 4, 6], &[1, 2]) {
-        match entry.report.report() {
-            Some(c) => println!(
-                "  {} wafers x {} stages/wafer: step={:.3}s config={}",
+        match entry.report.plan.as_ref() {
+            Some(plan) => println!(
+                "  {} wafers x {} stages/wafer: step={:.3}s pace={:.3}s body={}",
                 entry.wafer_count,
                 entry.pp_multiplier,
-                c.step_time,
-                c.config.label()
+                plan.step_time,
+                plan.bottleneck_time,
+                plan.body.config.label()
             ),
             None => println!(
                 "  {} wafers x {} stages/wafer: OOM",

@@ -92,7 +92,55 @@ fn multiwafer_planning_shares_the_same_cache() {
         after_first.misses, after_second.misses,
         "repeating the multi-wafer evaluation must be pure cache hits"
     );
-    // The post-hoc handoff surcharge must not leak into cached reports:
-    // both evaluations see identical step times.
+    // The stage-partitioned handoff pricing must not leak into cached
+    // reports: both evaluations see identical plans and step times.
+    assert_eq!(first, second);
     assert_eq!(first.step_time(), second.step_time());
+}
+
+#[test]
+fn context_pool_reuses_wafer_level_state_across_models() {
+    use std::sync::Arc;
+    use temp_repro::solver::pool::ContextPool;
+    use temp_repro::wsc::config::WaferConfig;
+
+    let pool = ContextPool::new(WaferConfig::hpca());
+
+    // fig13/fig18-style zoo sweep: several models through one pool. Every
+    // context shares the wafer-level candidate enumeration by pointer.
+    let models = [ModelZoo::gpt3_6_7b(), ModelZoo::llama2_7b()];
+    for model in &models {
+        let temp = Temp::pooled(&pool, model.clone());
+        let reports = temp.compare_all();
+        assert_eq!(reports.len(), 7);
+    }
+    assert_eq!(pool.len(), models.len());
+    let ctx_a = pool.context(
+        &models[0],
+        &temp_repro::graph::workload::Workload::for_model(&models[0]),
+    );
+    let ctx_b = pool.context(
+        &models[1],
+        &temp_repro::graph::workload::Workload::for_model(&models[1]),
+    );
+    assert!(
+        Arc::ptr_eq(&ctx_a.candidates_arc(), &ctx_b.candidates_arc()),
+        "pooled contexts must share one candidate enumeration"
+    );
+    assert!(Arc::ptr_eq(&ctx_a.candidates_arc(), &pool.candidates()));
+
+    // A second sweep over the same model reuses the *same warm context*:
+    // zero new cost-model evaluations, identical reports.
+    let temp_again = Temp::pooled(&pool, models[0].clone());
+    let misses_before = temp_again.search_stats().misses;
+    assert!(misses_before > 0, "first sweep must have filled the cache");
+    let replay = temp_again.compare_all();
+    assert_eq!(
+        temp_again.search_stats().misses,
+        misses_before,
+        "a pooled re-sweep must be answered entirely from the cache"
+    );
+    let fresh = Temp::pooled(&pool, models[0].clone());
+    assert_eq!(replay, fresh.compare_all());
+    assert_eq!(pool.len(), models.len(), "no duplicate contexts");
 }

@@ -170,6 +170,117 @@ fn segment_chain_dp_beats_uniform_replication_on_the_fig13_zoo() {
     );
 }
 
+/// Pipeline-stage slices are a *partition* of the segment chain: for any
+/// valid cut set, the per-stage sub-chains reproduce the expanded chain
+/// exactly — no instance lost, duplicated or reordered — and conserve
+/// parameters and FLOPs.
+#[test]
+fn stage_slices_partition_every_zoo_chain() {
+    use temp_repro::graph::segment::SegmentChain;
+    let mut rng = StdRng::seed_from_u64(0x57A6E);
+    for model in ModelZoo::table2() {
+        let workload = Workload::for_model(&model);
+        let chain = SegmentChain::for_model(&model, &workload);
+        let len = chain.expanded_len();
+        for _ in 0..16 {
+            // A random strictly-increasing interior cut set.
+            let n_cuts = rng.gen_range(1..6u64);
+            let mut cuts: Vec<u64> = (0..n_cuts).map(|_| rng.gen_range(1..len)).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let stages = chain
+                .split_at(&cuts)
+                .unwrap_or_else(|| panic!("{}: cuts {cuts:?}", model.name));
+            assert_eq!(stages.len(), cuts.len() + 1, "{}", model.name);
+            // Exact partition: expanded kinds concatenate to the chain's.
+            let expanded: Vec<_> = stages
+                .iter()
+                .flat_map(|s| {
+                    s.segments()
+                        .iter()
+                        .flat_map(|seg| std::iter::repeat_n(seg.kind, seg.count as usize))
+                })
+                .collect();
+            let reference: Vec<_> = (0..len).map(|i| chain.kind_at(i).unwrap()).collect();
+            assert_eq!(expanded, reference, "{}: cuts {cuts:?}", model.name);
+            // Conservation of params and FLOPs across the partition.
+            let params: u64 = stages.iter().map(SegmentChain::total_params).sum();
+            assert_eq!(params, chain.total_params(), "{}", model.name);
+            let flops = |c: &SegmentChain| -> f64 {
+                c.segments().iter().map(|s| s.count as f64 * s.flops).sum()
+            };
+            let split_flops: f64 = stages.iter().map(flops).sum();
+            assert!(
+                (split_flops - flops(&chain)).abs() <= 1e-6 * flops(&chain),
+                "{}",
+                model.name
+            );
+            // Every cut's boundary tensor is priced from its producer.
+            for &cut in &cuts {
+                assert!(
+                    chain.boundary_activation_bytes(cut).unwrap() > 0.0,
+                    "{}: cut {cut}",
+                    model.name
+                );
+            }
+        }
+    }
+}
+
+/// The stage-partitioned multi-wafer planner against the retained
+/// uniform-multiplier costing, zoo-wide at two wafers: the stage plan is
+/// never slower, and is strictly faster wherever the chain is
+/// heterogeneous or the end segments overlap inside the pipeline (which
+/// the fig13 zoo always exercises). One wafer must reproduce the
+/// single-wafer plan bit-for-bit.
+#[test]
+fn stage_partitioned_plans_dominate_the_uniform_multiplier_zoo_wide() {
+    use temp_repro::core::baselines::BaselineSystem;
+    use temp_repro::core::framework::Temp;
+    use temp_repro::wsc::multiwafer::MultiWaferSystem;
+
+    let mut strict_wins = 0usize;
+    for model in ModelZoo::table2() {
+        let name = model.name.clone();
+        let temp = Temp::hpca(model);
+        let system = BaselineSystem::temp();
+
+        // Two wafers (2 divides every zoo model's layer count, so the
+        // uniform fractional stage split is realizable as integer cuts).
+        let wafers = MultiWaferSystem::new(temp.wafer().clone(), 2).unwrap();
+        let staged = temp.evaluate_multiwafer(&system, &wafers, 1);
+        let uniform = temp.evaluate_multiwafer_uniform(&system, &wafers, 1);
+        assert!(!staged.oom, "{name}");
+        assert!(!uniform.oom, "{name}");
+        assert!(
+            staged.step_time() <= uniform.step_time() * (1.0 + 1e-9),
+            "{name}: staged {} above uniform {}",
+            staged.step_time(),
+            uniform.step_time()
+        );
+        if staged.step_time() < uniform.step_time() * (1.0 - 1e-9) {
+            strict_wins += 1;
+        }
+
+        // One wafer, one stage: bit-for-bit the single-wafer plan.
+        let one = MultiWaferSystem::new(temp.wafer().clone(), 1).unwrap();
+        let multi = temp.evaluate_multiwafer(&system, &one, 1);
+        let single = temp.evaluate_system(&system);
+        let plan = multi.plan.as_ref().unwrap_or_else(|| panic!("{name}"));
+        assert_eq!(
+            Some(&plan.body),
+            single.plan.as_ref(),
+            "{name}: one-wafer body must equal the single-wafer plan"
+        );
+        assert_eq!(multi.step_time(), single.step_time(), "{name}");
+        assert_eq!(plan.handoff_time, 0.0, "{name}");
+    }
+    assert!(
+        strict_wins >= 1,
+        "no zoo model improved on the uniform-multiplier plan"
+    );
+}
+
 /// Hybrid configuration enumeration always covers the die count.
 #[test]
 fn enumerated_tuples_cover_dies() {

@@ -118,6 +118,57 @@ fn gated_matches_exact_on_a_heterogeneous_chain() {
     assert_eq!(exact, gated, "gated and exact plans must be identical");
 }
 
+/// The per-degree batch mode of the gate: a surrogate-gated multi-wafer
+/// sweep must select plans identical to the exact sweep — every degree's
+/// batch is ranked and shortlisted on its own, so the winner-retention
+/// guarantee holds per solve even though the sweep pre-costs all degrees
+/// up front. Both sweeps share one context so the comparison is
+/// bit-exact.
+#[test]
+fn gated_multiwafer_sweep_matches_exact_sweep() {
+    use temp_repro::core::baselines::BaselineSystem;
+    use temp_repro::core::framework::Temp;
+    use temp_repro::solver::dlws::Dlws;
+
+    let model = ModelZoo::gpt3_76b();
+    let workload = Workload::for_model(&model);
+    let ctx = std::sync::Arc::new(SearchContext::new(WaferCostModel::new(
+        WaferConfig::hpca(),
+        model,
+        workload,
+    )));
+    let temp = Temp::from_solver(Dlws::from_context(ctx.clone()));
+    let system = BaselineSystem::temp();
+
+    // Gated sweep first, on the cold context, so the gate really prunes.
+    ctx.set_cost_tier(CostTier::SurrogateGated);
+    let gated = temp.evaluate_multiwafer_sweep(&system, &[2, 4], &[1, 2]);
+    let after_gated = ctx.stats();
+    assert!(
+        after_gated.gate_pruned > 0,
+        "the per-degree gate never engaged: {after_gated:?}"
+    );
+
+    // Exact sweep on the same context: only pruned candidates re-cost.
+    ctx.set_cost_tier(CostTier::Exact);
+    let exact = temp.evaluate_multiwafer_sweep(&system, &[2, 4], &[1, 2]);
+    let after_exact = ctx.stats();
+    assert!(
+        after_gated.misses < after_exact.misses,
+        "the gated sweep must cost strictly fewer candidates \
+         ({after_gated:?} vs {after_exact:?})"
+    );
+
+    assert_eq!(gated.len(), exact.len());
+    for (g, e) in gated.iter().zip(&exact) {
+        assert_eq!(
+            g, e,
+            "gated sweep entry {}x{} must equal the exact entry",
+            g.wafer_count, g.pp_multiplier
+        );
+    }
+}
+
 /// Fig. 5(b)-style contended flow sets: neighbor chains forced through
 /// shared links, row/column crossings, plus seeded random traffic. The
 /// dense water-filling must agree with the HashMap reference to 1e-9
