@@ -74,7 +74,9 @@ fn main() {
                 .unwrap_or_else(|| panic!("no gated_evals field in {path}"));
             let mw_evals = json_u64_field(&record, "multiwafer_gated_evals")
                 .unwrap_or_else(|| panic!("no multiwafer_gated_evals field in {path}"));
-            (path.clone(), evals, mw_evals)
+            let moe_evals = json_u64_field(&record, "moe_gated_evals")
+                .unwrap_or_else(|| panic!("no moe_gated_evals field in {path}"));
+            (path.clone(), evals, mw_evals, moe_evals)
         });
 
     header("§VIII-H: end-to-end DLS solve time (GPT-3 6.7B, 32 dies)");
@@ -226,6 +228,41 @@ fn main() {
         "{{\"bench\":\"search_time\",\"metric\":\"multiwafer_sweep\",\"exact_s\":{exact_sweep_s:.6},\"gated_s\":{gated_sweep_s:.6},\"exact_evals\":{exact_sweep_evals},\"gated_evals\":{mw_gated_evals},\"plans_match\":{mw_plans_match}}}"
     );
 
+    header("MoE chain: gated vs exact on the fine-grained expert config");
+    // A mixed dense/MoE chain (DeepSeek-style, 64 experts): the gate
+    // trains on the dense block-only residual and adds the closed-form
+    // segment rows, so the expert-parallel winner survives the shortlist.
+    let moe_model = ModelZoo::deepseek_moe_16b();
+    let moe_ctx = std::sync::Arc::new(SearchContext::new(WaferCostModel::new(
+        WaferConfig::hpca(),
+        moe_model.clone(),
+        Workload::for_model(&moe_model),
+    )));
+    let moe_solver = Dlws::from_context(moe_ctx.clone());
+    moe_ctx.set_cost_tier(temp_solver::search::CostTier::SurrogateGated);
+    let t0 = Instant::now();
+    let moe_gated_plan = moe_solver.solve().expect("gated MoE plan");
+    let moe_gated_s = t0.elapsed().as_secs_f64();
+    let moe_gated_evals = moe_ctx.stats().misses;
+    moe_ctx.set_cost_tier(temp_solver::search::CostTier::Exact);
+    let t0 = Instant::now();
+    let moe_exact_plan = moe_solver.solve().expect("exact MoE plan");
+    let moe_exact_s = t0.elapsed().as_secs_f64();
+    let moe_exact_evals = moe_ctx.stats().misses;
+    let moe_plans_match = moe_gated_plan == moe_exact_plan;
+    let moe_ep = moe_exact_plan
+        .segments
+        .iter()
+        .find(|s| s.kind == temp_graph::segment::SegmentKind::MoeBlock)
+        .map(|s| s.config.ep)
+        .unwrap_or(1);
+    println!(
+        "gated cold solve {moe_gated_s:.3} s ({moe_gated_evals} evals) vs exact warm {moe_exact_s:.3} s ({moe_exact_evals} total) -> MoE run ep={moe_ep}, plans match: {moe_plans_match}"
+    );
+    println!(
+        "{{\"bench\":\"search_time\",\"metric\":\"moe_gate\",\"gated_s\":{moe_gated_s:.6},\"gated_evals\":{moe_gated_evals},\"exact_evals\":{moe_exact_evals},\"moe_ep\":{moe_ep},\"plans_match\":{moe_plans_match}}}"
+    );
+
     header("candidate cache: the seven-system compare_all sweep");
     let temp = Temp::hpca(ModelZoo::gpt3_6_7b());
     let t0 = Instant::now();
@@ -304,6 +341,7 @@ fn main() {
                 "\"gated_evals\":{},\"gate_pruned\":{},\"adaptive_top_k\":{},",
                 "\"plans_match\":{},\"multiwafer_gated_evals\":{},",
                 "\"multiwafer_exact_evals\":{},\"multiwafer_plans_match\":{},",
+                "\"moe_gated_evals\":{},\"moe_exact_evals\":{},\"moe_plans_match\":{},",
                 "\"sweep_cache_hit_rate\":{:.4}}}\n"
             ),
             threads,
@@ -320,20 +358,24 @@ fn main() {
             mw_gated_evals,
             exact_sweep_evals,
             mw_plans_match,
+            moe_gated_evals,
+            moe_exact_evals,
+            moe_plans_match,
             after_first.hit_rate(),
         );
         std::fs::write(&path, &record).expect("write bench JSON");
         println!("\nwrote {path}");
     }
 
-    if let Some((path, baseline_evals, baseline_mw_evals)) = check_baseline {
+    if let Some((path, baseline_evals, baseline_mw_evals, baseline_moe_evals)) = check_baseline {
         // Bench-regression gate: fail when the gated search — single
-        // wafer or the multi-wafer sweep — needs >20% more exact
-        // evaluations than the committed baseline record.
+        // wafer, the multi-wafer sweep, or the MoE chain — needs >20%
+        // more exact evaluations than the committed baseline record.
         let mut failed = false;
         for (what, fresh, baseline) in [
             ("gated_evals", gated_stats.misses, baseline_evals),
             ("multiwafer_gated_evals", mw_gated_evals, baseline_mw_evals),
+            ("moe_gated_evals", moe_gated_evals, baseline_moe_evals),
         ] {
             let limit = (baseline as f64 * 1.2).ceil() as u64;
             println!(

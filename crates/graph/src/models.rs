@@ -5,6 +5,58 @@ use serde::{Deserialize, Serialize};
 
 use crate::{GraphError, Result};
 
+/// Mixture-of-Experts configuration of a model's MoE blocks.
+///
+/// A MoE block keeps the dense block's attention path but replaces the
+/// FFN with a router plus `num_experts` expert FFNs of width
+/// `expert_ffn_hidden`; each token is dispatched to its `top_k` experts
+/// (all-to-all across the expert-parallel groups) and the expert outputs
+/// are combined back into the residual stream. `capacity_factor` pads the
+/// per-expert token budget against routing imbalance — it multiplies the
+/// expert compute/activation pace the cost model charges.
+///
+/// Following the DeepSeek-MoE convention, the first `dense_layers` layers
+/// stay dense (a purely dense stem stabilizes routing), so every MoE
+/// model yields a *mixed* dense/MoE segment chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoeConfig {
+    /// Expert count E per MoE layer.
+    pub num_experts: u64,
+    /// Experts each token is routed to.
+    pub top_k: u64,
+    /// FFN intermediate size of one expert.
+    pub expert_ffn_hidden: u64,
+    /// Per-expert token-budget padding factor (>= 1.0).
+    pub capacity_factor: f64,
+    /// Leading layers that stay dense (>= 1 so the chain is mixed).
+    pub dense_layers: u64,
+}
+
+impl MoeConfig {
+    /// Trained parameters of one MoE layer's expert path: the router
+    /// (`H x E`) plus `E` gated expert FFNs (`3 H F_e` each).
+    pub fn expert_params(&self, hidden: u64) -> u64 {
+        hidden * self.num_experts + self.num_experts * 3 * hidden * self.expert_ffn_hidden
+    }
+
+    /// Parameters of the experts one token activates (router + `top_k`
+    /// expert FFNs) — what the training-FLOP accounting charges.
+    pub fn active_expert_params(&self, hidden: u64) -> u64 {
+        hidden * self.num_experts + self.top_k * 3 * hidden * self.expert_ffn_hidden
+    }
+
+    /// Activation **elements** per token of the routed expert path kept
+    /// for the backward pass: the dispatched inputs (`H`) plus the expert
+    /// intermediates (`F_e`) of every `top_k x capacity_factor` routed
+    /// copy. The single source of this term — the chain builder, the
+    /// per-segment footprint and the whole-model memory verdict all
+    /// multiply it by their own dtype/sharding conventions, and must not
+    /// drift on the count itself.
+    pub fn routed_activation_elems_per_token(&self, hidden: u64) -> f64 {
+        self.top_k as f64 * self.capacity_factor * (hidden + self.expert_ffn_hidden) as f64
+    }
+}
+
 /// Architecture of a decoder-only Transformer LLM.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelConfig {
@@ -30,6 +82,10 @@ pub struct ModelConfig {
     pub default_seq: u64,
     /// Default global batch size from Table II.
     pub default_batch: u64,
+    /// Mixture-of-Experts configuration; `None` for dense models. When
+    /// set, layers beyond [`MoeConfig::dense_layers`] swap their FFN for
+    /// the routed expert path.
+    pub moe: Option<MoeConfig>,
 }
 
 impl ModelConfig {
@@ -55,9 +111,65 @@ impl ModelConfig {
         attn + ffn + 4 * self.hidden
     }
 
-    /// Total parameters including the (tied) embedding.
+    /// Parameters of one layer's non-FFN path: attention matrices plus the
+    /// two norms — what a MoE layer keeps from the dense block.
+    pub fn attn_params_per_layer(&self) -> u64 {
+        2 * self.hidden * self.hidden + 2 * self.hidden * self.kv_dim() + 4 * self.hidden
+    }
+
+    /// Parameters of one MoE layer: the dense attention path plus the
+    /// router and every expert FFN. Zero for dense models.
+    pub fn moe_params_per_layer(&self) -> u64 {
+        match self.moe {
+            Some(moe) => self.attn_params_per_layer() + moe.expert_params(self.hidden),
+            None => 0,
+        }
+    }
+
+    /// How many leading layers are dense (all of them for dense models).
+    pub fn dense_layer_count(&self) -> u64 {
+        match self.moe {
+            Some(moe) => moe.dense_layers.min(self.layers),
+            None => self.layers,
+        }
+    }
+
+    /// How many layers are MoE blocks (zero for dense models).
+    pub fn moe_layer_count(&self) -> u64 {
+        self.layers - self.dense_layer_count()
+    }
+
+    /// Parameters held in expert FFNs plus routers across the whole model
+    /// — the part an expert-parallel degree shards. Zero for dense models.
+    pub fn total_expert_params(&self) -> u64 {
+        match self.moe {
+            Some(moe) => self.moe_layer_count() * moe.expert_params(self.hidden),
+            None => 0,
+        }
+    }
+
+    /// Total parameters including the (tied) embedding and, for MoE
+    /// models, every expert's weights.
     pub fn total_params(&self) -> u64 {
-        self.layers * self.params_per_layer() + self.vocab * self.hidden
+        self.dense_layer_count() * self.params_per_layer()
+            + self.moe_layer_count() * self.moe_params_per_layer()
+            + self.vocab * self.hidden
+    }
+
+    /// Parameters one token activates: for dense models this equals
+    /// [`ModelConfig::total_params`]; for MoE models only `top_k` of the
+    /// `num_experts` expert FFNs count — the basis of the training-FLOP
+    /// accounting.
+    pub fn active_params(&self) -> u64 {
+        match self.moe {
+            Some(moe) => {
+                self.dense_layer_count() * self.params_per_layer()
+                    + self.moe_layer_count()
+                        * (self.attn_params_per_layer() + moe.active_expert_params(self.hidden))
+                    + self.vocab * self.hidden
+            }
+            None => self.total_params(),
+        }
     }
 
     /// Total parameters in billions (for display).
@@ -83,6 +195,32 @@ impl ModelConfig {
                 "model {}: hidden {} not divisible by heads {}",
                 self.name, self.hidden, self.heads
             )));
+        }
+        if let Some(moe) = &self.moe {
+            if moe.num_experts == 0 || moe.expert_ffn_hidden == 0 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "model {} has a zero MoE dimension",
+                    self.name
+                )));
+            }
+            if moe.top_k == 0 || moe.top_k > moe.num_experts {
+                return Err(GraphError::InvalidParameter(format!(
+                    "model {}: top_k {} incompatible with {} experts",
+                    self.name, moe.top_k, moe.num_experts
+                )));
+            }
+            if moe.capacity_factor < 1.0 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "model {}: capacity factor {} below 1.0",
+                    self.name, moe.capacity_factor
+                )));
+            }
+            if moe.dense_layers == 0 || moe.dense_layers >= self.layers {
+                return Err(GraphError::InvalidParameter(format!(
+                    "model {}: dense_layers {} must leave a mixed chain in {} layers",
+                    self.name, moe.dense_layers, self.layers
+                )));
+            }
         }
         Ok(())
     }
@@ -126,6 +264,7 @@ impl ModelZoo {
             vocab: 50_304,
             default_seq: seq,
             default_batch: batch,
+            moe: None,
         }
     }
 
@@ -152,6 +291,7 @@ impl ModelZoo {
             vocab,
             default_seq: seq,
             default_batch: batch,
+            moe: None,
         }
     }
 
@@ -246,6 +386,56 @@ impl ModelZoo {
         Self::llama_like("Llama2 70B", 64, 8, 8192, 80, 28_672, 32_000, 4096, 128)
     }
 
+    // ---- MoE models (fig20_moe; MoEntwine/WATOS workload family) ----------
+
+    /// Mixtral-8x7B-like: Llama-7B attention geometry (GQA, seq 4096) with
+    /// eight SwiGLU experts of width 14336, top-2 routing and a 1.25
+    /// capacity factor. Two leading layers stay dense so the segment
+    /// chain mixes dense and MoE blocks.
+    pub fn mixtral_8x7b() -> ModelConfig {
+        let mut m = Self::llama_like("Mixtral 8x7B", 32, 8, 4096, 32, 14_336, 32_000, 4096, 128);
+        m.moe = Some(MoeConfig {
+            num_experts: 8,
+            top_k: 2,
+            expert_ffn_hidden: 14_336,
+            capacity_factor: 1.25,
+            dense_layers: 2,
+        });
+        m
+    }
+
+    /// DeepSeek-MoE-16B-style fine-grained config: 64 narrow experts of
+    /// width 1408 with top-6 routing, one dense stem layer — many small
+    /// experts stress the all-to-all dispatch instead of expert GEMM
+    /// width.
+    pub fn deepseek_moe_16b() -> ModelConfig {
+        let mut m = Self::llama_like(
+            "DeepSeek-MoE 16B",
+            16,
+            16,
+            2048,
+            28,
+            10_944,
+            102_400,
+            4096,
+            128,
+        );
+        m.moe = Some(MoeConfig {
+            num_experts: 64,
+            top_k: 6,
+            expert_ffn_hidden: 1408,
+            capacity_factor: 1.0,
+            dense_layers: 1,
+        });
+        m
+    }
+
+    /// The MoE model zoo (fig20_moe): a wide-expert Mixtral-like config
+    /// and a fine-grained DeepSeek-style one.
+    pub fn moe_zoo() -> Vec<ModelConfig> {
+        vec![Self::mixtral_8x7b(), Self::deepseek_moe_16b()]
+    }
+
     // ---- Scalability models (Fig. 19) -------------------------------------
 
     /// Grok-1 341B dense-equivalent (Fig. 19, 4 wafers).
@@ -332,6 +522,56 @@ mod tests {
         assert_eq!(m.default_seq, 2048);
         assert_eq!(ModelZoo::opt_175b().default_seq, 4096);
         assert_eq!(ModelZoo::llama2_7b().default_seq, 4096);
+    }
+
+    #[test]
+    fn moe_zoo_models_validate_and_count_experts() {
+        for m in ModelZoo::moe_zoo() {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let moe = m.moe.expect("moe zoo models carry a MoeConfig");
+            assert!(m.dense_layer_count() >= 1, "{}", m.name);
+            assert!(m.moe_layer_count() >= 1, "{}", m.name);
+            assert_eq!(m.dense_layer_count() + m.moe_layer_count(), m.layers);
+            // Stored params dominate active params by roughly E/top_k on
+            // the expert path.
+            assert!(m.total_params() > m.active_params(), "{}", m.name);
+            assert_eq!(
+                m.total_expert_params(),
+                m.moe_layer_count() * moe.expert_params(m.hidden)
+            );
+            // The layer split is consistent with the totals.
+            let expect = m.dense_layer_count() * m.params_per_layer()
+                + m.moe_layer_count() * m.moe_params_per_layer()
+                + m.vocab * m.hidden;
+            assert_eq!(m.total_params(), expect, "{}", m.name);
+        }
+        // Mixtral-like lands near the 47B nameplate with ~13B active.
+        let mixtral = ModelZoo::mixtral_8x7b();
+        let total_b = mixtral.params_b();
+        assert!((40.0..50.0).contains(&total_b), "{total_b}");
+        let active_b = mixtral.active_params() as f64 / 1e9;
+        assert!((10.0..15.0).contains(&active_b), "{active_b}");
+        // Dense models: active == total, no expert params.
+        let dense = ModelZoo::gpt3_6_7b();
+        assert_eq!(dense.active_params(), dense.total_params());
+        assert_eq!(dense.total_expert_params(), 0);
+        assert_eq!(dense.moe_layer_count(), 0);
+    }
+
+    #[test]
+    fn invalid_moe_configs_are_rejected() {
+        let base = ModelZoo::mixtral_8x7b();
+        let with = |f: fn(&mut MoeConfig)| {
+            let mut m = base.clone();
+            f(m.moe.as_mut().unwrap());
+            m
+        };
+        assert!(with(|c| c.top_k = 0).validate().is_err());
+        assert!(with(|c| c.top_k = 99).validate().is_err());
+        assert!(with(|c| c.num_experts = 0).validate().is_err());
+        assert!(with(|c| c.capacity_factor = 0.5).validate().is_err());
+        assert!(with(|c| c.dense_layers = 0).validate().is_err());
+        assert!(with(|c| c.dense_layers = 32).validate().is_err());
     }
 
     #[test]

@@ -44,18 +44,42 @@ pub enum SegmentKind {
     Embedding,
     /// One Fig. 12(a) Transformer block.
     Block,
+    /// One Mixture-of-Experts block: the dense attention path plus a
+    /// router, expert FFNs dispatched over the expert-parallel groups
+    /// (all-to-all), and the combine back into the residual stream.
+    MoeBlock,
     /// Final norm + LM-head GEMM + cross-entropy softmax.
     Head,
 }
 
 impl SegmentKind {
-    /// Stable small-integer encoding for surrogate features.
-    pub fn code(&self) -> u8 {
+    /// Every segment kind, in the one canonical order. [`SegmentKind::index`]
+    /// is defined as the position in this array; anything that needs a
+    /// dense per-kind table (cost-table keys, surrogate features) must go
+    /// through it so adding a kind cannot desynchronize consumers.
+    pub const ALL: [SegmentKind; 4] = [
+        SegmentKind::Embedding,
+        SegmentKind::Block,
+        SegmentKind::MoeBlock,
+        SegmentKind::Head,
+    ];
+
+    /// The kind's position in [`SegmentKind::ALL`]. Match-exhaustive: a
+    /// new kind fails to compile until it is placed in the canonical
+    /// ordering (and the `ALL` round-trip is unit-tested).
+    pub fn index(&self) -> usize {
         match self {
             SegmentKind::Embedding => 0,
             SegmentKind::Block => 1,
-            SegmentKind::Head => 2,
+            SegmentKind::MoeBlock => 2,
+            SegmentKind::Head => 3,
         }
+    }
+
+    /// Stable small-integer encoding for surrogate features (derived from
+    /// the canonical [`SegmentKind::index`]).
+    pub fn code(&self) -> u8 {
+        self.index() as u8
     }
 }
 
@@ -64,6 +88,7 @@ impl std::fmt::Display for SegmentKind {
         let s = match self {
             SegmentKind::Embedding => "embedding",
             SegmentKind::Block => "block",
+            SegmentKind::MoeBlock => "moe-block",
             SegmentKind::Head => "head",
         };
         write!(f, "{s}")
@@ -136,7 +161,7 @@ impl SegmentChain {
         );
         let block = make(
             SegmentKind::Block,
-            model.layers,
+            model.dense_layer_count(),
             builder.block().ops().to_vec(),
             workload.activation_bytes_per_layer(model),
         );
@@ -151,9 +176,31 @@ impl SegmentChain {
         );
         head.params = head.params.saturating_sub(model.hidden * model.vocab);
 
-        SegmentChain {
-            segments: vec![embedding, block, head],
+        let mut segments = vec![embedding, block];
+        if let Some(moe) = model.moe {
+            // MoE blocks: the op list's GEMM accounting sees one expert's
+            // weights (the dispatch fans tokens across experts), so the
+            // run's params/flops come from the model-level accounting —
+            // every expert's weights stored, `top_k x capacity` expert
+            // passes executed per token.
+            let mut moe_block = make(
+                SegmentKind::MoeBlock,
+                model.moe_layer_count(),
+                builder.moe_block_graph().ops().to_vec(),
+                workload.activation_bytes_per_layer(model)
+                    + micro_tokens
+                        * moe.routed_activation_elems_per_token(model.hidden)
+                        * act_dtype,
+            );
+            moe_block.params = model.moe_params_per_layer();
+            // `make` already set output_bytes to the residual stream
+            // (B x S x H) — the combine output is exactly that tensor, so
+            // a pipeline cut after a MoE block moves it, not the routed
+            // expert copies.
+            segments.push(moe_block);
         }
+        segments.push(head);
+        SegmentChain { segments }
     }
 
     /// The run-length-compressed segments, in chain order.
@@ -390,6 +437,63 @@ mod tests {
         // selective recompute keeps far more than one residual stream.
         let block = chain.find(SegmentKind::Block).unwrap();
         assert!(block.activation_bytes > block.output_bytes, "{model:?}");
+    }
+
+    #[test]
+    fn kind_index_matches_the_canonical_ordering() {
+        // `index()` must be exactly the position in `ALL`: dense, unique,
+        // covering every kind — the invariant that keys per-kind cost
+        // tables.
+        for (i, kind) in SegmentKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind}");
+            assert_eq!(kind.code() as usize, i, "{kind}");
+        }
+        let mut seen: Vec<usize> = SegmentKind::ALL.iter().map(SegmentKind::index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..SegmentKind::ALL.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn moe_models_build_mixed_chains() {
+        for model in ModelZoo::moe_zoo() {
+            let workload = Workload::for_model(&model);
+            let chain = SegmentChain::for_model(&model, &workload);
+            let kinds: Vec<SegmentKind> = chain.segments().iter().map(|s| s.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    SegmentKind::Embedding,
+                    SegmentKind::Block,
+                    SegmentKind::MoeBlock,
+                    SegmentKind::Head
+                ],
+                "{}",
+                model.name
+            );
+            assert_eq!(chain.expanded_len(), model.layers + 2, "{}", model.name);
+            let dense = chain.find(SegmentKind::Block).unwrap();
+            let moe = chain.find(SegmentKind::MoeBlock).unwrap();
+            assert_eq!(dense.count, model.dense_layer_count());
+            assert_eq!(moe.count, model.moe_layer_count());
+            // The MoE run stores every expert's weights.
+            assert_eq!(moe.params, model.moe_params_per_layer());
+            assert!(moe.params > dense.params, "{}", model.name);
+            // The combine output is the residual stream: a cut after any
+            // MoE instance moves exactly B x S x H.
+            let sbh = chain.find(SegmentKind::Embedding).unwrap().output_bytes;
+            assert_eq!(moe.output_bytes, sbh, "{}", model.name);
+            // Routed expert copies make the MoE block's stored activations
+            // exceed the dense block's.
+            assert!(moe.activation_bytes > dense.activation_bytes);
+            // Chain totals match the model accounting (same 2H final-norm
+            // slack as the dense chain).
+            assert_eq!(
+                chain.total_params(),
+                model.total_params() + 2 * model.hidden,
+                "{}",
+                model.name
+            );
+        }
     }
 
     #[test]

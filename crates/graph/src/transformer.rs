@@ -138,6 +138,93 @@ impl<'a> TransformerBuilder<'a> {
         g
     }
 
+    /// One Mixture-of-Experts block: the dense attention path, then a
+    /// router GEMM (`[B,S,H] x [H,E]`), the gate softmax, the token
+    /// dispatch, the expert FFN pass over the `top_k x capacity_factor`
+    /// routed token copies, and the combine back into the residual
+    /// stream. Expert GEMMs are built with **one** expert's weight matrix
+    /// (each routed token multiplies exactly one expert's weights), so
+    /// the op list's FLOP accounting is exact while the *stored* expert
+    /// parameters (`E` sets of weights) are accounted at the segment
+    /// level.
+    ///
+    /// Falls back to the dense block when the model has no
+    /// [`MoeConfig`](crate::models::MoeConfig).
+    pub fn moe_block_graph(&self) -> ComputeGraph {
+        let Some(moe) = self.model.moe else {
+            return self.block();
+        };
+        let m = self.model;
+        let w = self.workload;
+        let (b, s, h) = (w.global_batch, w.seq_len, m.hidden);
+        let tokens = b * s;
+        let mut g = ComputeGraph::new();
+        let res1 = self.append_attention(&mut g, None);
+        let ln2 = g.add_op(Operator::new(
+            "ln2",
+            OpKind::LayerNorm { tokens, hidden: h },
+        ));
+        let router = g.add_op(Operator::new(
+            "router",
+            OpKind::Gemm(LinearDims::new(b, s, h, moe.num_experts)),
+        ));
+        let gate = g.add_op(Operator::new(
+            "gate-softmax",
+            OpKind::Softmax {
+                rows: tokens,
+                cols: moe.num_experts,
+            },
+        ));
+        // Routed token copies per sequence: top_k experts per token, padded
+        // by the capacity factor.
+        let s_routed = ((s * moe.top_k) as f64 * moe.capacity_factor).ceil() as u64;
+        let dispatch = g.add_op(Operator::new(
+            "dispatch",
+            OpKind::Activation {
+                elems: b * s_routed * h,
+            },
+        ));
+        let fc1 = g.add_op(Operator::new(
+            "expert-fc1",
+            OpKind::Gemm(LinearDims::new(b, s_routed, h, 2 * moe.expert_ffn_hidden)),
+        ));
+        let act = g.add_op(Operator::new(
+            "expert-nonlinear",
+            OpKind::Activation {
+                elems: b * s_routed * moe.expert_ffn_hidden,
+            },
+        ));
+        let fc2 = g.add_op(Operator::new(
+            "expert-fc2",
+            OpKind::Gemm(LinearDims::new(b, s_routed, moe.expert_ffn_hidden, h)),
+        ));
+        let combine = g.add_op(Operator::new(
+            "combine",
+            OpKind::Activation {
+                elems: b * s_routed * h,
+            },
+        ));
+        let res2 = g.add_op(Operator::new(
+            "residual2",
+            OpKind::Residual { elems: tokens * h },
+        ));
+        for e in [
+            (res1, ln2),
+            (ln2, router),
+            (router, gate),
+            (gate, dispatch),
+            (dispatch, fc1),
+            (fc1, act),
+            (act, fc2),
+            (fc2, combine),
+            (combine, res2),
+        ] {
+            g.add_edge(e.0, e.1).expect("forward edge");
+        }
+        g.add_residual_edge(res1, res2).expect("residual edge");
+        g
+    }
+
     /// A full model graph of `blocks` chained blocks. Residual sources chain
     /// correctly across blocks (block i's MHA skip starts at block i-1's
     /// final residual).
@@ -155,9 +242,50 @@ impl<'a> TransformerBuilder<'a> {
         let m = self.model;
         let w = self.workload;
         let (b, s, h) = (w.global_batch, w.seq_len, m.hidden);
+        let ffn = m.ffn_hidden;
+        let tokens = b * s;
+        let res1 = self.append_attention(g, prev_out);
+        let ln2 = g.add_op(Operator::new(
+            "ln2",
+            OpKind::LayerNorm { tokens, hidden: h },
+        ));
+        let fc1_k = if m.gated_ffn { 2 * ffn } else { ffn };
+        let fc1 = g.add_op(Operator::new(
+            "fc1",
+            OpKind::Gemm(LinearDims::new(b, s, h, fc1_k)),
+        ));
+        let act = g.add_op(Operator::new(
+            "nonlinear",
+            OpKind::Activation {
+                elems: tokens * ffn,
+            },
+        ));
+        let fc2 = g.add_op(Operator::new(
+            "fc2",
+            OpKind::Gemm(LinearDims::new(b, s, ffn, h)),
+        ));
+        let res2 = g.add_op(Operator::new(
+            "residual2",
+            OpKind::Residual { elems: tokens * h },
+        ));
+        for e in [(res1, ln2), (ln2, fc1), (fc1, act), (act, fc2), (fc2, res2)] {
+            g.add_edge(e.0, e.1).expect("forward edge");
+        }
+        // FFN residual span (the MHA span was anchored by
+        // `append_attention`).
+        g.add_residual_edge(res1, res2).expect("residual edge");
+        res2
+    }
+
+    /// Appends the attention half of a block (ln1 through residual1);
+    /// returns the id of the MHA residual op. Shared by the dense block
+    /// and the MoE block, which differ only in their FFN path.
+    fn append_attention(&self, g: &mut ComputeGraph, prev_out: Option<OpId>) -> OpId {
+        let m = self.model;
+        let w = self.workload;
+        let (b, s, h) = (w.global_batch, w.seq_len, m.hidden);
         let heads = m.heads;
         let dh = m.head_dim();
-        let ffn = m.ffn_hidden;
         let fused = self.attention == AttentionImpl::Flash;
 
         let tokens = b * s;
@@ -211,29 +339,6 @@ impl<'a> TransformerBuilder<'a> {
             "residual1",
             OpKind::Residual { elems: tokens * h },
         ));
-        let ln2 = g.add_op(Operator::new(
-            "ln2",
-            OpKind::LayerNorm { tokens, hidden: h },
-        ));
-        let fc1_k = if m.gated_ffn { 2 * ffn } else { ffn };
-        let fc1 = g.add_op(Operator::new(
-            "fc1",
-            OpKind::Gemm(LinearDims::new(b, s, h, fc1_k)),
-        ));
-        let act = g.add_op(Operator::new(
-            "nonlinear",
-            OpKind::Activation {
-                elems: tokens * ffn,
-            },
-        ));
-        let fc2 = g.add_op(Operator::new(
-            "fc2",
-            OpKind::Gemm(LinearDims::new(b, s, ffn, h)),
-        ));
-        let res2 = g.add_op(Operator::new(
-            "residual2",
-            OpKind::Residual { elems: tokens * h },
-        ));
 
         // Sequential dataflow.
         for w in [
@@ -244,23 +349,17 @@ impl<'a> TransformerBuilder<'a> {
             (sm, sv),
             (sv, proj),
             (proj, res1),
-            (res1, ln2),
-            (ln2, fc1),
-            (fc1, act),
-            (act, fc2),
-            (fc2, res2),
         ] {
             g.add_edge(w.0, w.1).expect("forward edge");
         }
-        // Residual spans: around MHA (ln1 -> residual1) and around FFN
-        // (residual1 -> residual2). The MHA skip's true source is the block
-        // input, but that value is exactly the tensor already crossing the
-        // block boundary on the sequential edge, so anchoring the span at
-        // ln1 keeps segmentation cuts legal at block boundaries — which is
-        // the granularity the DLS graph partition exploits.
+        // Residual span around MHA (ln1 -> residual1). The MHA skip's true
+        // source is the block input, but that value is exactly the tensor
+        // already crossing the block boundary on the sequential edge, so
+        // anchoring the span at ln1 keeps segmentation cuts legal at block
+        // boundaries — which is the granularity the DLS graph partition
+        // exploits.
         g.add_residual_edge(ln1, res1).expect("residual edge");
-        g.add_residual_edge(res1, res2).expect("residual edge");
-        res2
+        res1
     }
 }
 
@@ -373,6 +472,37 @@ mod tests {
         // Tied weight: the head graph carries the vocab x H matrix (the
         // chain-level accounting de-duplicates it against the embedding).
         assert_eq!(g.total_params(), m.vocab * m.hidden + 2 * m.hidden);
+    }
+
+    #[test]
+    fn moe_block_graph_routes_and_combines() {
+        let m = ModelZoo::mixtral_8x7b();
+        let w = Workload::training(8, 4096);
+        let g = TransformerBuilder::new(&m, &w).moe_block_graph();
+        // Attention (8 ops) + ln2 + router/gate/dispatch + expert FFN (3)
+        // + combine + residual2.
+        assert_eq!(g.op_count(), 17);
+        let moe = m.moe.unwrap();
+        let router = g.ops().iter().find(|o| o.name == "router").unwrap();
+        assert_eq!(router.kind.linear_dims().unwrap().k, moe.num_experts);
+        // Expert GEMMs carry one expert's weights and the routed
+        // (top_k x capacity) token copies.
+        let fc1 = g.ops().iter().find(|o| o.name == "expert-fc1").unwrap();
+        let dims = fc1.kind.linear_dims().unwrap();
+        assert_eq!(dims.k, 2 * moe.expert_ffn_hidden);
+        let s_routed = ((w.seq_len * moe.top_k) as f64 * moe.capacity_factor).ceil() as u64;
+        assert_eq!(dims.m, s_routed);
+        // One expert's FFN weights + attention + router + norms.
+        let one_expert = 3 * m.hidden * moe.expert_ffn_hidden;
+        assert_eq!(
+            g.total_params(),
+            m.attn_params_per_layer() + m.hidden * moe.num_experts + one_expert
+        );
+        // A dense model falls back to the dense block.
+        let dense = ModelZoo::gpt3_6_7b();
+        let wd = Workload::training(8, 2048);
+        let fallback = TransformerBuilder::new(&dense, &wd).moe_block_graph();
+        assert_eq!(fallback.op_count(), 13);
     }
 
     #[test]

@@ -176,9 +176,12 @@ impl Workload {
 
     /// Approximate training FLOPs per optimizer step: `6 · params · tokens`
     /// for GEMM work plus the attention quadratic term
-    /// `12 · L · h · s² · b` (fwd+bwd, two batched matmuls).
+    /// `12 · L · h · s² · b` (fwd+bwd, two batched matmuls). MoE models
+    /// charge only their *active* parameters (each token runs `top_k` of
+    /// the `num_experts` expert FFNs), so stored experts do not inflate
+    /// the FLOP count.
     pub fn step_flops(&self, model: &ModelConfig) -> f64 {
-        let gemm = 6.0 * model.total_params() as f64 * self.tokens_per_step() as f64;
+        let gemm = 6.0 * model.active_params() as f64 * self.tokens_per_step() as f64;
         let attn = 12.0
             * model.layers as f64
             * model.hidden as f64

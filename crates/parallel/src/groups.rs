@@ -62,7 +62,10 @@ impl StrategyCoord {
             ParallelKind::Sp => self.sp,
             ParallelKind::Cp => self.cp,
             ParallelKind::Dp | ParallelKind::Fsdp => self.dp,
-            ParallelKind::Pp => 0,
+            // EP folds into the DP dimension for layout purposes (the
+            // mapping boundary normalizes `ep` into `dp` before building a
+            // layout); PP lives across wafers.
+            ParallelKind::Ep | ParallelKind::Pp => 0,
         }
     }
 
@@ -73,7 +76,7 @@ impl StrategyCoord {
             ParallelKind::Sp => self.sp = v,
             ParallelKind::Cp => self.cp = v,
             ParallelKind::Dp | ParallelKind::Fsdp => self.dp = v,
-            ParallelKind::Pp => {}
+            ParallelKind::Ep | ParallelKind::Pp => {}
         }
     }
 }
@@ -382,6 +385,7 @@ mod tests {
             tp: 1,
             sp: 1,
             cp: 1,
+            ep: 1,
             pp: 1,
             fsdp: false,
         };

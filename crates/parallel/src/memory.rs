@@ -67,19 +67,35 @@ pub fn per_die_footprint(
     );
 
     // ---- Parameter states -------------------------------------------------
+    // Expert parallelism folds into the data dimension for the dense
+    // path: the `dp x ep` groups are batch replicas of the attention /
+    // dense-FFN / embedding weights (FSDP shards across all of them),
+    // while the expert weights shard over the `ep` groups — each group
+    // stores only its `E / ep` experts. This is the per-expert-shard term
+    // of the memory verdict: without it, `ep` could never pay for its
+    // all-to-all.
+    let ep = cfg.ep.max(1) as f64;
+    let dp_eff = dp * ep;
     let weight_dtype = workload.compute_dtype.bytes() as f64;
     let layer_params = model.params_per_layer() as f64;
+    let moe_layer_share = model.moe_layer_count() as f64 / model.layers.max(1) as f64;
+    let dense_layer_params = (1.0 - moe_layer_share) * layer_params
+        + moe_layer_share * model.attn_params_per_layer() as f64;
+    let expert_layer_params = moe_layer_share
+        * (model.moe_params_per_layer() as f64 - model.attn_params_per_layer() as f64);
     let embed_params = (model.vocab * model.hidden) as f64;
     let local_layers = model.layers as f64 / pp;
-    let param_shard = tp * tatp * if cfg.fsdp { dp } else { 1.0 };
-    let local_params = (local_layers * layer_params + embed_params / pp) / param_shard;
+    let param_shard = tp * tatp * if cfg.fsdp { dp_eff } else { 1.0 };
+    let expert_shard = tp * tatp * ep * if cfg.fsdp { dp } else { 1.0 };
+    let local_params = (local_layers * dense_layer_params + embed_params / pp) / param_shard
+        + local_layers * expert_layer_params / expert_shard;
 
     let weights = local_params * weight_dtype;
     let gradients = local_params * weight_dtype;
     let optimizer = local_params * 2.0 * workload.optimizer_dtype.bytes() as f64;
 
     // ---- Activations -------------------------------------------------------
-    let local_batch = (workload.micro_batch_size() as f64 / dp).max(1.0);
+    let local_batch = (workload.micro_batch_size() as f64 / dp_eff).max(1.0);
     let local_seq = (workload.seq_len as f64 / (sp * cp)).max(1.0);
     let h = model.hidden as f64;
     let a = model.heads as f64;
@@ -100,9 +116,26 @@ pub fn per_die_footprint(
             10.0 * sbh / tatp + 24.0 * sbh / (tp * tatp) + score
         }
     };
+    // MoE layers keep the routed expert copies for the backward pass
+    // (dispatched inputs + expert intermediates, FP16 like the 34sbh
+    // terms), sharded over TATP on top of the batch split (`local_batch`
+    // already folds the ep groups in — the all-to-all rebalances tokens,
+    // it does not duplicate them). Full recompute drops them with
+    // everything else.
+    let expert_act_per_layer = match (model.moe, workload.recompute) {
+        (Some(moe), RecomputeMode::Selective | RecomputeMode::None) => {
+            moe_layer_share
+                * local_batch
+                * local_seq
+                * 2.0
+                * moe.routed_activation_elems_per_token(model.hidden)
+                / tatp
+        }
+        _ => 0.0,
+    };
     // Pipeline stages hold up to `pp` in-flight micro-batches (1F1B).
     let in_flight = pp.min(workload.micro_batches as f64).max(1.0);
-    let activations = local_layers * act_per_layer * in_flight;
+    let activations = local_layers * (act_per_layer + expert_act_per_layer) * in_flight;
 
     // ---- Transient buffers -------------------------------------------------
     let mut buffers = 0.0;

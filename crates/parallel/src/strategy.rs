@@ -22,6 +22,9 @@ pub enum ParallelKind {
     Sp,
     /// Context parallelism (split attention context).
     Cp,
+    /// Expert parallelism (MoE experts sharded across die groups; tokens
+    /// reach their experts via all-to-all dispatch).
+    Ep,
     /// Pipeline parallelism (split layers into stages).
     Pp,
     /// Topology-aware tensor-stream partitioning — the paper's contribution.
@@ -36,6 +39,7 @@ impl std::fmt::Display for ParallelKind {
             ParallelKind::Tp => "TP",
             ParallelKind::Sp => "SP",
             ParallelKind::Cp => "CP",
+            ParallelKind::Ep => "EP",
             ParallelKind::Pp => "PP",
             ParallelKind::Tatp => "TATP",
         };
@@ -61,6 +65,13 @@ pub struct HybridConfig {
     pub cp: usize,
     /// TATP (tensor-stream) degree.
     pub tatp: usize,
+    /// Expert-parallel degree. A separate factor of the die array:
+    /// `intra_wafer_degree() x ep` must cover the dies exactly, so `ep`
+    /// never exceeds the die budget left by the dense-path degrees. MoE
+    /// segments shard their experts across the `ep` groups (all-to-all
+    /// dispatch/combine); dense segments see the groups as replicas —
+    /// which is why `ep > 1` only ever wins on expert-bearing segments.
+    pub ep: usize,
     /// Pipeline-parallel degree (stages).
     pub pp: usize,
 }
@@ -74,6 +85,7 @@ impl Default for HybridConfig {
             sp: 1,
             cp: 1,
             tatp: 1,
+            ep: 1,
             pp: 1,
         }
     }
@@ -107,14 +119,16 @@ impl HybridConfig {
         }
     }
 
-    /// Product of intra-wafer degrees (excludes `pp`).
+    /// Product of the dense-path intra-wafer degrees (excludes `ep` and
+    /// `pp`). Together with `ep` this must cover the die array:
+    /// `intra_wafer_degree() x ep == dies`.
     pub fn intra_wafer_degree(&self) -> usize {
         self.dp * self.tp * self.sp * self.cp * self.tatp
     }
 
     /// Product of all degrees.
     pub fn total_degree(&self) -> usize {
-        self.intra_wafer_degree() * self.pp
+        self.intra_wafer_degree() * self.ep * self.pp
     }
 
     /// Degree of one strategy.
@@ -124,13 +138,15 @@ impl HybridConfig {
             ParallelKind::Tp => self.tp,
             ParallelKind::Sp => self.sp,
             ParallelKind::Cp => self.cp,
+            ParallelKind::Ep => self.ep,
             ParallelKind::Pp => self.pp,
             ParallelKind::Tatp => self.tatp,
         }
     }
 
-    /// Validates that intra-wafer degrees cover exactly `dies` dies and all
-    /// degrees are positive.
+    /// Validates that the intra-wafer degrees and the expert-parallel
+    /// degree together cover exactly `dies` dies
+    /// (`intra_wafer_degree() x ep == dies`) and all degrees are positive.
     ///
     /// # Errors
     ///
@@ -142,13 +158,14 @@ impl HybridConfig {
             || self.sp == 0
             || self.cp == 0
             || self.tatp == 0
+            || self.ep == 0
             || self.pp == 0
         {
             return Err(ParallelError::InvalidParameter(
                 "zero parallel degree".into(),
             ));
         }
-        let product = self.intra_wafer_degree();
+        let product = self.intra_wafer_degree() * self.ep;
         if product != dies {
             return Err(ParallelError::DegreeMismatch { product, dies });
         }
@@ -194,9 +211,39 @@ impl HybridConfig {
         out
     }
 
-    /// Short tuple label, e.g. `(2,1,2,8)` = (DP, TP, SP, TATP).
+    /// Enumerates every tuple of [`HybridConfig::enumerate_tuples`] shape
+    /// extended with an expert-parallel degree: power-of-two `ep` up to
+    /// `max_ep`, with `(dp, tp, sp, tatp)` covering the remaining
+    /// `dies / ep` dies. `ep = 1` reproduces the dense enumeration
+    /// exactly (same tuples, same order), so dense models lose nothing by
+    /// never calling this.
+    pub fn enumerate_tuples_ep(dies: usize, fsdp: bool, max_ep: usize) -> Vec<HybridConfig> {
+        let mut out = Vec::new();
+        let mut ep = 1usize;
+        while ep <= max_ep.min(dies) {
+            if dies % ep == 0 {
+                out.extend(
+                    Self::enumerate_tuples(dies / ep, fsdp)
+                        .into_iter()
+                        .map(|c| HybridConfig { ep, ..c }),
+                );
+            }
+            ep *= 2;
+        }
+        out
+    }
+
+    /// Short tuple label, e.g. `(2,1,2,8)` = (DP, TP, SP, TATP); an
+    /// expert-parallel degree is appended as `(2,1,2,4|ep4)` when > 1.
     pub fn label(&self) -> String {
-        format!("({},{},{},{})", self.dp, self.tp, self.sp, self.tatp)
+        if self.ep > 1 {
+            format!(
+                "({},{},{},{}|ep{})",
+                self.dp, self.tp, self.sp, self.tatp, self.ep
+            )
+        } else {
+            format!("({},{},{},{})", self.dp, self.tp, self.sp, self.tatp)
+        }
     }
 }
 
@@ -204,13 +251,14 @@ impl std::fmt::Display for HybridConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "DP={}{} TP={} SP={} CP={} TATP={} PP={}",
+            "DP={}{} TP={} SP={} CP={} TATP={} EP={} PP={}",
             self.dp,
             if self.fsdp { "(FSDP)" } else { "" },
             self.tp,
             self.sp,
             self.cp,
             self.tatp,
+            self.ep,
             self.pp
         )
     }
@@ -264,6 +312,7 @@ mod tests {
             sp: 1,
             cp: 1,
             tatp: 4,
+            ep: 1,
             pp: 2,
             fsdp: true,
         };
@@ -278,5 +327,53 @@ mod tests {
     #[test]
     fn tuple_label_matches_paper_notation() {
         assert_eq!(HybridConfig::tuple(1, 1, 2, 16).label(), "(1,1,2,16)");
+        let moe = HybridConfig {
+            ep: 4,
+            ..HybridConfig::tuple(2, 1, 1, 4)
+        };
+        assert_eq!(moe.label(), "(2,1,1,4|ep4)");
+    }
+
+    #[test]
+    fn expert_parallel_degree_shares_the_die_budget() {
+        // ep is a proper factor of the array: intra x ep == dies.
+        let cfg = HybridConfig {
+            ep: 4,
+            ..HybridConfig::tuple(2, 1, 1, 4)
+        };
+        assert_eq!(cfg.intra_wafer_degree(), 8);
+        assert!(cfg.validate(32).is_ok());
+        assert!(cfg.validate(8).is_err(), "ep must not be ignored");
+        assert_eq!(cfg.total_degree(), 32);
+        assert_eq!(cfg.degree(ParallelKind::Ep), 4);
+        // A zero ep is rejected like any other zero degree.
+        let zero = HybridConfig {
+            ep: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            zero.validate(1),
+            Err(ParallelError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn ep_enumeration_extends_the_dense_tuples() {
+        let dense = HybridConfig::enumerate_tuples(32, false);
+        let moe = HybridConfig::enumerate_tuples_ep(32, false, 8);
+        // The ep = 1 prefix is exactly the dense enumeration.
+        assert_eq!(&moe[..dense.len()], &dense[..]);
+        assert!(moe.len() > dense.len());
+        for cfg in &moe {
+            assert_eq!(cfg.intra_wafer_degree() * cfg.ep, 32, "{cfg}");
+            assert!(cfg.validate(32).is_ok(), "{cfg}");
+            assert!(cfg.ep <= 8);
+        }
+        // Every power-of-two ep up to the cap appears.
+        for ep in [1usize, 2, 4, 8] {
+            assert!(moe.iter().any(|c| c.ep == ep), "ep={ep} missing");
+        }
+        // Capping at 1 reproduces the dense enumeration exactly.
+        assert_eq!(HybridConfig::enumerate_tuples_ep(32, false, 1), dense);
     }
 }

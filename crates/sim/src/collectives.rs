@@ -25,6 +25,12 @@ pub enum CollectiveKind {
     ReduceScatter,
     /// Rank 0's buffer is replicated to all ranks (pipelined chain).
     Broadcast,
+    /// Every rank sends a distinct `1/n` shard to every other rank (MoE
+    /// expert dispatch/combine). Scheduled as `n - 1` shift rounds: in
+    /// round `r`, rank `i` sends its shard for rank `i + r + 1` — each
+    /// round is a disjoint permutation, so a well-embedded group keeps
+    /// every link busy without self-contention.
+    AllToAll,
     /// Each rank forwards its buffer one step along the group (TSPP/TATP
     /// streaming primitive).
     P2pShift,
@@ -57,7 +63,7 @@ impl Collective {
         match self.kind {
             CollectiveKind::AllGather | CollectiveKind::ReduceScatter => n - 1,
             CollectiveKind::AllReduce => 2 * (n - 1),
-            CollectiveKind::Broadcast => n - 1,
+            CollectiveKind::Broadcast | CollectiveKind::AllToAll => n - 1,
             CollectiveKind::P2pShift => 1,
         }
     }
@@ -68,7 +74,8 @@ impl Collective {
         match self.kind {
             CollectiveKind::AllGather
             | CollectiveKind::ReduceScatter
-            | CollectiveKind::AllReduce => self.bytes / n,
+            | CollectiveKind::AllReduce
+            | CollectiveKind::AllToAll => self.bytes / n,
             CollectiveKind::Broadcast | CollectiveKind::P2pShift => self.bytes,
         }
     }
@@ -91,6 +98,14 @@ impl Collective {
                     let i = round % n;
                     if i + 1 < n {
                         flows.push(Flow::xy(mesh, self.group[i], self.group[i + 1], shard));
+                    }
+                }
+                CollectiveKind::AllToAll => {
+                    // Round r: rank i sends its shard for rank i + r + 1 —
+                    // a disjoint permutation per round.
+                    for i in 0..n {
+                        let dst = (i + round + 1) % n;
+                        flows.push(Flow::xy(mesh, self.group[i], self.group[dst], shard));
                     }
                 }
                 _ => {
@@ -224,6 +239,55 @@ mod tests {
         // (the analytic path uses effective bandwidth, sim uses peak).
         let ratio = simulated / analytic;
         assert!((0.5..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn all_to_all_rounds_are_disjoint_permutations() {
+        let (mesh, _, _) = setup();
+        let c = Collective::new(CollectiveKind::AllToAll, ring_group(), 64.0 * MB);
+        assert_eq!(c.round_count(), 3);
+        assert!((c.bytes_per_round() - 16.0 * MB).abs() < 1.0);
+        let rounds = c.rounds(&mesh);
+        // Every round: each rank sends exactly once and receives exactly
+        // once (a permutation with no fixed points).
+        for round in &rounds {
+            assert_eq!(round.len(), 4);
+            let mut srcs: Vec<_> = round.iter().map(|f| f.src).collect();
+            let mut dsts: Vec<_> = round.iter().map(|f| f.dst).collect();
+            srcs.sort_by_key(|d| d.0);
+            dsts.sort_by_key(|d| d.0);
+            assert_eq!(srcs, dsts);
+            assert!(round.iter().all(|f| f.src != f.dst));
+        }
+        // Across all rounds every ordered pair appears exactly once.
+        let pairs: std::collections::HashSet<(u32, u32)> = rounds
+            .iter()
+            .flatten()
+            .map(|f| (f.src.0, f.dst.0))
+            .collect();
+        assert_eq!(pairs.len(), 4 * 3);
+    }
+
+    #[test]
+    fn all_to_all_analytic_tracks_contention_sim_on_a_compact_group() {
+        // The closed-form all-to-all ((n-1) rounds of 1/n shards) must
+        // stay within a small factor of the contention-simulated makespan
+        // on a compact 2x2 group — that factor is what the mesh's
+        // multi-hop rounds cost, and it must be bounded, not divergent.
+        let (mesh, sim, d2d) = setup();
+        let c = Collective::new(CollectiveKind::AllToAll, ring_group(), 256.0 * MB);
+        let analytic = c.analytic_time(&d2d);
+        let simulated = c.simulate(&sim, &mesh);
+        assert!(analytic > 0.0);
+        let ratio = simulated / analytic;
+        assert!(
+            (0.4..3.0).contains(&ratio),
+            "analytic {analytic} vs simulated {simulated} (ratio {ratio})"
+        );
+        // A strip-embedded group pays real contention: the simulator must
+        // charge it more than the compact square.
+        let strip = Collective::new(CollectiveKind::AllToAll, strip_group(), 256.0 * MB);
+        assert!(strip.simulate(&sim, &mesh) > simulated);
     }
 
     #[test]

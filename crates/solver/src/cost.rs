@@ -62,6 +62,10 @@ pub struct CostReport {
     /// LM-head-segment time per step (final norm + logits GEMM +
     /// cross-entropy reduction + tied-weight gradient sync).
     pub head_time: f64,
+    /// MoE-block time per step (expert compute, all-to-all dispatch and
+    /// combine, expert gradient sync), pipeline-scaled like the dense
+    /// blocks. Zero for dense models.
+    pub moe_time: f64,
     /// Per-die memory footprint.
     pub memory: FootprintBreakdown,
     /// Whether the footprint fits per-die HBM.
@@ -87,11 +91,13 @@ impl CostReport {
         (self.collective_time + self.exposed_stream_time + self.bubble_time) / self.step_time
     }
 
-    /// Step time of the Transformer-block run alone (everything except the
-    /// embedding and LM-head segments) — the per-candidate block cost the
-    /// heterogeneous chain DP consumes.
+    /// Step time of the **dense** Transformer-block run alone (everything
+    /// except the embedding, LM-head and MoE segments) — the per-candidate
+    /// block cost the heterogeneous chain DP consumes. MoE segments carry
+    /// their own chain row ([`CostReport::moe_time`] under a uniform
+    /// assignment), so they must not leak into the dense row.
     pub fn block_time(&self) -> f64 {
-        (self.step_time - self.embedding_time - self.head_time).max(0.0)
+        (self.step_time - self.embedding_time - self.head_time - self.moe_time).max(0.0)
     }
 }
 
@@ -232,7 +238,18 @@ impl WaferCostModel {
         let comp_layer = comp_layer * recompute_factor;
 
         // ---- Communication ---------------------------------------------------
-        let mapping = map_hybrid(engine, &self.wafer, &self.model, workload, cfg)
+        // Layout normalization: the expert-parallel groups occupy the die
+        // array like an outer data-parallel dimension (experts shard where
+        // replicas would sit), so the mapping engines see `ep` folded into
+        // `dp`. The MoE-specific traffic (all-to-all dispatch/combine,
+        // expert gradient sync) is priced by the segment evaluator below,
+        // not by the dense mapping.
+        let layout_cfg = HybridConfig {
+            dp: cfg.dp * cfg.ep.max(1),
+            ep: 1,
+            ..*cfg
+        };
+        let mapping = map_hybrid(engine, &self.wafer, &self.model, workload, &layout_cfg)
             .map_err(|e| SolverError::Internal(e.to_string()))?;
         let contention_factor = mapping.contention_factor();
         // Split: stream ops overlap, everything else is exposed.
@@ -279,13 +296,34 @@ impl WaferCostModel {
             * self.model.layers as f64
             * workload.micro_batches as f64;
         let local_layers = (self.model.layers as f64 / cfg.pp as f64).max(1.0);
-        let stage_time = local_layers * layer_time;
         let micro = workload.micro_batches as f64;
         // 1F1B pipeline: total = (micro + pp - 1) stages; bubbles = (pp-1).
         let pp = cfg.pp as f64;
+        // Interior segments per stage: dense blocks priced by the mapped
+        // per-layer path above, MoE blocks by the closed-form segment
+        // evaluator (expert compute, all-to-all dispatch/combine, expert
+        // gradient sync — all per micro-batch). Both run *inside* the
+        // pipeline, so both scale with the stage share and enter the
+        // bubble term. Dense models keep the pre-MoE arithmetic
+        // bit-for-bit.
+        let moe_count = self.model.moe_layer_count() as f64;
+        let (stage_time, stage_moe) = if moe_count > 0.0 {
+            let moe_seg = self
+                .chain
+                .find(SegmentKind::MoeBlock)
+                .ok_or_else(|| SolverError::Internal("MoE model without MoeBlock run".into()))?;
+            let moe_layer_time = self.evaluate_segment_with(moe_seg, cfg, workload)?.time;
+            let dense_count = self.model.dense_layer_count() as f64;
+            let share = local_layers / self.model.layers as f64;
+            let stage_moe = share * moe_count * moe_layer_time;
+            (share * dense_count * layer_time + stage_moe, stage_moe)
+        } else {
+            (local_layers * layer_time, 0.0)
+        };
         let step_body = micro * stage_time;
         let bubble_time = (pp - 1.0) * stage_time;
         let step_time = step_body + bubble_time;
+        let moe_time = (micro + pp - 1.0) * stage_moe;
 
         // ---- Segment chain: embedding + LM head -----------------------------
         // The block run above replicates one block cost `layers` times; the
@@ -297,14 +335,16 @@ impl WaferCostModel {
         let mut embedding_time = 0.0;
         let mut head_time = 0.0;
         for seg in self.chain.segments() {
-            if seg.kind == SegmentKind::Block {
+            if matches!(seg.kind, SegmentKind::Block | SegmentKind::MoeBlock) {
+                // Interior segments were priced into the pipeline body
+                // above.
                 continue;
             }
             let t = self.evaluate_segment_with(seg, cfg, workload)?.time * seg.count as f64 * micro;
             match seg.kind {
                 SegmentKind::Embedding => embedding_time = t,
                 SegmentKind::Head => head_time = t,
-                SegmentKind::Block => {}
+                SegmentKind::Block | SegmentKind::MoeBlock => {}
             }
         }
         let step_time = step_time + embedding_time + head_time;
@@ -356,6 +396,7 @@ impl WaferCostModel {
             bubble_time,
             embedding_time,
             head_time,
+            moe_time,
             memory,
             fits_memory,
             energy,
@@ -389,8 +430,13 @@ impl WaferCostModel {
         cfg: &HybridConfig,
         workload: &Workload,
     ) -> f64 {
+        // Expert parallelism folds into the data-parallel dimension for
+        // all dense-path work (Megatron-style EP: the ep groups process
+        // disjoint batch shards through attention and the dense blocks;
+        // only the expert path differs). `ep = 1` keeps the dense
+        // arithmetic bit-for-bit.
         let (dp, tp, spcp, tatp) = (
-            cfg.dp as u64,
+            (cfg.dp * cfg.ep.max(1)) as u64,
             cfg.tp as u64,
             (cfg.sp * cfg.cp) as u64,
             cfg.tatp as u64,
@@ -470,10 +516,29 @@ impl WaferCostModel {
         let recompute_factor = match (segment.kind, workload.recompute) {
             // Only block activations are recomputed; the embedding lookup
             // and the head's loss path run once either way.
-            (SegmentKind::Block, temp_graph::workload::RecomputeMode::Full) => 4.0 / 3.0,
+            (
+                SegmentKind::Block | SegmentKind::MoeBlock,
+                temp_graph::workload::RecomputeMode::Full,
+            ) => 4.0 / 3.0,
             _ => 1.0,
         };
-        let compute_time = self.ops_compute_time(&segment.ops, cfg, workload) * recompute_factor;
+        let compute_time = match segment.kind {
+            // MoE blocks split their ops: the shared path (attention,
+            // norms, router, dispatch/combine elementwise work) shards
+            // like any dense segment, while the expert FFN shards its
+            // routed tokens over the expert-parallel groups and streams
+            // `E / ep` experts' weights per die.
+            SegmentKind::MoeBlock => {
+                let (expert_ops, shared_ops): (Vec<&Operator>, Vec<&Operator>) = segment
+                    .ops
+                    .iter()
+                    .partition(|o| o.name.starts_with("expert-"));
+                let shared: Vec<Operator> = shared_ops.into_iter().cloned().collect();
+                self.ops_compute_time(&shared, cfg, workload)
+                    + self.expert_compute_time(&expert_ops, cfg, workload)
+            }
+            _ => self.ops_compute_time(&segment.ops, cfg, workload),
+        } * recompute_factor;
         let (collective_time, stream_time) = self.segment_comm(segment, cfg, workload);
         let memory_bytes = self.segment_footprint(segment, cfg, workload);
         let fits_memory = memory_bytes <= self.wafer.hbm.capacity;
@@ -486,6 +551,77 @@ impl WaferCostModel {
             memory_bytes,
             fits_memory,
         })
+    }
+
+    /// Per-die, per-micro-batch compute time of a MoE segment's expert
+    /// FFN operators. Mirrors the dense GEMM arithmetic of
+    /// [`WaferCostModel::ops_compute_time`] — total per-die FLOPs are
+    /// independent of `ep` (the all-to-all rebalances tokens) — but the
+    /// *granularity* is not:
+    ///
+    /// * each die runs one GEMM **per locally stored expert**
+    ///   (`E / ep` of them), so low `ep` splits the token budget into
+    ///   many thin GEMMs that under-fill the PE array and multiply launch
+    ///   overhead — the same fine-chunk effect as TATP's Fig. 9 tail;
+    /// * the HBM weight traffic covers all `E / ep` local experts — at
+    ///   `ep = 1` every die streams the *whole* expert set per
+    ///   micro-batch.
+    fn expert_compute_time(
+        &self,
+        expert_ops: &[&Operator],
+        cfg: &HybridConfig,
+        workload: &Workload,
+    ) -> f64 {
+        let Some(moe) = self.model.moe else {
+            return 0.0;
+        };
+        let ep = cfg.ep.max(1) as u64;
+        let (dp, tp, spcp, tatp) = (
+            cfg.dp as u64 * ep,
+            cfg.tp as u64,
+            (cfg.sp * cfg.cp) as u64,
+            cfg.tatp as u64,
+        );
+        let batch_div = dp * micro_share(workload);
+        let dtype = workload.compute_dtype;
+        let experts_local = moe.num_experts.div_ceil(ep);
+        let mut total = 0.0;
+        for op in expert_ops {
+            match op.kind.linear_dims() {
+                Some(dims) => {
+                    // Per-expert GEMM: the die's routed token rows split
+                    // across its local experts.
+                    let local = LinearDims {
+                        b: shard(dims.b, batch_div),
+                        m: shard(dims.m, spcp * tatp * experts_local),
+                        n: dims.n,
+                        k: shard(dims.k, tp * tatp),
+                    };
+                    let per_round_flops = 3.0 * local.flops();
+                    let local_flops = per_round_flops * (tatp * experts_local) as f64;
+                    let eff = self.compute.gemm_efficiency(per_round_flops).max(1e-3);
+                    let compute_time = local_flops / (self.compute.peak_flops * eff);
+                    // HBM: inputs/outputs for every local expert's token
+                    // shard, weights for every local expert.
+                    let mem_bytes = 3.0
+                        * experts_local as f64
+                        * (local.input_bytes(dtype)
+                            + local.weight_bytes(dtype) * tatp as f64
+                            + local.output_bytes(dtype) * tatp as f64);
+                    let mem_time =
+                        self.compute.hbm_latency + mem_bytes / self.compute.hbm_bandwidth;
+                    total += compute_time.max(mem_time)
+                        + (tatp * experts_local) as f64 * self.compute.launch_overhead;
+                }
+                None => {
+                    let divisor = (batch_div * spcp * tatp * tp) as f64;
+                    let scaled = scale_elementwise(&op.kind, divisor);
+                    let sub = temp_graph::op::Operator::new(op.name.clone(), scaled);
+                    total += self.compute.training_latency(&sub, 1.0);
+                }
+            }
+        }
+        total
     }
 
     /// Analytic ring-collective time over a group of `n` dies (idealized
@@ -521,8 +657,11 @@ impl WaferCostModel {
         workload: &Workload,
     ) -> (f64, f64) {
         use CollectiveKind::{AllGather, AllReduce, ReduceScatter};
+        // Dense-path collectives see EP folded into DP (the ep groups are
+        // batch shards for everything except the expert path).
+        let ep = cfg.ep.max(1);
         let (dp, tp, spcp, tatp) = (
-            cfg.dp.max(1),
+            cfg.dp.max(1) * ep,
             cfg.tp.max(1),
             (cfg.sp * cfg.cp).max(1),
             cfg.tatp.max(1),
@@ -574,8 +713,68 @@ impl WaferCostModel {
                     stream = tatp as f64 * self.stream_round_time(chunk);
                 }
             }
+            SegmentKind::MoeBlock => {
+                let Some(moe) = self.model.moe else {
+                    return (0.0, 0.0);
+                };
+                let attn_params_bytes = self.model.attn_params_per_layer() as f64 * e;
+                let expert_params_bytes = moe.expert_params(self.model.hidden) as f64 * e;
+                // Shared attention path: same TP/SP collectives as a dense
+                // block (EP already folded into the dp-sharded act_local).
+                coll += 4.0 * self.ring_time(tp, AllReduce, act_local);
+                coll += 2.0
+                    * (self.ring_time(spcp, AllGather, act_local)
+                        + self.ring_time(spcp, ReduceScatter, act_local));
+                // All-to-all dispatch + combine over the expert-parallel
+                // groups, forward and backward (4 passes), each moving
+                // this rank's routed token copies. The capacity factor is
+                // the pace term: the fullest group carries `cf x` the mean
+                // payload, and the collective finishes with it.
+                if ep > 1 {
+                    let payload = act_local * moe.top_k as f64;
+                    coll += 4.0 * moe.capacity_factor * self.all_to_all_time(ep, payload);
+                }
+                // Gradient sync: attention grads replicate across the full
+                // dp x ep batch dimension like a dense block's; each
+                // expert shard only syncs across the `dp` replicas inside
+                // its expert-parallel group (`1/ep` of the expert
+                // weights). Under FSDP the expert states additionally
+                // shard over those replicas — the memory verdict credits
+                // that, so the comm model must charge the matching
+                // per-step weight all-gather and gradient reduce-scatter,
+                // exactly like the attention path above.
+                let group_dp = cfg.dp.max(1);
+                let expert_shard_bytes = expert_params_bytes / ep as f64;
+                if cfg.fsdp {
+                    coll += self.ring_time(dp, AllGather, attn_params_bytes)
+                        + self.ring_time(dp, ReduceScatter, attn_params_bytes) / micro;
+                    coll += self.ring_time(group_dp, AllGather, expert_shard_bytes)
+                        + self.ring_time(group_dp, ReduceScatter, expert_shard_bytes) / micro;
+                } else {
+                    coll += self.ring_time(dp, AllReduce, attn_params_bytes) / micro;
+                    coll += self.ring_time(group_dp, AllReduce, expert_shard_bytes) / micro;
+                }
+                // TATP streams the attention weights exactly like a dense
+                // block (expert weights stay put — tokens travel instead).
+                if tatp > 1 {
+                    let chunk = attn_params_bytes / (tp * tatp * tatp) as f64;
+                    stream = tatp as f64 * self.stream_round_time(chunk);
+                }
+            }
         }
         (coll, stream)
+    }
+
+    /// Analytic all-to-all time over the `ep` expert-parallel group
+    /// (contention-free, one-hop logical neighbors — the
+    /// [`CollectiveKind::AllToAll`] closed form, kept consistent with the
+    /// mesh-simulated collective by `temp-sim`'s contention check).
+    fn all_to_all_time(&self, ep: usize, bytes: f64) -> f64 {
+        if ep < 2 || bytes <= 0.0 {
+            return 0.0;
+        }
+        let group: Vec<DieId> = (0..ep as u32).map(DieId).collect();
+        Collective::new(CollectiveKind::AllToAll, group, bytes).analytic_time(&self.wafer.d2d)
     }
 
     /// One TATP stream round moving `chunk` bytes per direction — the
@@ -593,7 +792,7 @@ impl WaferCostModel {
     /// whole-model memory verdict.
     fn logits_transient_bytes(&self, cfg: &HybridConfig, workload: &Workload) -> f64 {
         let (dp, tp, spcp, tatp) = (
-            cfg.dp.max(1) as f64,
+            (cfg.dp * cfg.ep.max(1)).max(1) as f64,
             cfg.tp.max(1) as f64,
             (cfg.sp * cfg.cp).max(1) as f64,
             cfg.tatp.max(1) as f64,
@@ -610,17 +809,58 @@ impl WaferCostModel {
     /// [`WaferCostModel::evaluate_with`] ([`per_die_footprint`] plus the
     /// end-segment transients).
     fn segment_footprint(&self, segment: &Segment, cfg: &HybridConfig, workload: &Workload) -> f64 {
+        let ep = cfg.ep.max(1) as f64;
         let (dp, tp, spcp, tatp) = (
-            cfg.dp.max(1) as f64,
+            cfg.dp.max(1) as f64 * ep,
             cfg.tp.max(1) as f64,
             (cfg.sp * cfg.cp).max(1) as f64,
             cfg.tatp.max(1) as f64,
         );
         let param_shard = tp * tatp * if cfg.fsdp { dp } else { 1.0 };
-        let params_state = segment.params as f64 * workload.bytes_per_param() / param_shard;
+        let params_state = match (segment.kind, self.model.moe) {
+            // Expert weights shard over the expert-parallel groups on top
+            // of TP/TATP(/FSDP); the shared attention path replicates like
+            // a dense block's. Unlike the dense rows — whose feasibility
+            // the exact whole-model verdict owns — the MoE row *is* the
+            // solver's only memory signal for expert placement, so it
+            // charges the whole run: all `count` MoE layers' expert shards
+            // are co-resident on the same dies. At `ep = 1` that is the
+            // entire expert set of the model.
+            (SegmentKind::MoeBlock, Some(moe)) => {
+                let attn = self.model.attn_params_per_layer() as f64;
+                let experts = moe.expert_params(self.model.hidden) as f64;
+                // Experts shard over ep x TP/TATP, and over the group's
+                // dp replicas under FSDP.
+                let expert_shard =
+                    tp * tatp * ep * if cfg.fsdp { cfg.dp.max(1) as f64 } else { 1.0 };
+                segment.count as f64
+                    * (attn / param_shard + experts / expert_shard)
+                    * workload.bytes_per_param()
+            }
+            _ => segment.params as f64 * workload.bytes_per_param() / param_shard,
+        };
         let act = match segment.kind {
-            SegmentKind::Block => {
-                workload.activation_bytes_per_layer(&self.model) / (dp * spcp * tatp)
+            SegmentKind::Block | SegmentKind::MoeBlock => {
+                let dense = workload.activation_bytes_per_layer(&self.model) / (dp * spcp * tatp);
+                // Routed expert copies (kept for backward unless full
+                // recompute drops everything) shard over `ep` too.
+                let expert = match (segment.kind, self.model.moe, workload.recompute) {
+                    (
+                        SegmentKind::MoeBlock,
+                        Some(moe),
+                        temp_graph::workload::RecomputeMode::Selective
+                        | temp_graph::workload::RecomputeMode::None,
+                    ) => {
+                        // `dp` already folds the ep groups in.
+                        workload.micro_batch_size() as f64
+                            * workload.seq_len as f64
+                            * moe.routed_activation_elems_per_token(self.model.hidden)
+                            * workload.compute_dtype.bytes() as f64
+                            / (dp * spcp * tatp)
+                    }
+                    _ => 0.0,
+                };
+                dense + expert
             }
             _ => segment.activation_bytes / (dp * spcp * tatp),
         };
@@ -666,6 +906,7 @@ fn parallel_kind_key(kind: temp_parallel::strategy::ParallelKind) -> ParallelKin
         Cp => 4,
         Pp => 5,
         Tatp => 6,
+        Ep => 7,
     }
 }
 

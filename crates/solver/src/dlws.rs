@@ -193,19 +193,36 @@ impl Dlws {
         pp: usize,
         filter: impl Fn(&HybridConfig) -> bool,
     ) -> Result<ExecutionPlan> {
-        let candidates: Vec<HybridConfig> = self
+        let all_candidates: Vec<HybridConfig> = self
             .ctx
             .candidates_with_pp(pp)
             .into_iter()
             .filter(|c| filter(c))
             .collect();
-        if candidates.is_empty() {
+        if all_candidates.is_empty() {
             return Err(SolverError::NoFeasiblePlan(
                 "no candidates pass the filter".into(),
             ));
         }
-        // Cost every candidate once; cache misses run in parallel, hits
-        // (from earlier solves over overlapping spaces) are free.
+        // Whole-model (body) candidates: expert-parallel tuples are
+        // dense-equivalent to their `dp x ep` twins on every segment that
+        // has no experts (EP folds into DP there), so only `ep = 1`
+        // tuples pay the exact pipeline — evaluating the twins would both
+        // waste the costing budget and seed float-association ties the DP
+        // would break arbitrarily. `ep > 1` tuples exist solely for the
+        // MoE segment row, which is closed-form.
+        let candidates: Vec<HybridConfig> = all_candidates
+            .iter()
+            .copied()
+            .filter(|c| c.ep == 1)
+            .collect();
+        if candidates.is_empty() {
+            return Err(SolverError::NoFeasiblePlan(
+                "no dense-path candidates pass the filter".into(),
+            ));
+        }
+        // Cost every body candidate once; cache misses run in parallel,
+        // hits (from earlier solves over overlapping spaces) are free.
         let costed: Vec<CandidateCost> = self.ctx.cost_candidates(&candidates, engine);
         if costed.iter().all(|(t, _)| !t.is_finite()) {
             return Err(SolverError::NoFeasiblePlan(
@@ -214,14 +231,17 @@ impl Dlws {
         }
 
         // Level 1: DP over the real heterogeneous segment chain
-        // (embedding -> blocks -> head) with resharding transition costs.
+        // (embedding -> blocks -> [MoE blocks] -> head) with resharding
+        // transition costs. The lists are ragged: dense segments choose
+        // among the body candidates, the MoE run among the *full* space
+        // including expert-parallel tuples.
         //
         // The block run's per-candidate cost is the *exact* whole-model
-        // step time minus the embedding/head contributions (contention
-        // simulation included); the end segments are priced from the
-        // shared closed-form segment table, which is identical across
-        // evaluation tiers — so the surrogate gate can prune block
-        // candidates without ever perturbing the end segments' choices.
+        // step time minus the embedding/head/MoE contributions
+        // (contention simulation included); every other segment is priced
+        // from the shared closed-form segment table, which is identical
+        // across evaluation tiers — so the surrogate gate can prune block
+        // candidates without ever perturbing the other segments' choices.
         // A resharding boundary is crossed once per micro-batch.
         let base_mode = self.ctx.cost_model().workload().recompute;
         let micro = self.ctx.cost_model().workload().micro_batches.max(1) as f64;
@@ -229,10 +249,19 @@ impl Dlws {
         let block_row = chain
             .position(SegmentKind::Block)
             .ok_or_else(|| SolverError::Internal("chain has no block segment".into()))?;
-        let seg_costs: Vec<Vec<f64>> = chain
+        let seg_cands: Vec<&[HybridConfig]> = chain
             .segments()
             .iter()
             .map(|seg| match seg.kind {
+                SegmentKind::MoeBlock => &all_candidates[..],
+                _ => &candidates[..],
+            })
+            .collect();
+        let seg_costs: Vec<Vec<f64>> = chain
+            .segments()
+            .iter()
+            .zip(&seg_cands)
+            .map(|(seg, cands)| match seg.kind {
                 SegmentKind::Block => costed
                     .iter()
                     .map(|(t, payload)| match payload {
@@ -240,15 +269,16 @@ impl Dlws {
                         _ => f64::INFINITY,
                     })
                     .collect(),
-                // End segments: the shared per-step row (one source of
-                // truth with the gate's chain correction).
-                kind => self
-                    .ctx
-                    .segment_step_costs(kind, &candidates, engine, base_mode),
+                // End and MoE segments: the shared per-step rows (one
+                // source of truth with the gate's chain correction).
+                kind => self.ctx.segment_step_costs(kind, cands, engine, base_mode),
             })
             .collect();
-        let reshard = |_s: usize, a: usize, b: usize| {
-            micro * self.ctx.resharding_cost(&candidates[a], &candidates[b])
+        let reshard = |s: usize, a: usize, b: usize| {
+            micro
+                * self
+                    .ctx
+                    .resharding_cost(&seg_cands[s - 1][a], &seg_cands[s][b])
         };
         let dp = solve_chain(&seg_costs, reshard)
             .map_err(|e| SolverError::Internal(format!("chain DP: {e}")))?;
@@ -281,7 +311,7 @@ impl Dlws {
             .map(|(s, (seg, &c))| SegmentAssignment {
                 kind: seg.kind,
                 count: seg.count,
-                config: candidates[c],
+                config: seg_cands[s][c],
                 step_time: seg_costs[s][c],
             })
             .collect();

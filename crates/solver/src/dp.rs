@@ -290,6 +290,175 @@ pub fn balance_stage_cuts(
     })
 }
 
+/// The weighted stage-cut solver: partition a **heterogeneous** sequence
+/// of interior instances (dense blocks and MoE blocks carry different
+/// per-micro-batch times) into `stages` contiguous slices so the
+/// bottleneck stage time is minimal. `weights[i]` is instance `i`'s
+/// per-micro-batch time in chain order; `first_extra`/`last_extra` and
+/// `min_items` behave exactly as in [`balance_stage_cuts`] (which this
+/// generalizes — uniform weights reproduce it). This is what lets
+/// pipeline cuts isolate expert-heavy stretches onto their own wafers:
+/// a run of expensive MoE instances simply fills a stage with fewer
+/// items.
+///
+/// The search is parametric like the uniform solver: candidate
+/// bottlenecks are the `O(n^2)` contiguous window sums (each optionally
+/// plus an end extra), feasibility of a threshold is an exact
+/// `O(stages x n)` reachability DP (a greedy maximal-prefix fill is
+/// *not* exact once floors exceed one item: over-extending a cheap
+/// stage can force a later stage's floor onto a heavy instance), and
+/// the smallest feasible threshold is found by binary search.
+///
+/// # Errors
+///
+/// Returns [`DpError::InfeasibleCut`] when the floors cannot be met, any
+/// weight or extra is non-finite/negative, or `stages`/`min_items` are
+/// malformed.
+pub fn balance_weighted_cuts(
+    weights: &[f64],
+    stages: usize,
+    first_extra: f64,
+    last_extra: f64,
+    min_items: &[u64],
+) -> Result<StageCuts, DpError> {
+    let n = weights.len();
+    let infeasible = DpError::InfeasibleCut {
+        blocks: n as u64,
+        stages,
+    };
+    if stages == 0
+        || !first_extra.is_finite()
+        || !last_extra.is_finite()
+        || first_extra < 0.0
+        || last_extra < 0.0
+        || weights.iter().any(|w| !w.is_finite() || *w < 0.0)
+    {
+        return Err(infeasible);
+    }
+    if !min_items.is_empty() && min_items.len() != stages {
+        return Err(infeasible);
+    }
+    let min_of = |s: usize| -> usize {
+        if min_items.is_empty() {
+            usize::from(stages > 1 && s != 0 && s != stages - 1)
+        } else {
+            min_items[s] as usize
+        }
+    };
+    let floor_total: usize = (0..stages).map(min_of).sum();
+    if n < floor_total {
+        return Err(infeasible);
+    }
+    let extra = |s: usize| -> f64 {
+        let mut e = 0.0;
+        if s == 0 {
+            e += first_extra;
+        }
+        if s == stages - 1 {
+            e += last_extra;
+        }
+        e
+    };
+    // Prefix sums: load of items [i, j) is prefix[j] - prefix[i].
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for w in weights {
+        prefix.push(prefix.last().unwrap() + w);
+    }
+    let slack = |b: f64| -> f64 { b * (1.0 + 1e-12) + 1e-12 };
+    // Exact feasibility under a threshold: reachability DP over stage end
+    // positions. After stage `s`, position `q` is reachable iff some
+    // reachable predecessor `p <= q - min_of(s)` keeps the window
+    // `[p, q)` within the cap — and since a *larger* `p` means a smaller
+    // window, checking only the largest reachable predecessor is exact.
+    // (A greedy maximal-prefix fill is not: with an interior floor of two
+    // or more items, over-extending a cheap stage can force that floor
+    // onto a heavy instance downstream.)
+    let fill = |b: f64| -> Option<Vec<u64>> {
+        let cap = slack(b);
+        let mut reach = vec![false; n + 1];
+        reach[0] = true;
+        // choice[s][q]: the predecessor that reached `q` after stage `s`.
+        let mut choice: Vec<Vec<isize>> = Vec::with_capacity(stages);
+        for s in 0..stages {
+            let mn = min_of(s);
+            let ex = extra(s);
+            // last_true[i]: the largest reachable p <= i, or -1.
+            let mut last_true = vec![-1isize; n + 1];
+            let mut lt = -1isize;
+            for (i, r) in reach.iter().enumerate() {
+                if *r {
+                    lt = i as isize;
+                }
+                last_true[i] = lt;
+            }
+            let mut next_reach = vec![false; n + 1];
+            let mut ch = vec![-1isize; n + 1];
+            for q in mn..=n {
+                let p = last_true[q - mn];
+                if p >= 0 && prefix[q] - prefix[p as usize] + ex <= cap {
+                    next_reach[q] = true;
+                    ch[q] = p;
+                }
+            }
+            choice.push(ch);
+            reach = next_reach;
+        }
+        if !reach[n] {
+            return None;
+        }
+        // Backtrack the stage sizes from the end.
+        let mut alloc = vec![0u64; stages];
+        let mut q = n;
+        for s in (0..stages).rev() {
+            let p = choice[s][q];
+            debug_assert!(p >= 0, "reachable end without predecessor");
+            alloc[s] = (q - p as usize) as u64;
+            q = p as usize;
+        }
+        (q == 0).then_some(alloc)
+    };
+    // Candidate bottlenecks: every contiguous window sum, bare and with
+    // each end extra.
+    let mut thresholds = Vec::with_capacity(3 * n * (n + 1) / 2 + 3);
+    for i in 0..=n {
+        for j in i..=n {
+            let base = prefix[j] - prefix[i];
+            thresholds.push(base);
+            thresholds.push(base + first_extra);
+            thresholds.push(base + last_extra);
+            thresholds.push(base + first_extra + last_extra);
+        }
+    }
+    thresholds.retain(|b| b.is_finite());
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+    let mut lo = 0usize;
+    let mut hi = thresholds.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if fill(thresholds[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if lo == thresholds.len() {
+        return Err(infeasible);
+    }
+    let alloc = fill(thresholds[lo]).expect("feasible threshold");
+    let mut bottleneck = 0.0f64;
+    let mut idx = 0usize;
+    for (s, &k) in alloc.iter().enumerate() {
+        let load = prefix[idx + k as usize] - prefix[idx] + extra(s);
+        bottleneck = bottleneck.max(load);
+        idx += k as usize;
+    }
+    Ok(StageCuts {
+        blocks: alloc,
+        bottleneck,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +648,133 @@ mod tests {
                 cuts.bottleneck
             );
         }
+    }
+
+    #[test]
+    fn weighted_cuts_reduce_to_uniform_on_equal_weights() {
+        for (blocks, stages, unit, e, h) in [(32u64, 4usize, 1.0, 0.0, 0.0), (32, 4, 1.0, 4.0, 2.0)]
+        {
+            let uniform = balance_stage_cuts(blocks, stages, unit, e, h, &[]).unwrap();
+            let weights = vec![unit; blocks as usize];
+            let weighted = balance_weighted_cuts(&weights, stages, e, h, &[]).unwrap();
+            assert_eq!(weighted.blocks.iter().sum::<u64>(), blocks);
+            assert!(
+                (weighted.bottleneck - uniform.bottleneck).abs() <= 1e-9,
+                "{} vs {}",
+                weighted.bottleneck,
+                uniform.bottleneck
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_cuts_isolate_expert_heavy_stretches() {
+        // Four cheap dense instances then four expensive MoE instances:
+        // the optimal two-way cut gives the MoE stretch its own stage
+        // with *fewer* items.
+        let weights = [1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0];
+        let cuts = balance_weighted_cuts(&weights, 2, 0.0, 0.0, &[]).unwrap();
+        assert_eq!(cuts.blocks.iter().sum::<u64>(), 8);
+        // Best split: [1,1,1,1,5,5] | [5,5] -> bottleneck 14 (an even
+        // 4|4 count split would pay 20): the expert-heavy stretch gets a
+        // stage with far fewer instances.
+        assert_eq!(cuts.blocks, vec![6, 2]);
+        assert!((cuts.bottleneck - 14.0).abs() < 1e-12, "{cuts:?}");
+        assert!(cuts.blocks[1] < cuts.blocks[0]);
+    }
+
+    #[test]
+    fn weighted_cuts_respect_multi_item_floors_exactly() {
+        // The case a greedy maximal-prefix fill gets wrong: over-extending
+        // the cheap first stage forces stage 1's two-item floor onto the
+        // heavy instance. Optimal: [5] | [1,1] | [100] -> bottleneck 100.
+        let cuts = balance_weighted_cuts(&[5.0, 1.0, 1.0, 100.0], 3, 0.0, 0.0, &[0, 2, 0]).unwrap();
+        assert_eq!(cuts.blocks, vec![1, 2, 1], "{cuts:?}");
+        assert!((cuts.bottleneck - 100.0).abs() < 1e-9, "{cuts:?}");
+    }
+
+    #[test]
+    fn weighted_cuts_match_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(37);
+        for case in 0..80 {
+            let n = rng.gen_range(3..14usize);
+            let stages = rng.gen_range(2..5usize);
+            if n < stages.saturating_sub(2) {
+                continue;
+            }
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..4.0)).collect();
+            let e = rng.gen_range(0.0..3.0);
+            let h = rng.gen_range(0.0..3.0);
+            // Half the cases use explicit floors (including multi-item
+            // interior floors, the regime where greedy fills fail).
+            let floors: Vec<u64> = if case % 2 == 0 {
+                Vec::new()
+            } else {
+                (0..stages).map(|_| rng.gen_range(0..3u64)).collect()
+            };
+            let Ok(cuts) = balance_weighted_cuts(&weights, stages, e, h, &floors) else {
+                continue;
+            };
+            assert_eq!(cuts.blocks.iter().sum::<u64>(), n as u64);
+            let min_of = |s: usize| -> usize {
+                if floors.is_empty() {
+                    usize::from(s != 0 && s != stages - 1)
+                } else {
+                    floors[s] as usize
+                }
+            };
+            for (s, &k) in cuts.blocks.iter().enumerate() {
+                assert!(k as usize >= min_of(s), "floor violated: {cuts:?}");
+            }
+            // Brute force over all contiguous partitions.
+            let mut best = f64::INFINITY;
+            let mut stack = vec![(0usize, 0usize, 0.0f64)];
+            while let Some((s, idx, worst)) = stack.pop() {
+                if s == stages {
+                    if idx == n {
+                        best = best.min(worst);
+                    }
+                    continue;
+                }
+                let extra = if stages == 1 {
+                    e + h
+                } else if s == 0 {
+                    e
+                } else if s == stages - 1 {
+                    h
+                } else {
+                    0.0
+                };
+                for k in min_of(s)..=(n - idx) {
+                    let load: f64 = weights[idx..idx + k].iter().sum::<f64>() + extra;
+                    stack.push((s + 1, idx + k, worst.max(load)));
+                }
+            }
+            assert!(
+                cuts.bottleneck <= best + 1e-9,
+                "weights {weights:?} stages {stages} e {e} h {h} floors {floors:?}: \
+                 {} vs brute {best}",
+                cuts.bottleneck
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_cuts_reject_malformed_inputs() {
+        assert!(balance_weighted_cuts(&[1.0; 4], 0, 0.0, 0.0, &[]).is_err());
+        assert!(balance_weighted_cuts(&[1.0, f64::NAN], 2, 0.0, 0.0, &[]).is_err());
+        assert!(balance_weighted_cuts(&[1.0, -1.0], 2, 0.0, 0.0, &[]).is_err());
+        assert!(balance_weighted_cuts(&[1.0; 4], 2, f64::INFINITY, 0.0, &[]).is_err());
+        // Floors above the item count.
+        assert!(balance_weighted_cuts(&[1.0; 2], 2, 0.0, 0.0, &[2, 2]).is_err());
+        // Wrong floor arity.
+        assert!(balance_weighted_cuts(&[1.0; 4], 2, 0.0, 0.0, &[1]).is_err());
+        // Single stage owns everything, extras included.
+        let one = balance_weighted_cuts(&[1.0, 2.0], 1, 0.5, 0.25, &[]).unwrap();
+        assert_eq!(one.blocks, vec![2]);
+        assert!((one.bottleneck - 3.75).abs() < 1e-12);
     }
 
     #[test]

@@ -122,8 +122,15 @@ pub struct SearchContext {
     parallel: AtomicBool,
     /// Which evaluation pipeline `cost_candidates` runs.
     tier: RwLock<CostTier>,
-    /// Surrogate-gate tuning (stride, top-K, minimum batch size).
+    /// Surrogate-gate tuning (stride, top-K, minimum batch size, model).
     gate: RwLock<GateParams>,
+    /// The most recent gate predictor and whether it was imported.
+    /// Imported predictors short-circuit the per-batch fit; locally
+    /// fitted ones are only published for
+    /// [`SearchContext::export_gate_predictor`] — every batch still fits
+    /// its own (the per-degree winner-retention guarantee depends on
+    /// per-batch fits).
+    gate_predictor: RwLock<Option<(temp_surrogate::gate::GatePredictor, bool)>>,
     cache: RwLock<HashMap<EvalKey, Option<CostReport>>>,
     /// Per-segment cost table — closed-form entries, memoized so repeated
     /// chain solves (and the gate's chain correction) featurize for free.
@@ -139,10 +146,18 @@ pub struct SearchContext {
 
 impl SearchContext {
     /// Builds a context: enumerates the candidate space and prices the
-    /// resharding transition once.
+    /// resharding transition once. MoE models extend the dense
+    /// enumeration with expert-parallel tuples (`ep > 1`, capped at the
+    /// expert count) — see [`SearchContext::enumerate_moe_candidates`].
     pub fn new(cost: WaferCostModel) -> Self {
         let dies = cost.wafer().die_count();
-        let base = Arc::new(Self::enumerate_base_candidates(dies));
+        let base = match cost.model().moe {
+            Some(moe) => Arc::new(Self::enumerate_moe_candidates(
+                dies,
+                moe.num_experts as usize,
+            )),
+            None => Arc::new(Self::enumerate_base_candidates(dies)),
+        };
         Self::with_shared_candidates(cost, base)
     }
 
@@ -160,16 +175,40 @@ impl SearchContext {
         base_candidates
     }
 
+    /// The MoE candidate enumeration: the dense tuples (its `ep = 1`
+    /// prefix, so dense segments keep their full space) extended with
+    /// every expert-parallel degree up to `min(num_experts, dies)`. Dense
+    /// models never see `ep > 1` candidates — their behavior (and eval
+    /// count) is byte-identical to the pre-MoE pipeline.
+    pub fn enumerate_moe_candidates(dies: usize, num_experts: usize) -> Vec<HybridConfig> {
+        let max_ep = num_experts.min(dies);
+        let mut out = HybridConfig::enumerate_tuples_ep(dies, false, max_ep);
+        out.extend(
+            HybridConfig::enumerate_tuples_ep(dies, true, max_ep)
+                .into_iter()
+                .filter(|c| c.dp > 1),
+        );
+        out
+    }
+
     /// As [`SearchContext::new`] with an externally-shared candidate
-    /// enumeration (must match this wafer's die count).
+    /// enumeration. A pooled (dense) enumeration handed to a MoE model is
+    /// extended with the expert-parallel tuples; dense models must be
+    /// given candidates covering this wafer's die count.
     pub fn with_shared_candidates(
         cost: WaferCostModel,
         base_candidates: Arc<Vec<HybridConfig>>,
     ) -> Self {
         let dies = cost.wafer().die_count();
+        let base_candidates = match cost.model().moe {
+            Some(moe) if base_candidates.iter().all(|c| c.ep == 1) => Arc::new(
+                Self::enumerate_moe_candidates(dies, moe.num_experts as usize),
+            ),
+            _ => base_candidates,
+        };
         debug_assert!(base_candidates
             .iter()
-            .all(|c| c.intra_wafer_degree() == dies));
+            .all(|c| c.intra_wafer_degree() * c.ep == dies));
 
         // All-to-all of one layer-boundary activation over the wafer
         // bisection, approximated as sqrt(dies) rows of links.
@@ -189,6 +228,7 @@ impl SearchContext {
             parallel: AtomicBool::new(true),
             tier: RwLock::new(CostTier::Exact),
             gate: RwLock::new(GateParams::default()),
+            gate_predictor: RwLock::new(None),
             cache: RwLock::new(HashMap::new()),
             seg_cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -288,6 +328,61 @@ impl SearchContext {
     /// The surrogate-gate tuning parameters.
     pub fn gate_params(&self) -> GateParams {
         *self.gate.read().expect("gate lock")
+    }
+
+    /// The current gate predictor (last fitted or imported), if any.
+    pub fn gate_predictor(&self) -> Option<temp_surrogate::gate::GatePredictor> {
+        self.gate_predictor
+            .read()
+            .expect("gate predictor lock")
+            .as_ref()
+            .map(|(p, _)| p.clone())
+    }
+
+    /// The imported warm predictor, if one was set — only these may skip
+    /// the per-batch fit.
+    pub(crate) fn imported_gate_predictor(&self) -> Option<temp_surrogate::gate::GatePredictor> {
+        self.gate_predictor
+            .read()
+            .expect("gate predictor lock")
+            .as_ref()
+            .and_then(|(p, imported)| imported.then(|| p.clone()))
+    }
+
+    /// Publishes a locally fitted gate predictor (internal to the gate).
+    /// Never overwrites an imported one — the import stays authoritative
+    /// until cleared by another import.
+    pub(crate) fn store_gate_predictor(&self, p: temp_surrogate::gate::GatePredictor) {
+        let mut slot = self.gate_predictor.write().expect("gate predictor lock");
+        match slot.as_ref() {
+            Some((_, true)) => {}
+            _ => *slot = Some((p, false)),
+        }
+    }
+
+    /// Serializes the current gate predictor so a warm fit can cross
+    /// contexts (processes, even machines — it is plain text). Returns
+    /// `None` before any gated batch has fitted one.
+    pub fn export_gate_predictor(&self) -> Option<String> {
+        self.gate_predictor().map(|p| p.to_text())
+    }
+
+    /// Imports a predictor persisted by
+    /// [`SearchContext::export_gate_predictor`]. Gated batches whose
+    /// feature layout matches the import skip the per-batch fit and rank
+    /// with it directly; mismatched layouts fall back to fitting. The
+    /// caller owns semantic compatibility — import predictors fitted on
+    /// the same `(model, workload)` family, or ranking quality silently
+    /// degrades to whatever the foreign fit generalizes to (the
+    /// winner-retention fallback paths still apply either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of a malformed predictor text.
+    pub fn import_gate_predictor(&self, text: &str) -> std::result::Result<(), String> {
+        let p = temp_surrogate::gate::GatePredictor::from_text(text)?;
+        *self.gate_predictor.write().expect("gate predictor lock") = Some((p, true));
+        Ok(())
     }
 
     /// Records candidates skipped by the surrogate gate (internal).

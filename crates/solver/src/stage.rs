@@ -178,10 +178,29 @@ impl Dlws {
             });
         }
 
-        let blocks = chain
-            .find(SegmentKind::Block)
-            .map(|s| s.count)
-            .ok_or_else(|| SolverError::Internal("chain has no block segment".into()))?;
+        // Interior instances in chain order: dense blocks and (for MoE
+        // models) MoE blocks. They are the pipeline's divisible work; the
+        // embedding/head stay pinned to the end stages.
+        let interior: Vec<(SegmentKind, u64)> = chain
+            .segments()
+            .iter()
+            .filter(|s| matches!(s.kind, SegmentKind::Block | SegmentKind::MoeBlock))
+            .map(|s| (s.kind, s.count))
+            .collect();
+        let dense_blocks: u64 = interior
+            .iter()
+            .filter(|(k, _)| *k == SegmentKind::Block)
+            .map(|(_, c)| c)
+            .sum();
+        let moe_blocks: u64 = interior
+            .iter()
+            .filter(|(k, _)| *k == SegmentKind::MoeBlock)
+            .map(|(_, c)| c)
+            .sum();
+        let blocks = dense_blocks + moe_blocks;
+        if blocks == 0 {
+            return Err(SolverError::Internal("chain has no block segment".into()));
+        }
         if blocks < stage_count as u64 {
             return Err(SolverError::NoFeasiblePlan(format!(
                 "pipeline of {stage_count} stages is deeper than the {blocks}-block chain"
@@ -248,23 +267,52 @@ impl Dlws {
             if !emb_step.is_finite() || !head_step.is_finite() {
                 continue;
             }
-            // Per-(micro-batch, block-instance) unit of the body: the
-            // exact whole-model block time divided back out of Eq. 4
-            // (`block_time = (micro + S - 1) x (L / S) x layer_time`).
-            let local_layers = (blocks as f64 / stage_count as f64).max(1.0);
-            let unit = report.block_time() / ((micro + stage_count as f64 - 1.0) * local_layers);
-            // Balance at wafer granularity: the pace is the most loaded
-            // wafer, however its blocks split into virtual stages.
-            let Ok(cuts) = balance_stage_cuts(
-                blocks,
-                wafer_count,
-                unit,
-                emb_step / micro,
-                head_step / micro,
-                &wafer_mins,
-            ) else {
-                continue;
+            // Per-(micro-batch, instance) units of the body, one per
+            // interior kind: the exact whole-model dense/MoE times divided
+            // back out of Eq. 4 (`block_time = (micro + S - 1) x
+            // (dense / S) x layer_time`, and likewise `moe_time`).
+            let s_f = stage_count as f64;
+            let pipeline_reps = micro + s_f - 1.0;
+            let unit = if moe_blocks == 0 {
+                // Dense chains keep the seed arithmetic bit-for-bit.
+                let local_layers = (blocks as f64 / s_f).max(1.0);
+                report.block_time() / (pipeline_reps * local_layers)
+            } else if dense_blocks > 0 {
+                report.block_time() * s_f / (pipeline_reps * dense_blocks as f64)
+            } else {
+                0.0
             };
+            let unit_moe = if moe_blocks > 0 {
+                report.moe_time * s_f / (pipeline_reps * moe_blocks as f64)
+            } else {
+                0.0
+            };
+            // Balance at wafer granularity: the pace is the most loaded
+            // wafer, however its blocks split into virtual stages. Dense
+            // chains keep the uniform parametric solver; mixed chains run
+            // the weighted one, whose cuts can isolate expert-heavy
+            // stretches onto their own wafers (a stage of expensive MoE
+            // instances simply takes fewer of them).
+            let cuts = if moe_blocks == 0 {
+                balance_stage_cuts(
+                    blocks,
+                    wafer_count,
+                    unit,
+                    emb_step / micro,
+                    head_step / micro,
+                    &wafer_mins,
+                )
+            } else {
+                let weights = interior_weights(&interior, unit, unit_moe);
+                crate::dp::balance_weighted_cuts(
+                    &weights,
+                    wafer_count,
+                    emb_step / micro,
+                    head_step / micro,
+                    &wafer_mins,
+                )
+            };
+            let Ok(cuts) = cuts else { continue };
 
             // Handoffs: only wafer-crossing boundaries pay the link, and
             // each is priced from the boundary tensor at its actual cut.
@@ -276,7 +324,8 @@ impl Dlws {
                 handoff += micro * wafers.inter_wafer_transfer_time(bytes);
             }
 
-            let sum_stages = blocks as f64 * unit + (emb_step + head_step) / micro;
+            let interior_time = dense_blocks as f64 * unit + moe_blocks as f64 * unit_moe;
+            let sum_stages = interior_time + (emb_step + head_step) / micro;
             let step = (micro - 1.0) * cuts.bottleneck + sum_stages + handoff;
             if best.as_ref().map(|b| step < b.step).unwrap_or(true) {
                 best = Some(Winner {
@@ -286,6 +335,7 @@ impl Dlws {
                     emb_step,
                     head_step,
                     unit,
+                    unit_moe,
                     wafer_blocks: cuts.blocks,
                     pace: cuts.bottleneck,
                     bubble: sum_stages - cuts.bottleneck,
@@ -304,6 +354,7 @@ impl Dlws {
             pp_multiplier,
             engine,
             &chain,
+            &interior,
             &candidates,
             &costed,
             &emb_row,
@@ -314,6 +365,9 @@ impl Dlws {
 
     /// Builds the [`MultiWaferPlan`] for a chosen winner: slices the
     /// chain at the cut positions and attaches per-run assignments.
+    /// `interior` is the same (kind, count) run list the cut solver
+    /// balanced over — passed through so the stage-time accounting cannot
+    /// diverge from the cuts it prices.
     #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
@@ -322,6 +376,7 @@ impl Dlws {
         pp_multiplier: usize,
         engine: MappingEngine,
         chain: &SegmentChain,
+        interior: &[(SegmentKind, u64)],
         candidates: &[HybridConfig],
         costed: &[crate::search::CandidateCost],
         emb_row: &[f64],
@@ -380,17 +435,36 @@ impl Dlws {
                     // Per-step execution time of this run's blocks.
                     step_time: count as f64 * w.unit * micro,
                 },
+                SegmentKind::MoeBlock => SegmentAssignment {
+                    kind,
+                    count,
+                    config: body_cfg,
+                    step_time: count as f64 * w.unit_moe * micro,
+                },
             }
         };
 
+        // Per-micro weight of every interior instance, in chain order —
+        // stage times on a mixed chain are weighted sums, not
+        // count x unit.
+        let weights = interior_weights(interior, w.unit, w.unit_moe);
+        let mut weight_prefix = Vec::with_capacity(weights.len() + 1);
+        weight_prefix.push(0.0);
+        for wt in &weights {
+            weight_prefix.push(weight_prefix.last().unwrap() + wt);
+        }
+
         let mut stages = Vec::with_capacity(stage_count);
+        let mut item_start = 0usize;
         for (s, slice) in slices.into_iter().enumerate() {
             let segments: Vec<SegmentAssignment> = slice
                 .segments()
                 .iter()
                 .map(|seg| assignment_for(seg.kind, seg.count))
                 .collect();
-            let mut stage_time = stage_blocks[s] as f64 * w.unit;
+            let item_end = item_start + stage_blocks[s] as usize;
+            let mut stage_time = weight_prefix[item_end] - weight_prefix[item_start];
+            item_start = item_end;
             if s == 0 {
                 stage_time += w.emb_step / micro;
             }
@@ -420,7 +494,6 @@ impl Dlws {
 
         // The body plan mirrors a single-wafer ExecutionPlan: whole-chain
         // assignment plus the chain objective under this pipeline degree.
-        let blocks_total: u64 = w.wafer_blocks.iter().sum();
         let chain_cost = emb_row[w.emb_idx]
             + if w.emb_idx == w.index {
                 0.0
@@ -428,26 +501,37 @@ impl Dlws {
                 micro * self.context().full_reshard_cost()
             }
             + report.block_time()
+            + report.moe_time
             + head_row[w.head_idx]
             + if w.head_idx == w.index {
                 0.0
             } else {
                 micro * self.context().full_reshard_cost()
             };
+        let mut body_segments = vec![assignment_for(SegmentKind::Embedding, 1)];
+        for &(kind, count) in interior {
+            body_segments.push(match kind {
+                SegmentKind::Block => SegmentAssignment {
+                    kind,
+                    count,
+                    config: body_cfg,
+                    step_time: report.block_time(),
+                },
+                SegmentKind::MoeBlock => SegmentAssignment {
+                    kind,
+                    count,
+                    config: body_cfg,
+                    step_time: report.moe_time,
+                },
+                _ => unreachable!("interior runs are blocks"),
+            });
+        }
+        body_segments.push(assignment_for(SegmentKind::Head, 1));
         let body = ExecutionPlan {
             config: body_cfg,
             engine,
             workload,
-            segments: vec![
-                assignment_for(SegmentKind::Embedding, 1),
-                SegmentAssignment {
-                    kind: SegmentKind::Block,
-                    count: blocks_total,
-                    config: body_cfg,
-                    step_time: report.block_time(),
-                },
-                assignment_for(SegmentKind::Head, 1),
-            ],
+            segments: body_segments,
             chain_cost,
             report,
         };
@@ -473,15 +557,31 @@ struct Winner {
     /// Per-step end-segment costs including any resharding boundary.
     emb_step: f64,
     head_step: f64,
-    /// Per-(micro, block) body unit time.
+    /// Per-(micro, instance) body unit times: dense blocks and MoE blocks.
     unit: f64,
-    /// Blocks per wafer.
+    unit_moe: f64,
+    /// Interior instances (dense + MoE blocks) per wafer.
     wafer_blocks: Vec<u64>,
     /// Per-micro load of the most loaded wafer.
     pace: f64,
     bubble: f64,
     handoff: f64,
     step: f64,
+}
+
+/// Per-micro-batch weight of every interior instance in chain order:
+/// dense blocks at `unit`, MoE blocks at `unit_moe`.
+fn interior_weights(interior: &[(SegmentKind, u64)], unit: f64, unit_moe: f64) -> Vec<f64> {
+    let mut weights = Vec::with_capacity(interior.iter().map(|(_, c)| *c as usize).sum());
+    for &(kind, count) in interior {
+        let w = if kind == SegmentKind::MoeBlock {
+            unit_moe
+        } else {
+            unit
+        };
+        weights.extend(std::iter::repeat(w).take(count as usize));
+    }
+    weights
 }
 
 /// Splits one wafer's block allotment across its `m` virtual stages as

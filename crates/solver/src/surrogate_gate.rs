@@ -34,7 +34,7 @@ use temp_mapping::engines::MappingEngine;
 use temp_parallel::memory::per_die_footprint;
 use temp_parallel::strategy::HybridConfig;
 use temp_surrogate::dataset::{Dataset, TargetClass};
-use temp_surrogate::linreg::LinearRegression;
+use temp_surrogate::gate::{GateModel, GatePredictor};
 
 use crate::search::{CandidateCost, SearchContext};
 
@@ -58,6 +58,10 @@ pub struct GateParams {
     /// recorded, and later batches keep twice the worst observed rank
     /// (clamped) instead of the fixed default.
     pub adaptive: bool,
+    /// Which predictor family the per-batch fit uses. LinReg is the
+    /// default until the MLP wins on the recorded rank-of-winner stats
+    /// (see `temp_surrogate::gate`).
+    pub model: GateModel,
 }
 
 impl Default for GateParams {
@@ -67,6 +71,7 @@ impl Default for GateParams {
             train_stride: 8,
             min_batch: 48,
             adaptive: true,
+            model: GateModel::default(),
         }
     }
 }
@@ -160,14 +165,28 @@ pub(crate) fn cost_candidates_gated(
     let train_cfgs: Vec<HybridConfig> = train_idx.iter().map(|&i| candidates[i]).collect();
     let train_costs = ctx.cost_candidates_exact(&train_cfgs, engine);
 
-    // Fit the predictor on the training samples that planned.
+    // Fit the predictor on the training samples that planned. On mixed
+    // dense/MoE chains the MoE run dominates the uniform step time and is
+    // priced *exactly* by the tier-independent segment rows below, so the
+    // predictor is trained on the dense block-only residual instead — a
+    // total-time target would bury the block signal the ranking actually
+    // has to discriminate in the predictor's noise floor.
+    let block_targets = ctx
+        .chain()
+        .find(temp_graph::segment::SegmentKind::MoeBlock)
+        .is_some();
     let mode = base_wl.recompute;
     let mut features = Vec::with_capacity(train_idx.len());
     let mut targets = Vec::with_capacity(train_idx.len());
-    for (cfg, (t, _)) in train_cfgs.iter().zip(&train_costs) {
+    for (cfg, (t, payload)) in train_cfgs.iter().zip(&train_costs) {
         if t.is_finite() {
+            let target = if block_targets {
+                payload.as_ref().map(|(_, r)| r.block_time()).unwrap_or(*t)
+            } else {
+                *t
+            };
             features.push(model.feature_vector(cfg, engine, mode));
-            targets.push(*t);
+            targets.push(target);
         }
     }
     if features.len() < MIN_TRAIN_SAMPLES {
@@ -188,13 +207,29 @@ pub(crate) fn cost_candidates_gated(
         ctx.note_pruned((n - feasible.len()) as u64);
         return out;
     }
-    let predictor = LinearRegression::fit(&Dataset {
-        features,
-        targets,
-        // The class tag is dataset metadata; fitting only reads
-        // features/targets.
-        class: TargetClass::Compute,
-    });
+    // A warm predictor imported from another context (matching feature
+    // layout) skips the per-batch fit entirely; otherwise fit the
+    // configured family and publish it for export. Locally fitted
+    // predictors never short-circuit later batches — each batch fits its
+    // own, which the per-degree winner-retention guarantee relies on.
+    let feature_dim = features.first().map(Vec::len).unwrap_or(0);
+    let predictor = match ctx.imported_gate_predictor() {
+        Some(warm) if warm.feature_dim() == feature_dim => warm,
+        _ => {
+            let fitted = GatePredictor::fit(
+                params.model,
+                &Dataset {
+                    features,
+                    targets,
+                    // The class tag is dataset metadata; fitting only reads
+                    // features/targets.
+                    class: TargetClass::Compute,
+                },
+            );
+            ctx.store_gate_predictor(fitted.clone());
+            fitted
+        }
+    };
 
     // Heterogeneous-chain correction: the DP downstream prices the
     // embedding/head segments from the tier-independent segment table and
@@ -217,46 +252,91 @@ pub(crate) fn cost_candidates_gated(
     let boundary = micro * ctx.full_reshard_cost();
     // The same per-step rows the chain DP consumes
     // (`SearchContext::segment_step_costs` is the single source of truth,
-    // so the correction and the DP objective cannot drift apart).
-    let end_rows = [
-        ctx.segment_step_costs(
-            temp_graph::segment::SegmentKind::Embedding,
-            candidates,
-            engine,
-            base_wl.recompute,
-        ),
-        ctx.segment_step_costs(
-            temp_graph::segment::SegmentKind::Head,
-            candidates,
-            engine,
-            base_wl.recompute,
-        ),
+    // so the correction and the DP objective cannot drift apart). The end
+    // segments pay one resharding boundary to leave the body's strategy;
+    // an interior MoE run pays two (into and out of the run). On mixed
+    // chains this correction is what lets a body candidate with expensive
+    // MoE economics (say, `ep = 1` against wide experts) survive ranking:
+    // the DP will move the MoE run onto an expert-parallel tuple, and the
+    // ranking must price that swap or the block winner gets pruned.
+    let chain = ctx.chain();
+    let mut row_specs: Vec<(temp_graph::segment::SegmentKind, f64)> = vec![
+        (temp_graph::segment::SegmentKind::Embedding, boundary),
+        (temp_graph::segment::SegmentKind::Head, boundary),
     ];
-    // The per-row minima are loop invariants: hoist them so the
-    // correction is O(1) per candidate instead of rescanning both rows.
-    let end_best: Vec<f64> = end_rows
+    if chain
+        .find(temp_graph::segment::SegmentKind::MoeBlock)
+        .is_some()
+    {
+        row_specs.push((temp_graph::segment::SegmentKind::MoeBlock, 2.0 * boundary));
+    }
+    let end_rows: Vec<(Vec<f64>, f64)> = row_specs
         .iter()
-        .map(|row| {
-            row.iter()
-                .copied()
-                .filter(|t| t.is_finite())
-                .fold(f64::INFINITY, f64::min)
+        .map(|&(kind, bnd)| {
+            (
+                ctx.segment_step_costs(kind, candidates, engine, base_wl.recompute),
+                bnd,
+            )
         })
         .collect();
+    // The per-row minima are loop invariants: hoist them so the
+    // correction is O(1) per candidate instead of rescanning the rows.
+    // For the MoE row the batch (ep = 1 body candidates) is not where the
+    // downstream DP shops: its MoE run chooses from the full
+    // expert-parallel space, so the swap target `best` must come from the
+    // full-space row (closed-form, memoized) or the correction would
+    // price swaps against the worst-case ep = 1 economics. The full space
+    // is not narrowed by a baseline's admission filter; at worst that
+    // *under*-prices every candidate's MoE term by the same constant,
+    // which cancels in the ranking.
+    let row_min = |row: &[f64]| {
+        row.iter()
+            .copied()
+            .filter(|t| t.is_finite())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let end_best: Vec<f64> = end_rows
+        .iter()
+        .zip(&row_specs)
+        .map(|((row, _), &(kind, _))| {
+            if kind == temp_graph::segment::SegmentKind::MoeBlock {
+                let pp = candidates.first().map(|c| c.pp).unwrap_or(1);
+                let full_space = ctx.candidates_with_pp(pp);
+                let full_row = ctx.segment_step_costs(kind, &full_space, engine, base_wl.recompute);
+                row_min(&full_row).min(row_min(row))
+            } else {
+                row_min(row)
+            }
+        })
+        .collect();
+    // With block-only targets (`block_targets`, MoE chains) the predictor
+    // never saw the segment rows, so the correction *adds* each row's
+    // effective cost; with total targets (dense chains) the rows are
+    // already inside the prediction and the correction only accounts the
+    // swap saving.
     let chain_correction = |i: usize| -> f64 {
-        let mut effective = [f64::INFINITY; 2];
-        let mut swap_saving = 0.0;
-        for (k, (row, &best)) in end_rows.iter().zip(&end_best).enumerate() {
+        let mut effective = vec![f64::INFINITY; end_rows.len()];
+        let mut value = 0.0;
+        for (k, ((row, bnd), &best)) in end_rows.iter().zip(&end_best).enumerate() {
             let own = row[i];
             if own.is_finite() {
-                effective[k] = (best + boundary).min(own);
-                swap_saving += effective[k] - own;
+                effective[k] = (best + bnd).min(own);
+                value += if block_targets {
+                    effective[k]
+                } else {
+                    effective[k] - own
+                };
             } else {
-                effective[k] = best + boundary;
+                effective[k] = best + bnd;
+                if block_targets {
+                    value += effective[k];
+                }
             }
         }
         // Pipeline overlap of the cheaper end stage (see above): the
         // stage planner exposes roughly one of its `micro` executions.
+        // Interior MoE runs stay pipeline-scaled either way, so only the
+        // two end rows participate.
         let overlap = if candidates[i].pp > 1 {
             let cheaper = effective[0].min(effective[1]);
             if cheaper.is_finite() {
@@ -267,7 +347,7 @@ pub(crate) fn cost_candidates_gated(
         } else {
             0.0
         };
-        swap_saving - overlap
+        value - overlap
     };
 
     // Tier 1: rank every remaining feasible candidate by predicted
@@ -297,24 +377,29 @@ pub(crate) fn cost_candidates_gated(
     // quantity the downstream heterogeneous DP minimizes over block
     // candidates, so it is the retention target the shortlist must cover.
     if params.adaptive {
-        let effective = |i: usize, t: f64| {
-            if t.is_finite() {
-                t + chain_correction(i)
-            } else {
-                t
+        let effective = |i: usize, cost: &CandidateCost| {
+            let (t, payload) = cost;
+            if !t.is_finite() {
+                return *t;
             }
+            let base = if block_targets {
+                payload.as_ref().map(|(_, r)| r.block_time()).unwrap_or(*t)
+            } else {
+                *t
+            };
+            base + chain_correction(i)
         };
         let train_best = train_idx
             .iter()
             .zip(&train_costs)
-            .map(|(&i, (t, _))| effective(i, *t))
+            .map(|(&i, cost)| effective(i, cost))
             .filter(|t| t.is_finite())
             .fold(f64::INFINITY, f64::min);
         let best_survivor = survivors
             .iter()
             .zip(&survivor_costs)
             .enumerate()
-            .map(|(rank, (&i, (t, _)))| (rank, effective(i, *t)))
+            .map(|(rank, (&i, cost))| (rank, effective(i, cost)))
             .filter(|(_, t)| t.is_finite())
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         if let Some((rank, t)) = best_survivor {
@@ -417,6 +502,76 @@ mod tests {
         let costed = ctx.cost_candidates(&candidates, MappingEngine::Tcme);
         assert!(costed.iter().any(|(t, _)| t.is_finite()));
         assert_eq!(ctx.stats().gate_pruned, 0, "small batch must not be gated");
+    }
+
+    #[test]
+    fn mlp_gate_model_also_retains_the_winner() {
+        let exact_ctx = context();
+        let mlp_ctx = context();
+        mlp_ctx.set_cost_tier(CostTier::SurrogateGated);
+        mlp_ctx.set_gate_params(GateParams {
+            model: temp_surrogate::gate::GateModel::Mlp,
+            ..GateParams::default()
+        });
+        let candidates = exact_ctx.candidates().to_vec();
+        let exact = exact_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let gated = mlp_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let argmin = |costs: &[CandidateCost]| {
+            costs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_eq!(
+            argmin(&exact),
+            argmin(&gated),
+            "the exact winner must survive the MLP gate"
+        );
+        assert!(mlp_ctx.stats().gate_pruned > 0);
+        // The fitted predictor is exportable and tagged as an MLP.
+        let text = mlp_ctx.export_gate_predictor().expect("fitted predictor");
+        assert!(text.starts_with("mlp v1"));
+    }
+
+    #[test]
+    fn warm_predictor_crosses_contexts() {
+        // Fit on one context, export, import into a cold context: the
+        // cold gated batch must keep the winner without refitting (the
+        // imported predictor short-circuits the fit), and the import path
+        // rejects garbage.
+        let warm_ctx = context();
+        warm_ctx.set_cost_tier(CostTier::SurrogateGated);
+        let candidates = warm_ctx.candidates().to_vec();
+        let _ = warm_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let text = warm_ctx.export_gate_predictor().expect("fitted predictor");
+        assert!(text.starts_with("linreg v1"), "default family is linreg");
+
+        let cold_ctx = context();
+        cold_ctx.set_cost_tier(CostTier::SurrogateGated);
+        cold_ctx.import_gate_predictor(&text).expect("import");
+        assert!(cold_ctx.import_gate_predictor("garbage").is_err());
+        // (the failed import must not clobber the good one)
+        let gated = cold_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let exact_ctx = context();
+        let exact = exact_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let argmin = |costs: &[CandidateCost]| {
+            costs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_eq!(
+            argmin(&exact),
+            argmin(&gated),
+            "warm-imported gate must keep the winner"
+        );
+        // The imported predictor stayed authoritative (no local refit
+        // overwrote it): the export round-trips the imported text.
+        assert_eq!(cold_ctx.export_gate_predictor().as_deref(), Some(&text[..]));
     }
 
     #[test]

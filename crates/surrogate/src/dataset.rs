@@ -161,6 +161,7 @@ fn kind_code(kind: CollectiveKind) -> f64 {
         CollectiveKind::ReduceScatter => 2.0,
         CollectiveKind::Broadcast => 3.0,
         CollectiveKind::P2pShift => 4.0,
+        CollectiveKind::AllToAll => 5.0,
     }
 }
 

@@ -18,15 +18,19 @@ use temp_graph::workload::{RecomputeMode, Workload};
 use temp_parallel::strategy::HybridConfig;
 use temp_wsc::config::WaferConfig;
 
-/// Number of features produced by [`config_features`].
-pub const CONFIG_FEATURE_DIM: usize = 16;
+/// Number of features produced by [`config_features`] (the final two are
+/// the expert-parallel degree and the all-to-all dispatch volume; both
+/// collapse to constants on dense models).
+pub const CONFIG_FEATURE_DIM: usize = 18;
 
 /// Number of features produced by [`segment_features`] for one segment.
 pub const SEGMENT_FEATURE_DIM: usize = 4;
 
 /// Number of features produced by [`chain_features`]: the configuration
-/// features plus the embedding and head segment summaries.
-pub const CHAIN_FEATURE_DIM: usize = CONFIG_FEATURE_DIM + 2 * SEGMENT_FEATURE_DIM;
+/// features plus the embedding, head and MoE-block segment summaries
+/// (the MoE summary is all-zero for dense models, keeping one fixed
+/// dimension across workloads).
+pub const CHAIN_FEATURE_DIM: usize = CONFIG_FEATURE_DIM + 3 * SEGMENT_FEATURE_DIM;
 
 /// Extracts the feature vector of one evaluation key.
 ///
@@ -56,10 +60,13 @@ pub fn config_features(
         RecomputeMode::Full => 4.0 / 3.0,
         _ => 1.0,
     };
-    // Per-die shares of the three step-time drivers.
+    // Per-die shares of the three step-time drivers. The ep groups fold
+    // into the batch dimension for dense work (the all-to-all rebalances
+    // expert tokens, so total per-die flops stay ep-invariant).
+    let ep_f = cfg.ep.max(1) as f64;
     let flops_per_die =
-        workload.step_flops(model) * recompute_factor / (dp * tp * sp * cp * tatp * pp);
-    let weight_shard = dp * tp * tatp * pp;
+        workload.step_flops(model) * recompute_factor / (dp * ep_f * tp * sp * cp * tatp * pp);
+    let weight_shard = dp * ep_f * tp * tatp * pp;
     let param_bytes_per_die = model.total_params() as f64 * dtype
         / if cfg.fsdp {
             weight_shard
@@ -68,11 +75,27 @@ pub fn config_features(
         };
     let act_bytes_per_die =
         workload.micro_batch_size() as f64 * workload.seq_len as f64 * model.hidden as f64 * dtype
-            / (dp * sp * cp);
+            / (dp * ep_f * sp * cp);
     // TATP stream granularity: the per-round weight chunk (§III-B — fine
     // chunks under-utilize the D2D links, the Fig. 9 tail).
     let stream_chunk =
         model.hidden as f64 * model.ffn_hidden as f64 * dtype / (tp * tatp * tatp * pp);
+    // Expert parallelism: the degree and the all-to-all dispatch payload
+    // each rank exchanges per micro-batch ((ep-1)/ep of the routed token
+    // copies cross group boundaries). Zero-volume (ln floor) on dense
+    // models and at ep = 1.
+    let a2a_volume = match model.moe {
+        Some(moe) if cfg.ep > 1 => {
+            workload.micro_batch_size() as f64 * workload.seq_len as f64 / (dp * ep_f * sp * cp)
+                * moe.top_k as f64
+                * moe.capacity_factor
+                * model.hidden as f64
+                * dtype
+                * (ep_f - 1.0)
+                / ep_f
+        }
+        _ => 0.0,
+    };
     vec![
         ln(dp),
         ln(tp),
@@ -92,6 +115,8 @@ pub fn config_features(
         (pp - 1.0) / (micro + pp - 1.0),
         tatp,
         ln(wafer.die_count() as f64),
+        ln(ep_f),
+        ln(a2a_volume),
     ]
 }
 
@@ -157,6 +182,28 @@ pub fn segment_features(
             ln(h * v * e / vocab_shard * ring(dp)),
             ln(vocab_shard),
         ],
+        SegmentKind::MoeBlock => {
+            // All-zero on dense models so the chain feature vector keeps
+            // one fixed dimension across workloads.
+            let Some(moe) = model.moe else {
+                return vec![0.0; SEGMENT_FEATURE_DIM];
+            };
+            let ep = cfg.ep.max(1) as f64;
+            let routed = moe.top_k as f64 * moe.capacity_factor;
+            let fe = moe.expert_ffn_hidden as f64;
+            vec![
+                // Per-die expert FFN flops: routed tokens sharded over the
+                // full array (dense degrees x ep), three matrices each.
+                ln(6.0 * tokens * routed * 3.0 * h * fe / (degree * ep)),
+                // All-to-all dispatch payload per rank ((ep-1)/ep of the
+                // dp x ep batch shard crosses group boundaries).
+                ln(tokens_local / ep * routed * h * e * (ep - 1.0) / ep),
+                // Locally stored expert weight bytes (E/ep experts).
+                ln(moe.num_experts as f64 / ep * 3.0 * h * fe * e / vocab_shard),
+                // Expert gradient sync volume across DP replicas.
+                ln(moe.num_experts as f64 * 3.0 * h * fe * e / ep * ring(dp)),
+            ]
+        }
     }
 }
 
@@ -186,6 +233,13 @@ pub fn chain_features(
         wafer,
         cfg,
         SegmentKind::Head,
+    ));
+    f.extend(segment_features(
+        model,
+        workload,
+        wafer,
+        cfg,
+        SegmentKind::MoeBlock,
     ));
     f
 }

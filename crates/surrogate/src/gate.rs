@@ -1,0 +1,153 @@
+//! The surrogate gate's predictor family: which model a per-batch fit
+//! uses, and a tier-agnostic handle that can be persisted across search
+//! contexts.
+//!
+//! The two-tier search fits a fresh predictor on every gated batch
+//! (stride-sampled exact costs). [`GateModel`] selects the family:
+//! [`GateModel::LinReg`] (the default — fast, and empirically sufficient
+//! for winner retention across the model zoos) or [`GateModel::Mlp`],
+//! the §VII-A DNN at gate-sized training settings. The fitted
+//! [`GatePredictor`] serializes to the same line-oriented text format as
+//! its underlying model, so a warm predictor can cross contexts (or
+//! processes) and skip the refit entirely.
+//!
+//! LinReg stays the default until the MLP wins on the recorded
+//! rank-of-winner statistics (`adaptive_top_k` in `BENCH_search.json`):
+//! promoting by measurement, not by architecture.
+
+use crate::dataset::Dataset;
+use crate::linreg::LinearRegression;
+use crate::mlp::{Mlp, TrainParams};
+
+/// Which predictor family the surrogate gate fits per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GateModel {
+    /// Ridge-damped linear regression on log targets (the default).
+    #[default]
+    LinReg,
+    /// The `temp_surrogate::mlp` network at gate-sized training settings
+    /// (small hidden width, few epochs — a per-batch fit must stay in the
+    /// microsecond-to-millisecond range).
+    Mlp,
+}
+
+/// MLP training settings for per-batch gate fits: far smaller than the
+/// Fig. 21 offline settings, because the gate refits on every cold batch.
+pub fn gate_mlp_params() -> TrainParams {
+    TrainParams {
+        hidden: 12,
+        epochs: 400,
+        learning_rate: 1e-2,
+        seed: 17,
+    }
+}
+
+/// A fitted gate predictor of either family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatePredictor {
+    /// A fitted linear regression.
+    LinReg(LinearRegression),
+    /// A fitted MLP.
+    Mlp(Box<Mlp>),
+}
+
+impl GatePredictor {
+    /// Fits the selected model family on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset (like the underlying fits).
+    pub fn fit(model: GateModel, data: &Dataset) -> Self {
+        match model {
+            GateModel::LinReg => GatePredictor::LinReg(LinearRegression::fit(data)),
+            GateModel::Mlp => GatePredictor::Mlp(Box::new(Mlp::train(data, &gate_mlp_params()))),
+        }
+    }
+
+    /// The family this predictor belongs to.
+    pub fn model(&self) -> GateModel {
+        match self {
+            GatePredictor::LinReg(_) => GateModel::LinReg,
+            GatePredictor::Mlp(_) => GateModel::Mlp,
+        }
+    }
+
+    /// Predicts one latency (seconds).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        match self {
+            GatePredictor::LinReg(m) => m.predict(features),
+            GatePredictor::Mlp(m) => m.predict(features),
+        }
+    }
+
+    /// The feature dimension the predictor was fitted on — importing a
+    /// persisted predictor into a context with a different feature layout
+    /// must be rejected, not silently mis-predicted.
+    pub fn feature_dim(&self) -> usize {
+        match self {
+            GatePredictor::LinReg(m) => m.feature_dim(),
+            GatePredictor::Mlp(m) => m.feature_dim(),
+        }
+    }
+
+    /// Serializes to the underlying model's text format (the header tags
+    /// the family, so [`GatePredictor::from_text`] dispatches on it).
+    pub fn to_text(&self) -> String {
+        match self {
+            GatePredictor::LinReg(m) => m.to_text(),
+            GatePredictor::Mlp(m) => m.to_text(),
+        }
+    }
+
+    /// Parses a predictor persisted by [`GatePredictor::to_text`],
+    /// dispatching on the header's family tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        match text.split_whitespace().next() {
+            Some("linreg") => LinearRegression::from_text(text).map(GatePredictor::LinReg),
+            Some("mlp") => Mlp::from_text(text).map(|m| GatePredictor::Mlp(Box::new(m))),
+            other => Err(format!("unknown predictor family: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, TargetClass};
+    use crate::metrics::pearson;
+
+    #[test]
+    fn both_families_fit_and_round_trip() {
+        let data = generate(TargetClass::Compute, 150, 13);
+        let (train, test) = data.split(0.8);
+        for model in [GateModel::LinReg, GateModel::Mlp] {
+            let p = GatePredictor::fit(model, &train);
+            assert_eq!(p.model(), model);
+            assert_eq!(p.feature_dim(), train.feature_dim());
+            let pred: Vec<f64> = test.features.iter().map(|f| p.predict(f)).collect();
+            assert!(
+                pearson(&pred, &test.targets) > 0.75,
+                "{model:?} fit too weak"
+            );
+            // Text round trip is bit-exact.
+            let back = GatePredictor::from_text(&p.to_text()).unwrap();
+            assert_eq!(p, back);
+            for f in test.features.iter().take(8) {
+                assert_eq!(p.predict(f).to_bits(), back.predict(f).to_bits());
+            }
+        }
+        assert!(GatePredictor::from_text("bogus v1").is_err());
+        assert!(GatePredictor::from_text("").is_err());
+    }
+
+    #[test]
+    fn default_family_is_linreg() {
+        // LinReg stays the default until the MLP wins on rank-of-winner
+        // statistics (ROADMAP).
+        assert_eq!(GateModel::default(), GateModel::LinReg);
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod dataset;
 pub mod features;
+pub mod gate;
 pub mod linreg;
 pub mod metrics;
 pub mod mlp;
@@ -41,5 +42,6 @@ pub use features::{
     chain_features, config_features, segment_features, CHAIN_FEATURE_DIM, CONFIG_FEATURE_DIM,
     SEGMENT_FEATURE_DIM,
 };
+pub use gate::{GateModel, GatePredictor};
 pub use linreg::LinearRegression;
 pub use mlp::{Mlp, TrainParams};

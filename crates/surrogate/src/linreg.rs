@@ -69,6 +69,11 @@ impl LinearRegression {
         data.features.iter().map(|f| self.predict(f)).collect()
     }
 
+    /// The feature dimension the model was fitted on.
+    pub fn feature_dim(&self) -> usize {
+        self.weights.len()
+    }
+
     /// Serializes the fitted model to a line-oriented text format (the
     /// vendored `serde` stand-in has no real serialization, so persisted
     /// surrogate predictors use this portable representation instead).

@@ -253,6 +253,112 @@ impl Mlp {
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
         data.features.iter().map(|f| self.predict(f)).collect()
     }
+
+    /// The feature dimension the network was trained on.
+    pub fn feature_dim(&self) -> usize {
+        self.w1.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Serializes the trained network to a line-oriented text format (the
+    /// vendored `serde` stand-in has no real serialization; this is the
+    /// same portable representation [`crate::linreg`] uses).
+    ///
+    /// Format: an `mlp v1 <input> <hidden>` header, then one
+    /// whitespace-separated row per `w1` hidden unit, the `b1` row, one
+    /// row per `w2` hidden unit, the `b2` row, the `w3` row, the scalar
+    /// `b3`, and the standardizer's mean/std rows. Floats round-trip
+    /// exactly (shortest `{:?}` representation).
+    pub fn to_text(&self) -> String {
+        let row = |vs: &[f64]| {
+            vs.iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let d = self.w1.first().map(Vec::len).unwrap_or(0);
+        let h = self.b1.len();
+        let mut out = format!("mlp v1 {d} {h}\n");
+        for r in &self.w1 {
+            out.push_str(&row(r));
+            out.push('\n');
+        }
+        out.push_str(&row(&self.b1));
+        out.push('\n');
+        for r in &self.w2 {
+            out.push_str(&row(r));
+            out.push('\n');
+        }
+        out.push_str(&row(&self.b2));
+        out.push('\n');
+        out.push_str(&row(&self.w3));
+        out.push('\n');
+        out.push_str(&format!("{:?}\n", self.b3));
+        out.push_str(&row(self.norm.mean()));
+        out.push('\n');
+        out.push_str(&row(self.norm.std()));
+        out.push('\n');
+        out
+    }
+
+    /// Parses a network serialized by [`Mlp::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> std::result::Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty predictor text")?;
+        let mut parts = header.split_whitespace();
+        if (parts.next(), parts.next()) != (Some("mlp"), Some("v1")) {
+            return Err(format!("unsupported predictor header: {header}"));
+        }
+        let d: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("missing input dimension in header")?;
+        let h: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("missing hidden width in header")?;
+        let mut parse_row = |what: &str, dim: usize| -> std::result::Result<Vec<f64>, String> {
+            let line = lines.next().ok_or(format!("missing {what} row"))?;
+            let vals: Vec<f64> = line
+                .split_whitespace()
+                .map(|v| v.parse::<f64>().map_err(|e| format!("{what}: {e}")))
+                .collect::<std::result::Result<_, _>>()?;
+            if vals.len() != dim {
+                return Err(format!("{what}: expected {dim} values, got {}", vals.len()));
+            }
+            if let Some(bad) = vals.iter().find(|v| !v.is_finite()) {
+                return Err(format!("{what}: non-finite value {bad}"));
+            }
+            Ok(vals)
+        };
+        let w1: Vec<Vec<f64>> = (0..h)
+            .map(|i| parse_row(&format!("w1[{i}]"), d))
+            .collect::<std::result::Result<_, _>>()?;
+        let b1 = parse_row("b1", h)?;
+        let w2: Vec<Vec<f64>> = (0..h)
+            .map(|i| parse_row(&format!("w2[{i}]"), h))
+            .collect::<std::result::Result<_, _>>()?;
+        let b2 = parse_row("b2", h)?;
+        let w3 = parse_row("w3", h)?;
+        let b3 = parse_row("b3", 1)?[0];
+        let mean = parse_row("mean", d)?;
+        let std = parse_row("std", d)?;
+        if let Some(bad) = std.iter().find(|s| **s <= 0.0) {
+            return Err(format!("std: non-positive value {bad}"));
+        }
+        Ok(Mlp {
+            w1,
+            b1,
+            w2,
+            b2,
+            w3,
+            b3,
+            norm: Standardizer::from_parts(mean, std),
+        })
+    }
 }
 
 /// Flat-vector Adam optimizer state.

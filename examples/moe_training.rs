@@ -1,0 +1,88 @@
+//! MoE quickstart: solve the Mixtral-like model on one and two wafers.
+//!
+//! Demonstrates the expert-parallel axis end to end: the mixed
+//! dense/MoE segment chain, the per-segment strategy assignment (the MoE
+//! run picks an `ep > 1` tuple while the dense blocks stay expert-free),
+//! and the two-wafer stage partition whose cuts respect the expert-heavy
+//! stretch.
+
+use temp_repro::core::baselines::BaselineSystem;
+use temp_repro::core::framework::Temp;
+use temp_repro::graph::models::ModelZoo;
+use temp_repro::graph::segment::SegmentKind;
+use temp_repro::wsc::multiwafer::MultiWaferSystem;
+
+fn main() {
+    let model = ModelZoo::mixtral_8x7b();
+    println!("model: {model}");
+    let moe = model.moe.expect("MoE config");
+    println!(
+        "experts: {} (top-{} routing, capacity {:.2}, expert FFN {})",
+        moe.num_experts, moe.top_k, moe.capacity_factor, moe.expert_ffn_hidden
+    );
+
+    // ---- One wafer ------------------------------------------------------
+    let temp = Temp::hpca(model);
+    let plan = temp.solve().expect("Mixtral-like plans on one wafer");
+    println!(
+        "\none wafer: step {:.4} s, chain {:.4} s",
+        plan.report.step_time, plan.chain_cost
+    );
+    for seg in &plan.segments {
+        println!(
+            "  {:>9} x{:<3} -> {:<14} {:.4} s",
+            seg.kind.to_string(),
+            seg.count,
+            seg.config.label(),
+            seg.step_time
+        );
+    }
+    let moe_seg = plan
+        .segments
+        .iter()
+        .find(|s| s.kind == SegmentKind::MoeBlock)
+        .expect("mixed chain has a MoE run");
+    let dense_seg = plan
+        .segments
+        .iter()
+        .find(|s| s.kind == SegmentKind::Block)
+        .expect("mixed chain has a dense run");
+    assert!(
+        moe_seg.config != dense_seg.config && moe_seg.config.ep > 1,
+        "the MoE run must leave the dense blocks' strategy via expert parallelism"
+    );
+
+    // ---- Two wafers ------------------------------------------------------
+    let wafers = MultiWaferSystem::new(temp.wafer().clone(), 2).expect("two wafers");
+    let report = temp.evaluate_multiwafer(&BaselineSystem::temp(), &wafers, 1);
+    let mw = report.plan.as_ref().expect("two-wafer plan");
+    println!(
+        "\ntwo wafers: step {:.4} s (pace {:.4} s, bubble {:.4} s, handoff {:.4} s)",
+        mw.step_time, mw.bottleneck_time, mw.bubble_time, mw.handoff_time
+    );
+    for st in &mw.stages {
+        let kinds: Vec<String> = st
+            .chain
+            .segments()
+            .iter()
+            .map(|s| format!("{}x{}", s.kind, s.count))
+            .collect();
+        println!(
+            "  stage {} (wafer {}): {:<32} {:.4} s{}",
+            st.stage,
+            st.wafer,
+            kinds.join(" + "),
+            st.stage_time,
+            if st.inter_wafer_inbound {
+                "  [inter-wafer in]"
+            } else {
+                ""
+            }
+        );
+    }
+    assert!(mw.step_time.is_finite());
+    println!(
+        "\nthroughput: {:.0} tokens/s",
+        report.throughput(temp.workload())
+    );
+}

@@ -292,3 +292,145 @@ fn enumerated_tuples_cover_dies() {
         }
     }
 }
+
+/// The expert-parallel degree is a *factor* of the die array, never an
+/// overlay: for every enumerated tuple — MoE enumerations included —
+/// `ep x intra_wafer_degree` exactly covers (and so never exceeds) the
+/// die count.
+#[test]
+fn expert_parallel_degree_never_exceeds_the_die_budget() {
+    use temp_repro::solver::search::SearchContext;
+    for exp in 2u32..7 {
+        let dies = 1usize << exp;
+        for max_ep in [1usize, 2, 8, 64] {
+            for fsdp in [false, true] {
+                for cfg in HybridConfig::enumerate_tuples_ep(dies, fsdp, max_ep) {
+                    assert!(
+                        cfg.ep * cfg.intra_wafer_degree() <= dies,
+                        "dies={dies} max_ep={max_ep}: {cfg}"
+                    );
+                    assert_eq!(cfg.ep * cfg.intra_wafer_degree(), dies);
+                    assert!(cfg.validate(dies).is_ok());
+                    assert!(cfg.ep <= max_ep);
+                }
+            }
+        }
+    }
+    // The solver's MoE candidate space obeys the same budget, capped at
+    // the model's expert count.
+    for model in ModelZoo::moe_zoo() {
+        let experts = model.moe.unwrap().num_experts as usize;
+        for cfg in SearchContext::enumerate_moe_candidates(32, experts) {
+            assert!(cfg.ep * cfg.intra_wafer_degree() <= 32, "{cfg}");
+            assert!(cfg.ep <= experts, "{cfg}");
+        }
+    }
+}
+
+/// Mixed dense/MoE chains slice exactly like dense ones: every stage
+/// slicing partitions the expanded chain (no instance lost, duplicated
+/// or reordered; params conserved), and the boundary tensor after a MoE
+/// instance is the combine output — the residual stream `B x S x H`, not
+/// the routed expert copies.
+#[test]
+fn mixed_chains_partition_exactly_and_bound_with_the_combine_output() {
+    use temp_repro::graph::segment::SegmentChain;
+    let mut rng = StdRng::seed_from_u64(0x40E5);
+    for model in ModelZoo::moe_zoo() {
+        let workload = Workload::for_model(&model);
+        let chain = SegmentChain::for_model(&model, &workload);
+        let len = chain.expanded_len();
+        assert_eq!(len, model.layers + 2, "{}", model.name);
+        // The combine-output identity at every MoE boundary.
+        let sbh = workload.micro_batch_size() as f64
+            * workload.seq_len as f64
+            * model.hidden as f64
+            * workload.compute_dtype.bytes() as f64;
+        for cut in 1..len {
+            let produced_by_moe = chain.kind_at(cut - 1) == Some(SegmentKind::MoeBlock);
+            let bytes = chain.boundary_activation_bytes(cut).unwrap();
+            assert_eq!(bytes, sbh, "{}: cut {cut}", model.name);
+            if produced_by_moe {
+                // The stored activations of a MoE instance are far larger
+                // than its boundary tensor: the cut moves the combine
+                // output only.
+                let moe = chain.find(SegmentKind::MoeBlock).unwrap();
+                assert!(moe.activation_bytes > bytes, "{}", model.name);
+            }
+        }
+        // Random stage slicings partition the chain exactly.
+        for _ in 0..16 {
+            let n_cuts = rng.gen_range(1..6u64);
+            let mut cuts: Vec<u64> = (0..n_cuts).map(|_| rng.gen_range(1..len)).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let stages = chain
+                .split_at(&cuts)
+                .unwrap_or_else(|| panic!("{}: cuts {cuts:?}", model.name));
+            let expanded: Vec<_> = stages
+                .iter()
+                .flat_map(|s| {
+                    s.segments()
+                        .iter()
+                        .flat_map(|seg| std::iter::repeat_n(seg.kind, seg.count as usize))
+                })
+                .collect();
+            let reference: Vec<_> = (0..len).map(|i| chain.kind_at(i).unwrap()).collect();
+            assert_eq!(expanded, reference, "{}: cuts {cuts:?}", model.name);
+            let params: u64 = stages.iter().map(SegmentChain::total_params).sum();
+            assert_eq!(params, chain.total_params(), "{}", model.name);
+        }
+    }
+}
+
+/// The stage-partitioned planner on MoE chains, two wafers: never worse
+/// than the uniform-multiplier baseline (which serializes the ends and
+/// prices every stage border at inter-wafer cost), and the weighted cuts
+/// keep every wafer non-empty while the chain partitions exactly.
+#[test]
+fn stage_plans_dominate_uniform_on_moe_chains_at_two_wafers() {
+    use temp_repro::core::baselines::BaselineSystem;
+    use temp_repro::core::framework::Temp;
+    use temp_repro::wsc::multiwafer::MultiWaferSystem;
+
+    for model in ModelZoo::moe_zoo() {
+        let name = model.name.clone();
+        let temp = Temp::hpca(model);
+        let system = BaselineSystem::temp();
+        let wafers = MultiWaferSystem::new(temp.wafer().clone(), 2).unwrap();
+        let staged = temp.evaluate_multiwafer(&system, &wafers, 1);
+        let uniform = temp.evaluate_multiwafer_uniform(&system, &wafers, 1);
+        assert!(!staged.oom, "{name}");
+        assert!(!uniform.oom, "{name}");
+        assert!(
+            staged.step_time() <= uniform.step_time() * (1.0 + 1e-9),
+            "{name}: staged {} above uniform {}",
+            staged.step_time(),
+            uniform.step_time()
+        );
+        let plan = staged.plan.as_ref().unwrap();
+        assert_eq!(plan.stage_count(), 2, "{name}");
+        // The stage slices reassemble the whole mixed chain.
+        let total: u64 = plan.stages.iter().map(|st| st.chain.expanded_len()).sum();
+        assert_eq!(total, model_chain_len(&temp), "{name}");
+        // Both wafers carry interior instances and the MoE run appears in
+        // the slices.
+        for st in &plan.stages {
+            assert!(st.chain.expanded_len() > 0, "{name}");
+        }
+        let moe_in_stages: u64 = plan
+            .stages
+            .iter()
+            .filter_map(|st| st.chain.find(SegmentKind::MoeBlock).map(|s| s.count))
+            .sum();
+        assert_eq!(
+            moe_in_stages,
+            temp.model().moe_layer_count(),
+            "{name}: MoE instances must partition across stages"
+        );
+    }
+
+    fn model_chain_len(temp: &temp_repro::core::framework::Temp) -> u64 {
+        temp.model().layers + 2
+    }
+}

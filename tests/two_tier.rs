@@ -118,6 +118,66 @@ fn gated_matches_exact_on_a_heterogeneous_chain() {
     assert_eq!(exact, gated, "gated and exact plans must be identical");
 }
 
+/// The winner-retention guarantee on **MoE chains**: for every MoE zoo
+/// model the gated solve (cold context) must select the identical plan —
+/// including the per-segment assignment, where the MoE run picks an
+/// expert-parallel tuple — to exhaustive exact search. On mixed chains
+/// the gate trains its predictor on the dense block-only residual and
+/// adds the tier-independent segment rows in closed form (the MoE row
+/// dominates the step time, so a total-time target would bury the block
+/// signal the ranking has to discriminate); this test is what holds that
+/// construction to the same bar as the dense zoo.
+#[test]
+fn gated_search_matches_exhaustive_on_the_moe_zoo() {
+    for model in ModelZoo::moe_zoo() {
+        let name = model.name.clone();
+        let workload = Workload::for_model(&model);
+        let ctx = std::sync::Arc::new(SearchContext::new(WaferCostModel::new(
+            WaferConfig::hpca(),
+            model,
+            workload,
+        )));
+        let solver = Dlws::from_context(ctx.clone());
+
+        ctx.set_cost_tier(CostTier::SurrogateGated);
+        let gated = solver.solve().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let after_gated = ctx.stats();
+
+        ctx.set_cost_tier(CostTier::Exact);
+        let exact = solver.solve().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let after_exact = ctx.stats();
+
+        assert_eq!(
+            gated, exact,
+            "{name}: gated plan must equal the exhaustive plan"
+        );
+        assert!(
+            after_gated.gate_pruned > 0,
+            "{name}: the gate never engaged ({after_gated:?})"
+        );
+        assert!(
+            after_gated.misses < after_exact.misses,
+            "{name}: the gated solve must cost strictly fewer candidates \
+             ({after_gated:?} vs {after_exact:?})"
+        );
+        // The retained plan exercises the expert-parallel axis: the MoE
+        // run's strategy is not the dense blocks'.
+        use temp_repro::graph::segment::SegmentKind;
+        let moe = exact
+            .segments
+            .iter()
+            .find(|s| s.kind == SegmentKind::MoeBlock)
+            .unwrap_or_else(|| panic!("{name}: no MoE run in the solved chain"));
+        let dense = exact
+            .segments
+            .iter()
+            .find(|s| s.kind == SegmentKind::Block)
+            .unwrap_or_else(|| panic!("{name}: no dense run in the solved chain"));
+        assert_ne!(moe.config, dense.config, "{name}");
+        assert!(moe.config.ep > 1, "{name}: MoE run stayed at ep = 1");
+    }
+}
+
 /// The per-degree batch mode of the gate: a surrogate-gated multi-wafer
 /// sweep must select plans identical to the exact sweep — every degree's
 /// batch is ranked and shortlisted on its own, so the winner-retention
