@@ -1,16 +1,25 @@
 //! §VIII-H: DLS search time vs the exact (ILP-style) baseline, plus the
-//! search-pipeline regression benchmark: serial vs parallel candidate
-//! costing, the two-tier surrogate gate vs exhaustive exact costing, and
-//! the candidate-cache hit rate of the seven-system sweep.
+//! search-pipeline regression benchmark: serial vs scoped-thread vs
+//! work-stealing-pool candidate costing, the two-tier surrogate gate vs
+//! exhaustive exact costing, the candidate-cache hit rate of the
+//! seven-system sweep, and the persisted-cache warm start over the fig13
+//! zoo.
 //!
 //! Machine-readable results are emitted as single-line JSON records
 //! (prefix `{"bench":"search_time",...}`) for the bench trajectory.
 //! With `--json <path>` the binary additionally writes one consolidated
 //! `BENCH_search.json` record so the perf trajectory is machine-tracked
-//! across PRs. With `--check <path>` the fresh gated eval count is diffed
-//! against a committed baseline record and the process exits non-zero on
-//! a >20% eval-count regression — the CI bench-regression gate.
+//! across PRs. With `--check <path>` the fresh gated eval counts are
+//! diffed against a committed baseline record (>20% regression fails),
+//! the warm start must replay with ≤10% of the cold evaluations, and on
+//! a ≥4-core runner the pool must beat serial costing by >1.5x — the CI
+//! bench-regression gates. With `--warm-smoke --cache-dir <dir>` the
+//! binary instead runs one leg of the cross-process warm-start smoke:
+//! the first invocation solves the zoo cold and persists its caches, the
+//! second re-solves warm and fails unless evaluations dropped ≥90% with
+//! identical plans.
 
+use std::path::Path;
 use std::time::Instant;
 
 use temp_bench::header;
@@ -22,7 +31,8 @@ use temp_solver::cost::WaferCostModel;
 use temp_solver::dlws::Dlws;
 use temp_solver::dp::solve_chain;
 use temp_solver::ilp::solve_exact;
-use temp_solver::par::available_workers;
+use temp_solver::par::{available_workers, par_map_scoped};
+use temp_solver::pool::ContextPool;
 use temp_solver::search::SearchContext;
 use temp_wsc::config::WaferConfig;
 
@@ -54,8 +64,100 @@ fn json_u64_field(record: &str, field: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Solves the fig13 zoo on one pool, returning per-model plan
+/// fingerprints and the total exact-evaluation count.
+fn solve_zoo(pool: &ContextPool) -> (Vec<String>, u64) {
+    let mut plans = Vec::new();
+    let mut evals = 0u64;
+    for model in ModelZoo::table2() {
+        let workload = Workload::for_model(&model);
+        let plan = pool
+            .solver(&model, &workload)
+            .solve()
+            .expect("zoo model must solve");
+        evals += pool.context(&model, &workload).stats().misses;
+        // `{:?}` renders the step time bit-exactly, so matching
+        // fingerprints mean matching plans, not just matching labels.
+        plans.push(format!(
+            "{} {} {:?}",
+            model.name,
+            plan.config.label(),
+            plan.report.step_time
+        ));
+    }
+    (plans, evals)
+}
+
+/// One leg of the cross-process warm-start smoke (`--warm-smoke`): cold
+/// legs solve and persist, warm legs (a `meta.txt` already exists) load
+/// the persisted caches and must replay the identical plans with ≤10% of
+/// the cold leg's evaluations. Returns the process exit code.
+fn warm_smoke(dir: &Path) -> i32 {
+    let meta_path = dir.join("meta.txt");
+    let pool = ContextPool::new(WaferConfig::hpca());
+    match std::fs::read_to_string(&meta_path) {
+        Ok(meta) => {
+            let mut lines = meta.lines();
+            let cold_evals: u64 = lines
+                .next()
+                .and_then(|l| l.strip_prefix("cold_evals "))
+                .and_then(|v| v.parse().ok())
+                .expect("malformed meta.txt");
+            let cold_plans: Vec<&str> = lines.collect();
+            pool.load_from(dir).expect("load persisted caches");
+            let (plans, warm_evals) = solve_zoo(&pool);
+            println!(
+                "warm leg: {warm_evals} evals vs {cold_evals} cold ({:.1}% of cold)",
+                100.0 * warm_evals as f64 / cold_evals.max(1) as f64
+            );
+            if plans != cold_plans {
+                eprintln!("FAIL: warm-start plans differ from the cold leg's");
+                for (c, w) in cold_plans.iter().zip(&plans) {
+                    if c != w {
+                        eprintln!("  cold: {c}\n  warm: {w}");
+                    }
+                }
+                return 1;
+            }
+            if warm_evals * 10 > cold_evals {
+                eprintln!(
+                    "FAIL: warm start needed {warm_evals} evals, more than 10% of the \
+                     {cold_evals} cold evals"
+                );
+                return 1;
+            }
+            println!("warm-start smoke passed: identical plans, ≥90% fewer evaluations");
+            0
+        }
+        Err(_) => {
+            let (plans, cold_evals) = solve_zoo(&pool);
+            pool.save_to(dir).expect("persist caches");
+            let mut meta = format!("cold_evals {cold_evals}\n");
+            for plan in &plans {
+                meta.push_str(plan);
+                meta.push('\n');
+            }
+            std::fs::write(&meta_path, meta).expect("write meta.txt");
+            println!(
+                "cold leg: {cold_evals} evals over {} models, caches saved to {}",
+                plans.len(),
+                dir.display()
+            );
+            0
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--warm-smoke") {
+        let dir = args
+            .iter()
+            .position(|a| a == "--cache-dir")
+            .and_then(|i| args.get(i + 1))
+            .expect("--warm-smoke requires --cache-dir <dir>");
+        std::process::exit(warm_smoke(Path::new(dir)));
+    }
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -104,7 +206,7 @@ fn main() {
         plan.config.label()
     );
 
-    header("search pipeline: serial vs parallel candidate costing");
+    header("search pipeline: serial vs scoped-thread vs work-stealing-pool costing");
     let threads = available_workers();
     let serial_ctx = context();
     serial_ctx.set_parallel(false);
@@ -113,21 +215,33 @@ fn main() {
     let _ = serial_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
     let serial_s = t0.elapsed().as_secs_f64();
 
-    let parallel_ctx = context();
+    // Scoped-thread baseline: the seed's spawn-per-call strategy, kept
+    // so the pool's win over it is measured, not assumed.
+    let scoped_ctx = context();
     let t0 = Instant::now();
-    let _ = parallel_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
-    let parallel_s = t0.elapsed().as_secs_f64();
+    let _ = par_map_scoped(threads, &candidates, |c| {
+        scoped_ctx.cost_of(c, MappingEngine::Tcme)
+    });
+    let scoped_s = t0.elapsed().as_secs_f64();
 
-    let speedup = serial_s / parallel_s.max(1e-9);
+    // Pool path: what `cost_candidates` actually runs in production —
+    // the persistent work-stealing runtime behind `par_map`.
+    let pool_ctx = context();
+    let t0 = Instant::now();
+    let _ = pool_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+    let pool_s = t0.elapsed().as_secs_f64();
+
+    let speedup = serial_s / scoped_s.max(1e-9);
+    let pool_speedup = serial_s / pool_s.max(1e-9);
     println!(
-        "{} candidates, {threads} worker thread(s): serial {serial_s:.3} s, parallel {parallel_s:.3} s ({speedup:.2}x)",
+        "{} candidates, {threads} worker thread(s): serial {serial_s:.3} s, scoped {scoped_s:.3} s ({speedup:.2}x), pool {pool_s:.3} s ({pool_speedup:.2}x)",
         candidates.len()
     );
     if threads == 1 {
-        println!("(single core: the parallel path degrades to the serial loop by design)");
+        println!("(single core: both parallel paths degrade to the serial loop by design)");
     }
     println!(
-        "{{\"bench\":\"search_time\",\"metric\":\"costing\",\"candidates\":{},\"threads\":{threads},\"serial_s\":{serial_s:.6},\"parallel_s\":{parallel_s:.6},\"speedup\":{speedup:.4}}}",
+        "{{\"bench\":\"search_time\",\"metric\":\"costing\",\"candidates\":{},\"threads\":{threads},\"serial_s\":{serial_s:.6},\"scoped_s\":{scoped_s:.6},\"pool_s\":{pool_s:.6},\"speedup\":{speedup:.4},\"pool_speedup\":{pool_speedup:.4}}}",
         candidates.len()
     );
 
@@ -292,9 +406,57 @@ fn main() {
         "second sweep {second_sweep_s:.3} s ({second_misses} new misses, hit rate {:.1}%)",
         100.0 * second_hit_rate
     );
+    // Per-tier attribution: the 0.10 headline rate is the cold pass
+    // diluting the ratio — the exact tier itself, and the warm replay
+    // above all, sit far higher.
     println!(
-        "{{\"bench\":\"search_time\",\"metric\":\"cache\",\"first_sweep_s\":{first_sweep_s:.6},\"second_sweep_s\":{second_sweep_s:.6},\"first_sweep_misses\":{},\"first_sweep_hits\":{},\"second_sweep_hit_rate\":{second_hit_rate:.4}}}",
-        after_first.misses, after_first.hits
+        "per-tier: exact {}/{} ({:.1}%), gated {}/{} ({:.1}%), segment-table hits {}",
+        after_second.exact_hits,
+        after_second.exact_hits + after_second.exact_misses,
+        100.0 * after_second.exact_hit_rate(),
+        after_second.gated_hits,
+        after_second.gated_hits + after_second.gated_misses,
+        100.0 * after_second.gated_hit_rate(),
+        after_second.seg_hits
+    );
+    println!(
+        "{{\"bench\":\"search_time\",\"metric\":\"cache\",\"first_sweep_s\":{first_sweep_s:.6},\"second_sweep_s\":{second_sweep_s:.6},\"first_sweep_misses\":{},\"first_sweep_hits\":{},\"second_sweep_hit_rate\":{second_hit_rate:.4},\"exact_hit_rate\":{:.4},\"gated_hit_rate\":{:.4},\"seg_hits\":{}}}",
+        after_first.misses,
+        after_first.hits,
+        after_second.exact_hit_rate(),
+        after_second.gated_hit_rate(),
+        after_second.seg_hits
+    );
+
+    header("persisted-cache warm start: fig13 zoo, export -> fresh pool -> import");
+    // The in-process equivalent of the `--warm-smoke` CI legs: a cold
+    // pool solves the six-model zoo, persists every context's cost
+    // table, and a brand-new pool importing those files must replay the
+    // identical plans while running almost no exact evaluations.
+    let warm_dir = std::env::temp_dir().join(format!("temp-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let cold_pool = ContextPool::new(WaferConfig::hpca());
+    let t0 = Instant::now();
+    let (cold_fps, cold_evals) = solve_zoo(&cold_pool);
+    let cold_zoo_s = t0.elapsed().as_secs_f64();
+    let saved = cold_pool.save_to(&warm_dir).expect("persist zoo caches");
+    let warm_pool = ContextPool::new(WaferConfig::hpca());
+    warm_pool.load_from(&warm_dir).expect("import zoo caches");
+    let t0 = Instant::now();
+    let (warm_fps, warm_evals) = solve_zoo(&warm_pool);
+    let warm_zoo_s = t0.elapsed().as_secs_f64();
+    let warm_plans_match = cold_fps == warm_fps;
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    println!(
+        "cold zoo solve {cold_zoo_s:.3} s ({cold_evals} evals over {} models, {saved} caches saved)",
+        cold_fps.len()
+    );
+    println!(
+        "warm zoo solve {warm_zoo_s:.3} s ({warm_evals} evals, {:.1}% of cold), plans match: {warm_plans_match}",
+        100.0 * warm_evals as f64 / cold_evals.max(1) as f64
+    );
+    println!(
+        "{{\"bench\":\"search_time\",\"metric\":\"warm_start\",\"cold_s\":{cold_zoo_s:.6},\"warm_s\":{warm_zoo_s:.6},\"cold_evals\":{cold_evals},\"warm_evals\":{warm_evals},\"plans_match\":{warm_plans_match}}}"
     );
 
     header("chain assignment: DP (DLS level 1) vs exact branch-and-bound (ILP stand-in)");
@@ -336,18 +498,23 @@ fn main() {
         let record = format!(
             concat!(
                 "{{\"bench\":\"search_time\",\"model\":\"GPT-3 6.7B\",\"threads\":{},",
-                "\"serial_s\":{:.6},\"parallel_s\":{:.6},\"parallel_speedup\":{:.4},",
+                "\"serial_s\":{:.6},\"scoped_s\":{:.6},\"pool_s\":{:.6},",
+                "\"parallel_speedup\":{:.4},\"pool_speedup\":{:.4},",
                 "\"exact_cold_s\":{:.6},\"gated_cold_s\":{:.6},\"gated_speedup\":{:.4},",
                 "\"gated_evals\":{},\"gate_pruned\":{},\"adaptive_top_k\":{},",
                 "\"plans_match\":{},\"multiwafer_gated_evals\":{},",
                 "\"multiwafer_exact_evals\":{},\"multiwafer_plans_match\":{},",
                 "\"moe_gated_evals\":{},\"moe_exact_evals\":{},\"moe_plans_match\":{},",
-                "\"sweep_cache_hit_rate\":{:.4}}}\n"
+                "\"sweep_cache_hit_rate\":{:.4},\"sweep_exact_hit_rate\":{:.4},",
+                "\"sweep_gated_hit_rate\":{:.4},\"sweep_seg_hits\":{},",
+                "\"cold_evals\":{},\"warm_evals\":{},\"warm_plans_match\":{}}}\n"
             ),
             threads,
             serial_s,
-            parallel_s,
+            scoped_s,
+            pool_s,
             speedup,
+            pool_speedup,
             exact_cold_s,
             gated_cold_s,
             gated_speedup,
@@ -362,6 +529,12 @@ fn main() {
             moe_exact_evals,
             moe_plans_match,
             after_first.hit_rate(),
+            after_second.exact_hit_rate(),
+            after_second.gated_hit_rate(),
+            after_second.seg_hits,
+            cold_evals,
+            warm_evals,
+            warm_plans_match,
         );
         std::fs::write(&path, &record).expect("write bench JSON");
         println!("\nwrote {path}");
@@ -389,9 +562,35 @@ fn main() {
                 failed = true;
             }
         }
+        // Warm-start gate: persisted caches must cut the zoo re-solve to
+        // ≤10% of the cold evaluations and replay identical plans.
+        println!(
+            "warm-start check: {warm_evals} warm vs {cold_evals} cold evals, plans match: {warm_plans_match}"
+        );
+        if warm_evals * 10 > cold_evals || !warm_plans_match {
+            eprintln!("FAIL: warm start must replay identical plans with ≤10% of the cold evals");
+            failed = true;
+        }
+
+        // Pool gate: on a real multi-core runner the persistent pool must
+        // beat serial costing by >1.5x. A 1-thread leg of the CI matrix
+        // (or this container's single core) cannot show a speedup, so the
+        // gate only arms at 4+ workers.
+        if threads >= 4 {
+            println!("pool-speedup check: {pool_speedup:.2}x at {threads} threads (limit >1.50x)");
+            if pool_speedup <= 1.5 {
+                eprintln!("FAIL: pool speedup {pool_speedup:.2}x <= 1.5x at {threads} threads");
+                failed = true;
+            }
+        } else {
+            println!(
+                "pool-speedup check skipped ({threads} thread(s) < 4: no parallelism to measure)"
+            );
+        }
+
         if failed {
             std::process::exit(1);
         }
-        println!("eval-count regression checks passed");
+        println!("bench regression checks passed");
     }
 }

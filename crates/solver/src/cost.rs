@@ -130,6 +130,13 @@ pub struct SegmentCost {
     pub fits_memory: bool,
 }
 
+/// Revision of the cost model's *semantics*. Bump whenever a change makes
+/// previously-computed [`CostReport`]s stale (new cost terms, changed
+/// equations, new report fields) — persisted caches are keyed by this, so
+/// a bump invalidates every existing warm-start file instead of silently
+/// serving answers from an older model.
+pub const COST_MODEL_VERSION: u32 = 1;
+
 /// The analytic wafer cost model.
 #[derive(Debug, Clone)]
 pub struct WaferCostModel {
@@ -177,6 +184,21 @@ impl WaferCostModel {
     /// The workload.
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// Fingerprint of everything an evaluation's answer depends on: the
+    /// full `(wafer, model, workload)` triple plus [`COST_MODEL_VERSION`].
+    /// Persisted caches are keyed by this, so a cache written under any
+    /// other wafer geometry, model shape, workload or cost-model revision
+    /// is rejected on import. Hashes the `Debug` renderings — they cover
+    /// every field, and adding a field changes the rendering, which is
+    /// exactly the conservatism a cache key wants.
+    pub fn fingerprint(&self) -> u64 {
+        let ident = format!(
+            "temp-cost v{} | {:?} | {:?} | {:?}",
+            COST_MODEL_VERSION, self.wafer, self.model, self.workload
+        );
+        crate::persist::fnv1a(ident.as_bytes())
     }
 
     /// Cheap analytic surrogate features of one evaluation key — the

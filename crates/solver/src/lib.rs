@@ -22,7 +22,10 @@
 //! * [`surrogate_gate`] — tier 1 of the two-tier pipeline: a learned
 //!   predictor ranks candidate batches so the exact model only runs on
 //!   the top-K survivors (§VII-A);
-//! * [`par`] — the scoped-thread data-parallel map the search uses;
+//! * [`runtime`] — the persistent work-stealing thread pool (Chase–Lev
+//!   deques, chunked tasks, nested submission) every batch path runs on;
+//! * [`par`] — the data-parallel map facade over the runtime, with an
+//!   adaptive serial cutoff and the retained scoped-thread baseline;
 //! * [`dlws`] — the end-to-end solver: enumerate → cost → DP → GA → plan;
 //! * [`stage`] — stage-partitioned multi-wafer planning: pipeline stages
 //!   as contiguous segment-chain slices, with cut positions, per-stage
@@ -51,7 +54,9 @@ pub mod dp;
 pub mod ga;
 pub mod ilp;
 pub mod par;
+pub mod persist;
 pub mod pool;
+pub mod runtime;
 pub mod search;
 pub mod stage;
 pub mod surrogate_gate;
@@ -60,7 +65,7 @@ pub use cost::{CostReport, SegmentCost, WaferCostModel};
 pub use dlws::{Dlws, ExecutionPlan, SegmentAssignment};
 pub use dp::DpError;
 pub use pool::ContextPool;
-pub use search::{CostTier, SearchContext, SearchStats};
+pub use search::{CostTier, ImportSummary, SearchContext, SearchStats};
 pub use stage::{MultiWaferPlan, StagePlan};
 pub use surrogate_gate::GateParams;
 

@@ -1,20 +1,36 @@
-//! Minimal data-parallel map over scoped threads.
+//! Data-parallel map facade over the work-stealing runtime.
 //!
 //! The offline build environment has no rayon, so candidate costing uses
-//! this hand-rolled equivalent of `par_iter().map().collect()`: a shared
-//! atomic work index, one worker per available core (capped by item
-//! count), and order-preserving result assembly. Workers pull items one
-//! at a time, which load-balances the skewed per-candidate costing times
-//! (mapping a 32-die TATP ring costs far more than pure DP).
+//! this hand-rolled equivalent of `par_iter().map().collect()`. Two
+//! implementations live here:
+//!
+//! * [`par_map`] — the production path: dispatches onto the persistent
+//!   [`crate::runtime`] work-stealing pool, with an **adaptive serial
+//!   cutoff**. Each call site class keeps an EWMA of its observed
+//!   per-item cost ([`ParClass`]); when `items × estimate` falls below
+//!   the dispatch threshold the map runs inline, so tiny batches (a
+//!   handful of DP transitions) never pay queue traffic, while real
+//!   costing batches fan out in ~100 µs chunks.
+//! * [`par_map_scoped`] — the retained scoped-thread baseline (one fresh
+//!   thread per worker per call, shared atomic work index). Benchmarks
+//!   keep it alive so `BENCH_search.json` can report `pool_speedup`
+//!   against the very implementation it replaced; results are written
+//!   straight into pre-allocated slots (no `Vec<Option<R>>` pass).
+//!
+//! `TEMP_THREADS` (clamped to the machine's `available_parallelism`)
+//! controls the worker count of both paths and the size of the global
+//! pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::runtime;
 
 /// Number of workers a parallel map would use on this machine.
 ///
 /// Honors a `TEMP_THREADS` environment override (clamped to the machine's
 /// `available_parallelism`) so CI and benchmarks can pin worker counts
 /// reproducibly; unset, zero or unparsable values fall back to the
-/// hardware count.
+/// hardware count. The global pool is sized from this on first use.
 pub fn available_workers() -> usize {
     let hardware = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -32,22 +48,148 @@ fn clamp_override(raw: Option<&str>, hardware: usize) -> usize {
     }
 }
 
-/// Maps `f` over `items`, preserving order, using up to
-/// [`available_workers`] scoped threads. Falls back to a plain serial map
-/// when only one worker is available (or there is at most one item), so
-/// single-core machines pay no thread overhead.
+/// Dispatching below this total estimated batch cost is not worth the
+/// queue round-trip (measured: external submission costs tens of µs).
+const DISPATCH_THRESHOLD_NS: u64 = 300_000;
+
+/// Target per-chunk duration: long enough to amortize one task's queue
+/// traffic, short enough that a skewed batch still steals well.
+const TARGET_CHUNK_NS: u64 = 100_000;
+
+/// Per-call-site cost class: a lock-free EWMA of observed per-item nanos.
+///
+/// Each logical kind of batch (candidate costing, stage winner scan, ...)
+/// declares one `static CLASS: ParClass = ParClass::new();` so cheap maps
+/// do not pollute the estimate of expensive ones. A fresh class starts
+/// with no estimate and dispatches its first non-trivial batch to the
+/// pool to learn one.
+pub struct ParClass {
+    /// EWMA of per-item nanos; 0 = no observation yet.
+    ewma_ns: AtomicU64,
+}
+
+impl ParClass {
+    /// Const-constructible so classes can live in statics.
+    pub const fn new() -> Self {
+        ParClass {
+            ewma_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Current per-item estimate, if any batch has been observed.
+    pub fn estimate_ns(&self) -> Option<u64> {
+        match self.ewma_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// Folds one observed batch into the EWMA (α = 1/4). Racy updates
+    /// just blend two observations — precision is not needed here.
+    fn observe(&self, total_ns: u64, items: usize) {
+        if items == 0 {
+            return;
+        }
+        let per_item = (total_ns / items as u64).max(1);
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            per_item
+        } else {
+            old - old / 4 + per_item / 4
+        };
+        self.ewma_ns.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Whether a batch of `n` items is worth dispatching, and with what
+    /// chunk size. `None` = run serial.
+    fn plan(&self, n: usize, workers: usize) -> Option<usize> {
+        if workers <= 1 || n <= 1 {
+            return None;
+        }
+        match self.estimate_ns() {
+            Some(est) => {
+                if (n as u64).saturating_mul(est) < DISPATCH_THRESHOLD_NS {
+                    return None;
+                }
+                let chunk = (TARGET_CHUNK_NS / est).max(1) as usize;
+                // Keep at least ~2 chunks per worker for stealing slack.
+                Some(chunk.min(n.div_ceil(workers * 2)).max(1))
+            }
+            // Unknown cost: dispatch to learn, with conservative chunks.
+            None => Some((n / (workers * 8)).max(1)),
+        }
+    }
+}
+
+impl Default for ParClass {
+    fn default() -> Self {
+        ParClass::new()
+    }
+}
+
+/// The default cost class used by [`par_map`] — candidate costing, the
+/// dominant batch shape in the solver.
+static COSTING_CLASS: ParClass = ParClass::new();
+
+/// Maps `f` over `items`, preserving order, on the global work-stealing
+/// pool, with the default (candidate-costing) cost class. Falls back to a
+/// plain serial map when the batch is too small to be worth dispatching.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_with(available_workers(), items, f)
+    par_map_class(&COSTING_CLASS, items, f)
 }
 
-/// As [`par_map`] with an explicit worker count (benchmarks use this to
-/// compare serial and parallel paths on the same machine).
+/// As [`par_map`] with an explicit [`ParClass`], so call sites with very
+/// different per-item costs keep separate serial-cutoff estimates.
+pub fn par_map_class<T, R, F>(class: &ParClass, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let pool = runtime::global();
+    let Some(chunk) = class.plan(n, pool.workers()) else {
+        return items.iter().map(f).collect();
+    };
+    let start = std::time::Instant::now();
+    let out = pool.map(items, &f, chunk);
+    class.observe(start.elapsed().as_nanos() as u64, n);
+    out
+}
+
+/// As [`par_map`] with an explicit worker count. `workers <= 1` runs
+/// serial; otherwise the global pool executes the batch (an explicit
+/// count larger than the pool merely saturates it — benchmarks use
+/// `TEMP_THREADS` to actually size the pool).
 pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let pool = runtime::global();
+    let chunk = (n / (pool.workers().max(1) * 4)).max(1);
+    pool.map(items, &f, chunk)
+}
+
+/// The retained scoped-thread baseline: spawns `workers` fresh threads,
+/// pulls items one at a time off a shared atomic index, and writes each
+/// result **directly into its pre-allocated output slot** (the former
+/// `Vec<Option<R>>` assembly pass is gone). Benchmarks compare the pool
+/// against this; production paths use [`par_map`].
+pub fn par_map_scoped<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -58,38 +200,40 @@ where
     if workers == 1 {
         return items.iter().map(f).collect();
     }
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    let base = SendPtr(out.as_mut_ptr());
     let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        out.push((i, f(&items[i])));
+                let (base, f, next) = (&base, &f, &next);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
                     }
-                    out
+                    let value = f(&items[i]);
+                    // SAFETY: `i` is claimed by exactly one worker via
+                    // fetch_add, so each slot in the capacity-n buffer is
+                    // written exactly once while the scope borrows `out`.
+                    unsafe { base.0.add(i).write(value) };
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
+        for h in handles {
+            h.join().expect("par_map worker panicked");
+        }
     });
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("par_map covered every index"))
-        .collect()
+    // SAFETY: the scope joined every worker and the atomic index covered
+    // 0..n, so all n slots are initialized.
+    unsafe { out.set_len(n) };
+    out
 }
+
+/// Raw output-buffer pointer shared with scoped workers.
+struct SendPtr<R>(*mut R);
+// SAFETY: workers write disjoint slots (unique fetch_add indices).
+unsafe impl<R: Send> Sync for SendPtr<R> {}
 
 #[cfg(test)]
 mod tests {
@@ -121,6 +265,55 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let items = [1u32, 2, 3];
         assert_eq!(par_map_with(64, &items, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn scoped_baseline_matches_serial() {
+        let items: Vec<u64> = (0..1023).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 7 + 3).collect();
+        for workers in [1, 2, 4, 16] {
+            assert_eq!(par_map_scoped(workers, &items, |x| x * 7 + 3), serial);
+        }
+        let empty: Vec<u64> = vec![];
+        assert!(par_map_scoped(4, &empty, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn class_cutoff_learns_and_stays_serial_for_tiny_batches() {
+        let class = ParClass::new();
+        assert_eq!(class.estimate_ns(), None);
+        // A fresh class dispatches (to learn) whenever workers > 1.
+        assert!(class.plan(100, 4).is_some());
+        assert_eq!(class.plan(100, 1), None, "single worker is always serial");
+
+        // Teach it the batch was cheap: 100 items in 50 µs = 500 ns/item.
+        class.observe(50_000, 100);
+        let est = class.estimate_ns().expect("observed");
+        assert!(est >= 1);
+        // 100 items * 500 ns = 50 µs < 300 µs threshold: stay serial.
+        assert_eq!(class.plan(100, 4), None);
+        // 10_000 items clears the threshold and chunks sensibly.
+        let chunk = class.plan(10_000, 4).expect("dispatch");
+        assert!((1..=10_000 / 8 + 1).contains(&chunk));
+
+        // An expensive class (1 ms/item) dispatches even small batches.
+        let heavy = ParClass::new();
+        heavy.observe(1_000_000_000, 1_000);
+        assert!(heavy.plan(4, 4).is_some());
+    }
+
+    #[test]
+    fn ewma_blends_observations() {
+        let class = ParClass::new();
+        class.observe(1_000_000, 1_000); // 1000 ns/item
+        let first = class.estimate_ns().unwrap();
+        class.observe(8_000_000, 1_000); // 8000 ns/item
+        let second = class.estimate_ns().unwrap();
+        assert!(second > first, "EWMA must move toward new observations");
+        assert!(
+            second < 8_000,
+            "EWMA must not jump all the way to the new value"
+        );
     }
 
     #[test]

@@ -17,8 +17,18 @@
 //!   shared `Arc`s, so asking for the same model twice returns the same
 //!   warm context — a second sweep over the zoo is answered entirely from
 //!   the caches the first sweep filled.
+//!
+//! Warmth also survives the process: [`ContextPool::save_to`] persists
+//! every context's cost table, segment table and gate predictor as one
+//! text file per context (named by the
+//! [`crate::cost::WaferCostModel::fingerprint`] of its `(wafer, model,
+//! workload, cost-model version)`), and a pool pointed at that directory
+//! with [`ContextPool::load_from`] imports the matching file whenever a
+//! context is built — a second *process* solving the same zoo performs
+//! near-zero exact evaluations.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use temp_graph::models::ModelConfig;
@@ -36,6 +46,9 @@ pub struct ContextPool {
     wafer: WaferConfig,
     base_candidates: Arc<Vec<HybridConfig>>,
     contexts: Mutex<HashMap<String, Arc<SearchContext>>>,
+    /// Warm-start directory: freshly built contexts import their matching
+    /// cache file from here (set by [`ContextPool::load_from`]).
+    cache_dir: Mutex<Option<PathBuf>>,
 }
 
 impl ContextPool {
@@ -46,6 +59,79 @@ impl ContextPool {
             wafer,
             base_candidates,
             contexts: Mutex::new(HashMap::new()),
+            cache_dir: Mutex::new(None),
+        }
+    }
+
+    /// The on-disk name of one context's cache file, keyed by the full
+    /// `(wafer, model, workload, cost-model version)` fingerprint — see
+    /// [`crate::cost::WaferCostModel::fingerprint`].
+    fn cache_file_name(ctx: &SearchContext) -> String {
+        format!("cache-{:016x}.txt", ctx.cost_model().fingerprint())
+    }
+
+    /// Persists every pooled context's warm state (cost table, segment
+    /// table, winner-rank statistic, gate predictor) into `dir`, one text
+    /// file per context, named by fingerprint. Returns the number of
+    /// files written. Re-saving over an existing directory overwrites the
+    /// matching files and leaves foreign files alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation, file writes).
+    pub fn save_to(&self, dir: &Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let contexts: Vec<Arc<SearchContext>> = {
+            let map = self.contexts.lock().expect("pool lock");
+            map.values().map(Arc::clone).collect()
+        };
+        for ctx in &contexts {
+            std::fs::write(
+                dir.join(Self::cache_file_name(ctx)),
+                ctx.export_cost_table(),
+            )?;
+        }
+        Ok(contexts.len())
+    }
+
+    /// Points the pool at a warm-start directory written by
+    /// [`ContextPool::save_to`]: every context built from now on imports
+    /// its matching cache file (by fingerprint) on construction, and
+    /// contexts the pool already holds import theirs immediately. Returns
+    /// the number of cache files the directory holds; files for other
+    /// `(model, workload)` pairs — or from an incompatible cost-model
+    /// version — simply never match and are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the directory must exist and be
+    /// readable).
+    pub fn load_from(&self, dir: &Path) -> std::io::Result<usize> {
+        let mut available = 0usize;
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("cache-") && name.ends_with(".txt") {
+                available += 1;
+            }
+        }
+        *self.cache_dir.lock().expect("pool cache dir lock") = Some(dir.to_path_buf());
+        let contexts: Vec<Arc<SearchContext>> = {
+            let map = self.contexts.lock().expect("pool lock");
+            map.values().map(Arc::clone).collect()
+        };
+        for ctx in &contexts {
+            Self::try_warm_import(dir, ctx);
+        }
+        Ok(available)
+    }
+
+    /// Best-effort warm import: a missing file means "no cache for this
+    /// context yet" and a malformed one is skipped whole (imports are
+    /// all-or-nothing), so warm starts can never corrupt a live context.
+    fn try_warm_import(dir: &Path, ctx: &SearchContext) {
+        if let Ok(text) = std::fs::read_to_string(dir.join(Self::cache_file_name(ctx))) {
+            let _ = ctx.import_cost_table(&text);
         }
     }
 
@@ -73,10 +159,14 @@ impl ContextPool {
         let key = format!("{model:?}#{workload:?}");
         let mut contexts = self.contexts.lock().expect("pool lock");
         Arc::clone(contexts.entry(key).or_insert_with(|| {
-            Arc::new(SearchContext::with_shared_candidates(
+            let ctx = Arc::new(SearchContext::with_shared_candidates(
                 WaferCostModel::new(self.wafer.clone(), model.clone(), workload.clone()),
                 Arc::clone(&self.base_candidates),
-            ))
+            ));
+            if let Some(dir) = self.cache_dir.lock().expect("pool cache dir lock").as_ref() {
+                Self::try_warm_import(dir, &ctx);
+            }
+            ctx
         }))
     }
 
@@ -115,6 +205,44 @@ mod tests {
         let other = pool.context(&model, &workload.clone().with_micro_batches(4));
         assert!(!Arc::ptr_eq(&a, &other));
         assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_a_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "temp-pool-save-load-round-trip-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+
+        let cold = ContextPool::new(WaferConfig::hpca());
+        let ctx = cold.context(&model, &workload);
+        ctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
+        let cold_misses = ctx.stats().misses;
+        assert!(cold_misses > 0);
+        assert_eq!(cold.save_to(&dir).expect("save"), 1);
+
+        // A fresh pool pointed at the directory builds warm contexts.
+        let warm = ContextPool::new(WaferConfig::hpca());
+        assert_eq!(warm.load_from(&dir).expect("load"), 1);
+        let warm_ctx = warm.context(&model, &workload);
+        let (cold_cost, _) = ctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
+        let (warm_cost, _) = warm_ctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
+        assert_eq!(warm_cost, cold_cost);
+        assert_eq!(warm_ctx.stats().misses, 0, "warm solve must not evaluate");
+
+        // Loading into a pool that already holds the context warms it too.
+        let late = ContextPool::new(WaferConfig::hpca());
+        let late_ctx = late.context(&model, &workload);
+        assert_eq!(late.load_from(&dir).expect("load"), 1);
+        late_ctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
+        assert_eq!(late_ctx.stats().misses, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

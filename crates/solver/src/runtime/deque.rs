@@ -1,0 +1,333 @@
+//! A hand-rolled Chase–Lev work-stealing deque.
+//!
+//! The offline build environment has no crossbeam, so the solver runtime
+//! carries its own deque: the classic Chase–Lev algorithm (SPAA'05) with
+//! the C11 memory orderings of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13).
+//! One thread — the **owner** — pushes and takes at the bottom in LIFO
+//! order; any number of **thieves** steal from the top in FIFO order.
+//!
+//! Elements are raw task pointers (`*mut T`), stored in `AtomicPtr` slots
+//! so a thief racing a wrapping push reads a stale-or-fresh pointer, never
+//! a torn one; ownership of the pointee is settled exclusively by the CAS
+//! on `top` — whoever advances `top` past an index owns the pointer that
+//! was in that slot, exactly once.
+//!
+//! The buffer grows geometrically when full. A retired buffer can still be
+//! read by an in-flight thief (its claim CAS will simply fail if it lost
+//! the race), so retired buffers are parked in a garbage list and only
+//! freed when the deque itself drops — by which point no thief can hold a
+//! reference (the pool joins or parks its workers first).
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// One element, now owned by the caller.
+    Success(*mut T),
+}
+
+/// A growable ring buffer of task-pointer slots. Slots are atomic so
+/// concurrent slot reads by thieves and writes by the owner are defined
+/// behavior; staleness is resolved by the `top` CAS, not the slot.
+struct Buffer<T> {
+    /// Capacity, always a power of two (`mask == cap - 1`).
+    mask: usize,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer {
+            mask: cap - 1,
+            slots,
+        })
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &AtomicPtr<T> {
+        &self.slots[(index as usize) & self.mask]
+    }
+}
+
+/// The deque proper. `bottom` is owned by the single owner thread,
+/// `top` is contended by thieves; both only ever increase (indices are
+/// logical positions, the buffer wraps modulo its capacity).
+pub(crate) struct WsDeque<T> {
+    bottom: AtomicIsize,
+    top: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Retired (outgrown) buffers, freed on drop — see the module docs.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the deque hands out raw `*mut T` pointers whose pointees are
+// managed by the pool (each is claimed exactly once via the `top` CAS);
+// all shared internal state is atomic or mutex-guarded.
+unsafe impl<T> Send for WsDeque<T> {}
+unsafe impl<T> Sync for WsDeque<T> {}
+
+const INITIAL_CAP: usize = 64;
+
+impl<T> WsDeque<T> {
+    pub(crate) fn new() -> Self {
+        WsDeque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::new(INITIAL_CAP))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pushes one task at the bottom. **Owner thread only.**
+    pub(crate) fn push(&self, task: *mut T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: the buffer pointer is always valid (only replaced by
+        // `grow`, which retires — never frees — the old buffer).
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t > buf.mask as isize {
+            // Full: grow. Never reuse a live slot in place — an in-flight
+            // thief may still be reading it from the old buffer.
+            buf = self.grow(t, b);
+        }
+        buf.slot(b).store(task, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pops one task from the bottom (LIFO). **Owner thread only.**
+    pub(crate) fn take(&self) -> Option<*mut T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: see `push`.
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let task = buf.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the thieves for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(task)
+            } else {
+                Some(task)
+            }
+        } else {
+            // Already empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Steals one task from the top (FIFO). Any thread.
+    pub(crate) fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SAFETY: see `push`; a stale buffer read is harmless because the
+        // claim CAS below fails if this index was already consumed.
+        let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let task = buf.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(task)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Whether the deque is observably empty (racy; used for idle checks).
+    pub(crate) fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+
+    /// Doubles the buffer, copying the live range `[t, b)`; the old
+    /// buffer is retired, not freed. **Owner thread only.**
+    fn grow(&self, t: isize, b: isize) -> &Buffer<T> {
+        let old_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: valid until retired buffers are freed in Drop.
+        let old = unsafe { &*old_ptr };
+        let new = Buffer::new((old.mask + 1) * 2);
+        for i in t..b {
+            new.slot(i)
+                .store(old.slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let new_ptr = Box::into_raw(new);
+        self.buffer.store(new_ptr, Ordering::Release);
+        self.retired
+            .lock()
+            .expect("deque garbage lock")
+            .push(old_ptr);
+        // SAFETY: just stored; stays valid as above.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl<T> Drop for WsDeque<T> {
+    fn drop(&mut self) {
+        // Any tasks still queued are leaked by design: the pool only drops
+        // after draining (tasks are always consumed by the job that
+        // submitted them before the submitting call returns).
+        // SAFETY: exclusive access (`&mut self`); every pointer in
+        // `retired` and the live buffer came from `Box::into_raw`.
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+            for ptr in self
+                .retired
+                .get_mut()
+                .expect("deque garbage lock")
+                .drain(..)
+            {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn boxed(v: usize) -> *mut usize {
+        Box::into_raw(Box::new(v))
+    }
+
+    /// SAFETY helper: reclaim a pointer produced by `boxed`.
+    fn unbox(p: *mut usize) -> usize {
+        unsafe { *Box::from_raw(p) }
+    }
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = WsDeque::new();
+        for v in 0..4 {
+            d.push(boxed(v));
+        }
+        // Owner pops newest first.
+        assert_eq!(unbox(d.take().unwrap()), 3);
+        // Thief steals oldest first.
+        match d.steal() {
+            Steal::Success(p) => assert_eq!(unbox(p), 0),
+            other => panic!("expected success, got {other:?}"),
+        }
+        assert_eq!(unbox(d.take().unwrap()), 2);
+        assert_eq!(unbox(d.take().unwrap()), 1);
+        assert!(d.take().is_none());
+        assert_eq!(d.steal(), Steal::Empty);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_every_element() {
+        let d = WsDeque::new();
+        let n = INITIAL_CAP * 4 + 3;
+        for v in 0..n {
+            d.push(boxed(v));
+        }
+        let mut seen = HashSet::new();
+        while let Some(p) = d.take() {
+            assert!(seen.insert(unbox(p)), "duplicate element");
+        }
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn concurrent_stealing_consumes_each_element_exactly_once() {
+        // One owner interleaving pushes and takes, several thieves
+        // stealing: every element must be consumed exactly once across
+        // all threads. Runs a few seeded rounds to vary interleavings.
+        const PER_ROUND: usize = 2_000;
+        for round in 0..3u64 {
+            let d = Arc::new(WsDeque::new());
+            let consumed = Arc::new(AtomicUsize::new(0));
+            let sum = Arc::new(AtomicUsize::new(0));
+            let thieves: Vec<_> = (0..3)
+                .map(|_| {
+                    let d = Arc::clone(&d);
+                    let consumed = Arc::clone(&consumed);
+                    let sum = Arc::clone(&sum);
+                    std::thread::spawn(move || loop {
+                        match d.steal() {
+                            Steal::Success(p) => {
+                                sum.fetch_add(unbox(p), Ordering::Relaxed);
+                                if consumed.fetch_add(1, Ordering::Relaxed) + 1 == PER_ROUND {
+                                    break;
+                                }
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if consumed.load(Ordering::Relaxed) >= PER_ROUND {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Owner: pseudo-random mix of pushes and takes (xorshift).
+            let mut state = 0x9e3779b97f4a7c15u64 ^ round;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut pushed = 0usize;
+            while pushed < PER_ROUND {
+                if next() % 4 != 0 {
+                    d.push(boxed(pushed));
+                    pushed += 1;
+                } else if let Some(p) = d.take() {
+                    sum.fetch_add(unbox(p), Ordering::Relaxed);
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Owner drains what the thieves have not taken yet.
+            while consumed.load(Ordering::Relaxed) < PER_ROUND {
+                if let Some(p) = d.take() {
+                    sum.fetch_add(unbox(p), Ordering::Relaxed);
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            for t in thieves {
+                t.join().expect("thief panicked");
+            }
+            assert_eq!(consumed.load(Ordering::Relaxed), PER_ROUND);
+            // Sum check: 0 + 1 + ... + (n-1), each exactly once.
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                PER_ROUND * (PER_ROUND - 1) / 2,
+                "round {round}: an element was lost or duplicated"
+            );
+        }
+    }
+}

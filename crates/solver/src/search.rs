@@ -14,7 +14,13 @@
 //!   wafer and runs the contention simulator), and baseline sweeps like
 //!   `Temp::compare_all()` cost heavily overlapping candidate spaces;
 //! * the **parallel costing** path — cache misses for a batch of
-//!   candidates are filled with a scoped-thread map ([`crate::par`]).
+//!   candidates are filled on the persistent work-stealing runtime
+//!   ([`crate::par`] over [`crate::runtime`]);
+//! * **cross-process warmth** — the evaluation cache, segment table and
+//!   gate predictor round-trip through plain text
+//!   ([`SearchContext::export_cost_table`] /
+//!   [`SearchContext::import_cost_table`]), fingerprint-keyed so imports
+//!   can never cross wafers, models, workloads or cost-model revisions.
 //!
 //! Sharing a context across solves (clone the [`std::sync::Arc`]) turns
 //! the seed behavior — seven baselines × full re-enumeration and
@@ -80,8 +86,19 @@ pub struct SearchStats {
     /// keys costed unless two concurrent solves race on the same key (the
     /// cache stays consistent either way; only this counter can inflate).
     pub misses: u64,
+    /// Cache hits attributed to [`CostTier::Exact`] lookups.
+    pub exact_hits: u64,
+    /// Cost-model runs attributed to [`CostTier::Exact`] lookups.
+    pub exact_misses: u64,
+    /// Cache hits attributed to [`CostTier::SurrogateGated`] lookups
+    /// (training samples, top-K survivors and fallback paths).
+    pub gated_hits: u64,
+    /// Cost-model runs attributed to [`CostTier::SurrogateGated`] lookups.
+    pub gated_misses: u64,
     /// Candidates the surrogate gate pruned without exact evaluation.
     pub gate_pruned: u64,
+    /// Per-segment cost-table lookups answered from the table.
+    pub seg_hits: u64,
     /// Per-segment cost-table entries computed (closed-form; cheap, but
     /// counted so tests can assert the table is memoized).
     pub seg_misses: u64,
@@ -102,6 +119,49 @@ impl SearchStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Hit rate of the exact-tier lookups alone.
+    pub fn exact_hit_rate(&self) -> f64 {
+        let total = self.exact_hits + self.exact_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.exact_hits as f64 / total as f64
+        }
+    }
+
+    /// Hit rate of the gated-tier lookups alone.
+    pub fn gated_hit_rate(&self) -> f64 {
+        let total = self.gated_hits + self.gated_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.gated_hits as f64 / total as f64
+        }
+    }
+
+    /// Hit rate of the per-segment cost table.
+    pub fn segment_hit_rate(&self) -> f64 {
+        let total = self.seg_hits + self.seg_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.seg_hits as f64 / total as f64
+        }
+    }
+}
+
+/// What [`SearchContext::import_cost_table`] brought in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportSummary {
+    /// Whole-chain evaluation entries imported (including cached
+    /// failures).
+    pub evals: usize,
+    /// Per-segment cost-table entries imported.
+    pub segs: usize,
+    /// Whether a gate predictor rode along (imported as authoritative —
+    /// gated batches skip the per-batch fit).
+    pub gate: bool,
 }
 
 /// Shared, thread-safe search state for one `(wafer, model, workload)`
@@ -137,7 +197,16 @@ pub struct SearchContext {
     seg_cache: RwLock<HashMap<SegmentKey, Option<SegmentCost>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Per-tier attribution of the hit/miss totals above, keyed by the
+    /// tier active at lookup time — the diagnosis channel for low sweep
+    /// hit rates (is the gate evaluating fresh keys, or is the exact path
+    /// re-costing?).
+    exact_hits: AtomicU64,
+    exact_misses: AtomicU64,
+    gated_hits: AtomicU64,
+    gated_misses: AtomicU64,
     pruned: AtomicU64,
+    seg_hits: AtomicU64,
     seg_misses: AtomicU64,
     /// Max observed surrogate rank of a gated batch's exact winner, stored
     /// as `rank + 1` (0 = no observation yet).
@@ -233,7 +302,12 @@ impl SearchContext {
             seg_cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            exact_hits: AtomicU64::new(0),
+            exact_misses: AtomicU64::new(0),
+            gated_hits: AtomicU64::new(0),
+            gated_misses: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            seg_hits: AtomicU64::new(0),
             seg_misses: AtomicU64::new(0),
             winner_rank: AtomicU64::new(0),
         }
@@ -257,6 +331,7 @@ impl SearchContext {
     ) -> Option<SegmentCost> {
         let key = (kind, *cfg, engine, mode);
         if let Some(cached) = self.seg_cache.read().expect("seg cache lock").get(&key) {
+            self.seg_hits.fetch_add(1, Ordering::Relaxed);
             return *cached;
         }
         self.seg_misses.fetch_add(1, Ordering::Relaxed);
@@ -385,6 +460,237 @@ impl SearchContext {
         Ok(())
     }
 
+    /// Serializes the full warm state of this context — the whole-chain
+    /// evaluation cache (including memoized *failures*), the per-segment
+    /// cost table, the observed winner-rank statistic and the gate
+    /// predictor — as plain text, keyed by
+    /// [`WaferCostModel::fingerprint`]. A fresh context importing this
+    /// re-solves the same searches with near-zero exact evaluations.
+    ///
+    /// Format (line-oriented, floats `{:?}`-rendered so they round-trip
+    /// bit-exactly):
+    ///
+    /// ```text
+    /// temp-cache v1 <fingerprint as 16 hex digits>
+    /// evals <n>
+    /// E <dp> <fsdp> <tp> <sp> <cp> <tatp> <ep> <pp> <engine> <mode> <report | ->
+    /// segs <n>
+    /// S <kind> <dp> ... <pp> <engine> <mode> <segment-cost | ->
+    /// winner_rank <r>
+    /// gate <lines>
+    /// <gate predictor text, verbatim>
+    /// ```
+    ///
+    /// Records are sorted, so exporting the same state twice yields
+    /// byte-identical text (HashMap iteration order never leaks out).
+    pub fn export_cost_table(&self) -> String {
+        use crate::persist;
+        use std::fmt::Write as _;
+
+        let mut out = format!("temp-cache v1 {:016x}\n", self.cost.fingerprint());
+
+        let cache = self.cache.read().expect("cache lock");
+        let mut evals: Vec<String> = cache
+            .iter()
+            .map(|((cfg, engine, mode), report)| {
+                let payload = match report {
+                    Some(r) => persist::encode_report(r),
+                    None => "-".to_string(),
+                };
+                format!(
+                    "E {} {} {} {payload}",
+                    persist::encode_cfg(cfg),
+                    persist::engine_code(*engine),
+                    persist::mode_code(*mode),
+                )
+            })
+            .collect();
+        drop(cache);
+        evals.sort_unstable();
+        writeln!(out, "evals {}", evals.len()).expect("write to string");
+        for line in evals {
+            out.push_str(&line);
+            out.push('\n');
+        }
+
+        let seg_cache = self.seg_cache.read().expect("seg cache lock");
+        let mut segs: Vec<String> = seg_cache
+            .iter()
+            .map(|((kind, cfg, engine, mode), cost)| {
+                let payload = match cost {
+                    Some(sc) => persist::encode_segment_cost(sc),
+                    None => "-".to_string(),
+                };
+                format!(
+                    "S {} {} {} {} {payload}",
+                    kind.code(),
+                    persist::encode_cfg(cfg),
+                    persist::engine_code(*engine),
+                    persist::mode_code(*mode),
+                )
+            })
+            .collect();
+        drop(seg_cache);
+        segs.sort_unstable();
+        writeln!(out, "segs {}", segs.len()).expect("write to string");
+        for line in segs {
+            out.push_str(&line);
+            out.push('\n');
+        }
+
+        writeln!(
+            out,
+            "winner_rank {}",
+            self.winner_rank.load(Ordering::Relaxed)
+        )
+        .expect("write to string");
+
+        match self.export_gate_predictor() {
+            Some(text) => {
+                let trimmed = text.trim_end_matches('\n');
+                writeln!(out, "gate {}", trimmed.lines().count()).expect("write to string");
+                out.push_str(trimmed);
+                out.push('\n');
+            }
+            None => out.push_str("gate 0\n"),
+        }
+        out
+    }
+
+    /// Imports a cache persisted by [`SearchContext::export_cost_table`]
+    /// into this context, merging entry by entry (existing entries win —
+    /// an import never clobbers state the live context already computed).
+    /// The winner-rank statistic merges by maximum and an embedded gate
+    /// predictor is imported as authoritative (as if by
+    /// [`SearchContext::import_gate_predictor`]).
+    ///
+    /// Imported entries touch neither the hit nor the miss counters:
+    /// stats keep measuring what *this* process computed and reused.
+    ///
+    /// # Errors
+    ///
+    /// Rejects text whose header, fingerprint (wrong wafer/model/workload
+    /// or cost-model revision — see [`crate::cost::COST_MODEL_VERSION`])
+    /// or any record is malformed; on error the context is left exactly
+    /// as it was (the import is parsed fully before anything is merged).
+    pub fn import_cost_table(&self, text: &str) -> std::result::Result<ImportSummary, String> {
+        use crate::persist::{self, Fields};
+
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty cache text")?;
+        let mut f = Fields::new(header);
+        if f.next()? != "temp-cache" || f.next()? != "v1" {
+            return Err(format!("not a temp-cache v1 header: {header:?}"));
+        }
+        let fp = u64::from_str_radix(f.next()?, 16).map_err(|e| format!("bad fingerprint: {e}"))?;
+        f.finish()?;
+        let own = self.cost.fingerprint();
+        if fp != own {
+            return Err(format!(
+                "cache fingerprint {fp:016x} does not match this context's {own:016x} \
+                 (different wafer, model, workload or cost-model version)"
+            ));
+        }
+
+        let section = |lines: &mut std::str::Lines, name: &str| -> Result<usize, String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("missing {name} section"))?;
+            let mut f = Fields::new(line);
+            if f.next()? != name {
+                return Err(format!("expected {name} section, got {line:?}"));
+            }
+            let n = f.usize()?;
+            f.finish()?;
+            Ok(n)
+        };
+
+        // Parse everything first; merge only a fully-valid import.
+        let n_evals = section(&mut lines, "evals")?;
+        let mut evals = Vec::with_capacity(n_evals);
+        for _ in 0..n_evals {
+            let line = lines.next().ok_or("truncated evals section")?;
+            let mut f = Fields::new(line);
+            if f.next()? != "E" {
+                return Err(format!("expected E record, got {line:?}"));
+            }
+            let cfg = persist::decode_cfg(&mut f)?;
+            let engine = persist::engine_from_code(f.u64()? as u8)?;
+            let mode = persist::mode_from_code(f.u64()? as u8)?;
+            let report = if f.takes_none_marker() {
+                None
+            } else {
+                Some(persist::decode_report(cfg, engine, &mut f)?)
+            };
+            f.finish()?;
+            evals.push(((cfg, engine, mode), report));
+        }
+
+        let n_segs = section(&mut lines, "segs")?;
+        let mut segs = Vec::with_capacity(n_segs);
+        for _ in 0..n_segs {
+            let line = lines.next().ok_or("truncated segs section")?;
+            let mut f = Fields::new(line);
+            if f.next()? != "S" {
+                return Err(format!("expected S record, got {line:?}"));
+            }
+            let kind = persist::kind_from_code(f.u64()? as u8)?;
+            let cfg = persist::decode_cfg(&mut f)?;
+            let engine = persist::engine_from_code(f.u64()? as u8)?;
+            let mode = persist::mode_from_code(f.u64()? as u8)?;
+            let cost = if f.takes_none_marker() {
+                None
+            } else {
+                Some(persist::decode_segment_cost(kind, &mut f)?)
+            };
+            f.finish()?;
+            segs.push(((kind, cfg, engine, mode), cost));
+        }
+
+        let rank_line = lines.next().ok_or("missing winner_rank")?;
+        let mut f = Fields::new(rank_line);
+        if f.next()? != "winner_rank" {
+            return Err(format!("expected winner_rank, got {rank_line:?}"));
+        }
+        let rank = f.u64()?;
+        f.finish()?;
+
+        let gate_lines = section(&mut lines, "gate")?;
+        let gate_text = if gate_lines > 0 {
+            let collected: Vec<&str> = (&mut lines).take(gate_lines).collect();
+            if collected.len() < gate_lines {
+                return Err("truncated gate section".into());
+            }
+            Some(collected.join("\n"))
+        } else {
+            None
+        };
+
+        // All parsed — merge.
+        let summary = ImportSummary {
+            evals: evals.len(),
+            segs: segs.len(),
+            gate: gate_text.is_some(),
+        };
+        {
+            let mut cache = self.cache.write().expect("cache lock");
+            for (key, report) in evals {
+                cache.entry(key).or_insert(report);
+            }
+        }
+        {
+            let mut seg_cache = self.seg_cache.write().expect("seg cache lock");
+            for (key, cost) in segs {
+                seg_cache.entry(key).or_insert(cost);
+            }
+        }
+        self.winner_rank.fetch_max(rank, Ordering::Relaxed);
+        if let Some(text) = gate_text {
+            self.import_gate_predictor(&text)?;
+        }
+        Ok(summary)
+    }
+
     /// Records candidates skipped by the surrogate gate (internal).
     pub(crate) fn note_pruned(&self, n: u64) {
         self.pruned.fetch_add(n, Ordering::Relaxed);
@@ -478,9 +784,25 @@ impl SearchContext {
         SearchStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            exact_misses: self.exact_misses.load(Ordering::Relaxed),
+            gated_hits: self.gated_hits.load(Ordering::Relaxed),
+            gated_misses: self.gated_misses.load(Ordering::Relaxed),
             gate_pruned: self.pruned.load(Ordering::Relaxed),
+            seg_hits: self.seg_hits.load(Ordering::Relaxed),
             seg_misses: self.seg_misses.load(Ordering::Relaxed),
             adaptive_top_k: self.effective_top_k() as u64,
+        }
+    }
+
+    /// The per-tier attribution counter for a hit (`true`) or miss under
+    /// the tier active right now.
+    fn tier_counter(&self, hit: bool) -> &AtomicU64 {
+        match (self.cost_tier(), hit) {
+            (CostTier::Exact, true) => &self.exact_hits,
+            (CostTier::Exact, false) => &self.exact_misses,
+            (CostTier::SurrogateGated, true) => &self.gated_hits,
+            (CostTier::SurrogateGated, false) => &self.gated_misses,
         }
     }
 
@@ -496,9 +818,11 @@ impl SearchContext {
         let key = (*cfg, engine, mode);
         if let Some(cached) = self.cache.read().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.tier_counter(true).fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.tier_counter(false).fetch_add(1, Ordering::Relaxed);
         let workload = self.cost.workload().clone().with_recompute(mode);
         let result = self.cost.evaluate_with(cfg, engine, &workload).ok();
         // Two threads can race to fill the same key; keep whichever entry
@@ -814,6 +1138,123 @@ mod tests {
             ..GateParams::default()
         });
         assert_eq!(ctx.effective_top_k(), default_k);
+    }
+
+    #[test]
+    fn cost_table_round_trips_through_text() {
+        let ctx = context();
+        let good = HybridConfig::tuple(2, 2, 1, 8);
+        let bad = HybridConfig::tuple(2, 2, 1, 4); // product 16 != 32
+        ctx.evaluate(&good, MappingEngine::Tcme, RecomputeMode::Selective);
+        ctx.evaluate(&good, MappingEngine::SMap, RecomputeMode::Full);
+        ctx.evaluate(&bad, MappingEngine::Tcme, RecomputeMode::Selective);
+        ctx.segment_cost(
+            SegmentKind::Head,
+            &good,
+            MappingEngine::Tcme,
+            RecomputeMode::Selective,
+        );
+        ctx.observe_winner_rank(5);
+
+        let text = ctx.export_cost_table();
+        assert_eq!(
+            text,
+            ctx.export_cost_table(),
+            "export must be deterministic"
+        );
+
+        let fresh = context();
+        let summary = fresh.import_cost_table(&text).expect("import");
+        assert_eq!(summary.evals, 3);
+        assert_eq!(summary.segs, 1);
+        assert!(!summary.gate, "no predictor was fitted");
+
+        // Imported entries answer without running the cost model, and the
+        // memoized failure is a failure on the warm side too.
+        assert_eq!(
+            fresh.evaluate(&good, MappingEngine::Tcme, RecomputeMode::Selective),
+            ctx.evaluate(&good, MappingEngine::Tcme, RecomputeMode::Selective),
+        );
+        assert!(fresh
+            .evaluate(&bad, MappingEngine::Tcme, RecomputeMode::Selective)
+            .is_none());
+        assert_eq!(fresh.stats().misses, 0, "warm lookups must not evaluate");
+        assert_eq!(fresh.stats().hits, 2);
+        assert_eq!(
+            fresh.effective_top_k(),
+            ctx.effective_top_k(),
+            "winner-rank statistic must survive the round trip"
+        );
+
+        // Exporting the import reproduces the text bit for bit.
+        assert_eq!(fresh.export_cost_table(), text);
+    }
+
+    #[test]
+    fn import_rejects_foreign_and_malformed_caches() {
+        let ctx = context();
+        ctx.evaluate(
+            &HybridConfig::tuple(2, 2, 1, 8),
+            MappingEngine::Tcme,
+            RecomputeMode::Selective,
+        );
+        let text = ctx.export_cost_table();
+
+        // A different model is a different fingerprint.
+        let other_model = ModelZoo::llama2_7b();
+        let other = SearchContext::new(WaferCostModel::new(
+            WaferConfig::hpca(),
+            other_model.clone(),
+            Workload::for_model(&other_model),
+        ));
+        let err = other.import_cost_table(&text).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+
+        // Malformed input leaves the context untouched.
+        let fresh = context();
+        assert!(fresh.import_cost_table("").is_err());
+        assert!(fresh.import_cost_table("temp-cache v2 0\n").is_err());
+        let truncated = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(fresh.import_cost_table(&truncated).is_err());
+        let mangled = text.replacen("E ", "E x", 1);
+        assert!(fresh.import_cost_table(&mangled).is_err());
+        assert_eq!(
+            fresh.export_cost_table().lines().nth(1),
+            Some("evals 0"),
+            "failed imports must not merge partial state"
+        );
+    }
+
+    #[test]
+    fn stats_attribute_hits_and_misses_per_tier() {
+        let ctx = context();
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        ctx.evaluate(&cfg, MappingEngine::Tcme, RecomputeMode::Selective);
+        ctx.evaluate(&cfg, MappingEngine::Tcme, RecomputeMode::Selective);
+        let s = ctx.stats();
+        assert_eq!((s.exact_hits, s.exact_misses), (1, 1));
+        assert_eq!((s.gated_hits, s.gated_misses), (0, 0));
+
+        ctx.set_cost_tier(CostTier::SurrogateGated);
+        ctx.evaluate(&cfg, MappingEngine::Tcme, RecomputeMode::Selective);
+        ctx.evaluate(&cfg, MappingEngine::SMap, RecomputeMode::Selective);
+        let s = ctx.stats();
+        assert_eq!((s.gated_hits, s.gated_misses), (1, 1));
+        assert_eq!(s.hits, s.exact_hits + s.gated_hits, "totals must tie out");
+        assert_eq!(s.misses, s.exact_misses + s.gated_misses);
+        assert!((s.gated_hit_rate() - 0.5).abs() < 1e-12);
+
+        // Segment-table hits are counted too.
+        let seg_args = (
+            SegmentKind::Head,
+            MappingEngine::Tcme,
+            RecomputeMode::Selective,
+        );
+        ctx.segment_cost(seg_args.0, &cfg, seg_args.1, seg_args.2);
+        ctx.segment_cost(seg_args.0, &cfg, seg_args.1, seg_args.2);
+        let s = ctx.stats();
+        assert_eq!((s.seg_hits, s.seg_misses), (1, 1));
+        assert!((s.segment_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use temp_wsc::multiwafer::MultiWaferSystem;
 
 use crate::dlws::{Dlws, ExecutionPlan, SegmentAssignment};
 use crate::dp::balance_stage_cuts;
+use crate::par;
 use crate::{Result, SolverError};
 
 /// One pipeline stage of a multi-wafer plan: which slice of the chain it
@@ -255,17 +256,22 @@ impl Dlws {
         // Joint search: for each feasible body candidate, assign the end
         // segments (per-segment cost table + resharding boundary), balance
         // the wafer loads against the end-wafer extras, and price the
-        // pipelined step; keep the global minimum.
-        let mut best: Option<Winner> = None;
-        for (i, (t, payload)) in costed.iter().enumerate() {
+        // pipelined step; keep the global minimum. Scoring one candidate
+        // is pure arithmetic over the precomputed rows, so the batch fans
+        // out on the runtime pool (its own cost class — items here are
+        // far cheaper than exact costing, so the adaptive cutoff keeps
+        // small sweeps serial), while the winner fold below runs in index
+        // order with strict less-than, bit-identical to the serial loop.
+        let score = |i: usize| -> Option<Winner> {
+            let (t, payload) = &costed[i];
             if !t.is_finite() {
-                continue;
+                return None;
             }
-            let Some((_, report)) = payload else { continue };
+            let (_, report) = payload.as_ref()?;
             let (emb_idx, emb_step) = best_end(&emb_row, i, boundary_step);
             let (head_idx, head_step) = best_end(&head_row, i, boundary_step);
             if !emb_step.is_finite() || !head_step.is_finite() {
-                continue;
+                return None;
             }
             // Per-(micro-batch, instance) units of the body, one per
             // interior kind: the exact whole-model dense/MoE times divided
@@ -312,7 +318,7 @@ impl Dlws {
                     &wafer_mins,
                 )
             };
-            let Ok(cuts) = cuts else { continue };
+            let cuts = cuts.ok()?;
 
             // Handoffs: only wafer-crossing boundaries pay the link, and
             // each is priced from the boundary tensor at its actual cut.
@@ -327,21 +333,32 @@ impl Dlws {
             let interior_time = dense_blocks as f64 * unit + moe_blocks as f64 * unit_moe;
             let sum_stages = interior_time + (emb_step + head_step) / micro;
             let step = (micro - 1.0) * cuts.bottleneck + sum_stages + handoff;
-            if best.as_ref().map(|b| step < b.step).unwrap_or(true) {
-                best = Some(Winner {
-                    index: i,
-                    emb_idx,
-                    head_idx,
-                    emb_step,
-                    head_step,
-                    unit,
-                    unit_moe,
-                    wafer_blocks: cuts.blocks,
-                    pace: cuts.bottleneck,
-                    bubble: sum_stages - cuts.bottleneck,
-                    handoff,
-                    step,
-                });
+            Some(Winner {
+                index: i,
+                emb_idx,
+                head_idx,
+                emb_step,
+                head_step,
+                unit,
+                unit_moe,
+                wafer_blocks: cuts.blocks,
+                pace: cuts.bottleneck,
+                bubble: sum_stages - cuts.bottleneck,
+                handoff,
+                step,
+            })
+        };
+        static STAGE_SCORE_CLASS: par::ParClass = par::ParClass::new();
+        let indices: Vec<usize> = (0..costed.len()).collect();
+        let scored = par::par_map_class(&STAGE_SCORE_CLASS, &indices, |&i| score(i));
+        let mut best: Option<Winner> = None;
+        for candidate in scored.into_iter().flatten() {
+            if best
+                .as_ref()
+                .map(|b| candidate.step < b.step)
+                .unwrap_or(true)
+            {
+                best = Some(candidate);
             }
         }
         let w = best.ok_or_else(|| {

@@ -28,6 +28,12 @@
 //! zoo (asserted by `tests/two_tier.rs`); if the predictor cannot be fit
 //! (degenerate batch, nothing feasible in the training set) the gate
 //! falls back to exact costing of the whole batch.
+//!
+//! Every exact evaluation the gate performs (training samples, top-K
+//! survivors, fallbacks) is attributed to the gated tier in
+//! [`crate::search::SearchStats`] (`gated_hits` / `gated_misses`), so the
+//! cache behavior of gated sweeps is observable separately from the
+//! exact tier's.
 
 use temp_graph::workload::RecomputeMode;
 use temp_mapping::engines::MappingEngine;

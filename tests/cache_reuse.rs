@@ -99,6 +99,42 @@ fn multiwafer_planning_shares_the_same_cache() {
 }
 
 #[test]
+fn repeated_pooled_solves_hit_at_least_ninety_percent() {
+    use temp_repro::solver::pool::ContextPool;
+    use temp_repro::wsc::config::WaferConfig;
+
+    let pool = ContextPool::new(WaferConfig::hpca());
+    let model = ModelZoo::gpt3_6_7b();
+
+    // First sweep fills the cache; the second must be answered almost
+    // entirely from it — the 0.10 sweep hit rate the bench recorded was
+    // the *cold* pass dominating the ratio, not eviction or key churn.
+    let first = Temp::pooled(&pool, model.clone());
+    first.compare_all();
+    let cold = first.search_stats();
+    assert!(cold.misses > 0);
+
+    let second = Temp::pooled(&pool, model.clone());
+    second.compare_all();
+    let warm = second.search_stats();
+    let warm_hits = warm.hits - cold.hits;
+    let warm_misses = warm.misses - cold.misses;
+    let warm_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+    assert!(
+        warm_rate >= 0.9,
+        "pooled re-solve hit rate {warm_rate:.3} below 0.9 \
+         ({warm_hits} hits / {warm_misses} misses)"
+    );
+
+    // Per-tier breakdown ties out: these sweeps ran under the exact tier
+    // only, and totals always decompose into the tier counters.
+    assert_eq!(warm.hits, warm.exact_hits + warm.gated_hits);
+    assert_eq!(warm.misses, warm.exact_misses + warm.gated_misses);
+    assert_eq!(warm.gated_hits + warm.gated_misses, 0, "no gated lookups");
+    assert!(warm.exact_hit_rate() > 0.0);
+}
+
+#[test]
 fn context_pool_reuses_wafer_level_state_across_models() {
     use std::sync::Arc;
     use temp_repro::solver::pool::ContextPool;

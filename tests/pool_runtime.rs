@@ -1,0 +1,154 @@
+//! Integration tests for the work-stealing solver runtime and the
+//! persistent cache warm starts: pool results must be bit-identical to
+//! serial execution under stress (concurrent submitters, skewed task
+//! costs, nested submission), and a fresh process importing persisted
+//! caches must re-solve the zoo with (near) zero exact evaluations.
+
+use std::sync::Arc;
+
+use temp_repro::graph::models::ModelZoo;
+use temp_repro::graph::workload::Workload;
+use temp_repro::solver::pool::ContextPool;
+use temp_repro::solver::runtime::WorkPool;
+use temp_repro::wsc::config::WaferConfig;
+
+/// Deterministic xorshift — the stress tests are seeded, not flaky.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A deliberately skewed, seeded per-item workload: most items are
+/// trivial, a few spin orders of magnitude longer, emulating the real
+/// costing batches (a 32-die TATP ring costs far more than pure DP).
+fn skewed_work(seed: u64, item: u64) -> u64 {
+    let mut s = seed ^ (item.wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+    let spin = if xorshift(&mut s) % 16 == 0 { 4000 } else { 50 };
+    let mut acc = item;
+    for _ in 0..spin {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    acc
+}
+
+#[test]
+fn pool_matches_serial_under_skewed_costs() {
+    let pool = WorkPool::with_workers(4);
+    for seed in [1u64, 42, 0xdead_beef] {
+        let items: Vec<u64> = (0..1500).collect();
+        let serial: Vec<u64> = items.iter().map(|&i| skewed_work(seed, i)).collect();
+        for chunk in [1, 7, 64] {
+            let pooled = pool.map(&items, &|&i| skewed_work(seed, i), chunk);
+            assert_eq!(pooled, serial, "seed {seed}, chunk {chunk}");
+        }
+    }
+    let stats = pool.stats();
+    assert!(stats.executed > 0, "work must actually run on the pool");
+}
+
+#[test]
+fn many_concurrent_submitters_get_order_preserving_results() {
+    let pool = Arc::new(WorkPool::with_workers(4));
+    let submitters = 8u64;
+    let handles: Vec<_> = (0..submitters)
+        .map(|seed| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                // Each submitter runs several rounds so submissions from
+                // different threads interleave on the shared deques.
+                for round in 0..4u64 {
+                    let n = 200 + (seed * 37 + round * 13) % 300;
+                    let items: Vec<u64> = (0..n).collect();
+                    let expect: Vec<u64> = items.iter().map(|&i| skewed_work(seed, i)).collect();
+                    let got = pool.map(&items, &|&i| skewed_work(seed, i), 3);
+                    assert_eq!(got, expect, "submitter {seed}, round {round}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("submitter panicked");
+    }
+}
+
+#[test]
+fn nested_submission_inside_tasks_matches_serial() {
+    let pool = Arc::new(WorkPool::with_workers(3));
+    let outer: Vec<u64> = (0..24).collect();
+    let serial: Vec<u64> = outer
+        .iter()
+        .map(|&r| {
+            (0..100)
+                .map(|c| skewed_work(r, c))
+                .fold(0u64, u64::wrapping_add)
+        })
+        .collect();
+    let inner_items: Vec<u64> = (0..100).collect();
+    let nested = pool.map(
+        &outer,
+        &|&r| {
+            // A task that itself fans out on the same pool: the worker
+            // helps (pop-own / steal) instead of blocking, so this must
+            // complete and agree with serial even at depth.
+            pool.map(&inner_items, &|&c| skewed_work(r, c), 5)
+                .into_iter()
+                .fold(0u64, u64::wrapping_add)
+        },
+        1,
+    );
+    assert_eq!(nested, serial);
+}
+
+#[test]
+fn persisted_caches_warm_start_a_fresh_pool_with_identical_plans() {
+    use temp_repro::mapping::engines::MappingEngine;
+
+    let dir =
+        std::env::temp_dir().join(format!("temp-warm-start-round-trip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Keep the test fast: the two smallest zoo models stand in for the
+    // fig13 zoo (the full sweep runs in the benchmark and the CI smoke).
+    let zoo = [ModelZoo::gpt3_6_7b(), ModelZoo::llama2_7b()];
+    let engine = MappingEngine::Tcme;
+
+    // Cold process: solve everything, then persist.
+    let cold = ContextPool::new(WaferConfig::hpca());
+    let mut cold_plans = Vec::new();
+    let mut cold_evals = 0u64;
+    for model in &zoo {
+        let workload = Workload::for_model(model);
+        let plan = cold
+            .solver(model, &workload)
+            .solve_with_engine(engine, |_| true)
+            .expect("cold solve");
+        cold_evals += cold.context(model, &workload).stats().misses;
+        cold_plans.push(plan);
+    }
+    assert!(cold_evals > 0, "cold solves must evaluate");
+    assert_eq!(cold.save_to(&dir).expect("save"), zoo.len());
+
+    // "Fresh process": a brand-new pool importing the saved caches.
+    let warm = ContextPool::new(WaferConfig::hpca());
+    assert_eq!(warm.load_from(&dir).expect("load"), zoo.len());
+    let mut warm_evals = 0u64;
+    for (model, cold_plan) in zoo.iter().zip(&cold_plans) {
+        let workload = Workload::for_model(model);
+        let plan = warm
+            .solver(model, &workload)
+            .solve_with_engine(engine, |_| true)
+            .expect("warm solve");
+        assert_eq!(&plan, cold_plan, "warm-started plans must be bit-identical");
+        warm_evals += warm.context(model, &workload).stats().misses;
+    }
+    assert_eq!(
+        warm_evals, 0,
+        "a warm start over the identical searches must run zero exact evaluations"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
