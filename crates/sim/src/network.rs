@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use temp_wsc::config::WaferConfig;
+use temp_wsc::fault::FaultMap;
 use temp_wsc::topology::{DieId, LinkId, Mesh, RouteOrder};
 
 use crate::{Result, SimError};
@@ -77,6 +78,35 @@ impl Flow {
     pub fn hops(&self) -> usize {
         self.route.len()
     }
+
+    /// Whether this flow's route crosses any link the fault map marks dead.
+    pub fn crosses_dead_link(&self, faults: &FaultMap) -> bool {
+        self.route.iter().any(|l| faults.link_dead(*l))
+    }
+}
+
+/// One flow per formerly-adjacent (undirected) die pair, each routed over
+/// the fault map's *surviving* links — the canonical degraded-fabric
+/// traffic pattern. Ring collectives exchange with logical neighbors; on a
+/// degraded wafer those single-hop exchanges travel the rerouted paths
+/// this returns, so simulating the set against the healthy one-hop
+/// baseline measures the rerouting + congestion inflation the fault
+/// induces. Every returned flow avoids dead links by construction.
+///
+/// Returns `None` when the faults disconnect any pair (no lockstep
+/// collective can complete on a partitioned wafer).
+pub fn rerouted_neighbor_flows(mesh: &Mesh, faults: &FaultMap, bytes: f64) -> Option<Vec<Flow>> {
+    let mut flows = Vec::new();
+    for l in mesh.links() {
+        if l.src >= l.dst {
+            continue;
+        }
+        let path = faults.route_around(mesh, l.src, l.dst).ok()?;
+        let flow = Flow::with_path(mesh, &path, bytes).expect("BFS paths step over mesh neighbors");
+        debug_assert!(!flow.crosses_dead_link(faults));
+        flows.push(flow);
+    }
+    Some(flows)
 }
 
 /// Completion report of a contention simulation.
@@ -539,6 +569,37 @@ mod tests {
             assert!((d - r).abs() <= 1e-9 * r.abs().max(1e-12), "{d} vs {r}");
         }
         assert_eq!(dense.link_bytes, reference.link_bytes);
+    }
+
+    #[test]
+    fn rerouted_neighbor_flows_avoid_dead_links_and_inflate_makespan() {
+        let (mesh, sim) = setup();
+        let healthy = FaultMap::healthy(&mesh);
+        let base = rerouted_neighbor_flows(&mesh, &healthy, 16.0 * MB).unwrap();
+        // Healthy: every neighbor exchange is its own single-hop flow.
+        assert_eq!(base.len(), mesh.link_count() / 2);
+        assert!(base.iter().all(|f| f.hops() == 1));
+
+        let faults = FaultMap::inject_link_faults(&mesh, 0.2, 5);
+        assert!(faults.is_connected(&mesh));
+        let rerouted = rerouted_neighbor_flows(&mesh, &faults, 16.0 * MB).unwrap();
+        assert_eq!(rerouted.len(), base.len());
+        for f in &rerouted {
+            assert!(!f.crosses_dead_link(&faults), "{f:?}");
+        }
+        // Detours share surviving links: strictly slower than healthy.
+        let t_healthy = sim.simulate(&base).makespan;
+        let t_degraded = sim.simulate(&rerouted).makespan;
+        assert!(t_degraded > t_healthy, "{t_degraded} vs {t_healthy}");
+    }
+
+    #[test]
+    fn rerouted_neighbor_flows_detect_disconnection() {
+        let mesh = Mesh::new(2, 1).unwrap();
+        let mut faults = FaultMap::healthy(&mesh);
+        let l = mesh.link_between(DieId(0), DieId(1)).unwrap();
+        faults.kill_link(&mesh, l);
+        assert!(rerouted_neighbor_flows(&mesh, &faults, 1.0).is_none());
     }
 
     #[test]

@@ -31,9 +31,12 @@ use temp_parallel::selective::choose_stream;
 use temp_parallel::strategy::HybridConfig;
 use temp_sim::collectives::{Collective, CollectiveKind};
 use temp_sim::compute::ComputeModel;
+use temp_sim::network::{rerouted_neighbor_flows, ContentionSim};
 use temp_sim::power::EnergyLedger;
 use temp_wsc::config::WaferConfig;
+use temp_wsc::fault::{DegradedView, FaultMap};
 use temp_wsc::topology::DieId;
+use temp_wsc::units::MB;
 
 use crate::{Result, SolverError};
 
@@ -150,11 +153,82 @@ pub struct WaferCostModel {
     /// block's *activation accounting* is recompute-sensitive and that is
     /// read from the live workload, not the chain.
     chain: SegmentChain,
+    /// Degraded-fabric derating factors (identity for a healthy wafer —
+    /// the healthy code path is bit-for-bit unchanged).
+    fault: DegradedView,
+    /// Multiplicative slowdown on every link-bound term (collectives,
+    /// all-to-all, TATP stream): `max` of the analytic
+    /// `detour / bisection` factor and the [`ContentionSim`]-measured
+    /// rerouted-neighbor-ring inflation. Exactly `1.0` when healthy.
+    link_factor: f64,
 }
 
 impl WaferCostModel {
     /// Creates a cost model for a (wafer, model, workload) triple.
     pub fn new(wafer: WaferConfig, model: ModelConfig, workload: Workload) -> Self {
+        Self::build(wafer, model, workload, DegradedView::healthy(), 1.0)
+    }
+
+    /// Creates a **fault-aware** cost model: every evaluation prices the
+    /// degraded fabric the fault map describes — compute derated by the
+    /// mean surviving-core fraction, usable per-die memory by the worst
+    /// die's, and every link-bound term inflated by the rerouted-traffic
+    /// slowdown (analytic detour/bisection crossed with a
+    /// [`ContentionSim`] run of the rerouted neighbor exchanges). A
+    /// healthy map produces a model identical to
+    /// [`WaferCostModel::new`]'s, fingerprint included.
+    pub fn with_fault_map(
+        wafer: WaferConfig,
+        model: ModelConfig,
+        workload: Workload,
+        faults: &FaultMap,
+    ) -> Self {
+        if faults.is_healthy() {
+            return Self::new(wafer, model, workload);
+        }
+        let mesh = wafer.mesh();
+        let view = faults.degraded_view(&mesh);
+        let link_factor = if !view.connected {
+            f64::INFINITY
+        } else {
+            // Measured inflation: every formerly-adjacent exchange rerouted
+            // over surviving links, against the healthy one-hop baseline.
+            // D2D-scale payloads (§III-B granularity) so bandwidth, not
+            // latency, dominates the ratio.
+            let bytes = 16.0 * MB;
+            let sim = ContentionSim::new(&wafer);
+            let measured = match rerouted_neighbor_flows(&mesh, faults, bytes) {
+                Some(flows) => {
+                    let degraded = sim.simulate(&flows).makespan;
+                    let healthy = bytes / sim.link_bandwidth + sim.hop_latency;
+                    (degraded / healthy).max(1.0)
+                }
+                None => f64::INFINITY,
+            };
+            view.link_time_factor().max(measured)
+        };
+        Self::build(wafer, model, workload, view, link_factor)
+    }
+
+    /// This model re-derated for a (different) fault map, sharing the
+    /// wafer/model/workload triple — the re-solve entry points build their
+    /// degraded siblings through here.
+    pub fn derated(&self, faults: &FaultMap) -> Self {
+        Self::with_fault_map(
+            self.wafer.clone(),
+            self.model.clone(),
+            self.workload.clone(),
+            faults,
+        )
+    }
+
+    fn build(
+        wafer: WaferConfig,
+        model: ModelConfig,
+        workload: Workload,
+        fault: DegradedView,
+        link_factor: f64,
+    ) -> Self {
         let compute = ComputeModel::new(&wafer);
         let chain = SegmentChain::for_model(&model, &workload);
         WaferCostModel {
@@ -163,7 +237,29 @@ impl WaferCostModel {
             workload,
             compute,
             chain,
+            fault,
+            link_factor,
         }
+    }
+
+    /// The degraded-fabric factors this model prices under (identity when
+    /// healthy).
+    pub fn fault_view(&self) -> &DegradedView {
+        &self.fault
+    }
+
+    /// Whether this model derates for faults at all.
+    pub fn is_degraded(&self) -> bool {
+        !self.fault.is_identity()
+    }
+
+    /// Usable per-die HBM under the fault state: the nominal capacity
+    /// scaled by the worst die's surviving fraction (a uniform SPMD shard
+    /// must fit the most degraded die). This is the capacity the memory
+    /// verdict — [`CostReport::fits_memory`] and the per-segment check —
+    /// tests against.
+    pub fn usable_hbm(&self) -> f64 {
+        self.wafer.hbm.capacity * self.fault.memory_factor
     }
 
     /// The model's segment chain IR (embedding -> blocks -> head).
@@ -194,10 +290,22 @@ impl WaferCostModel {
     /// every field, and adding a field changes the rendering, which is
     /// exactly the conservatism a cache key wants.
     pub fn fingerprint(&self) -> u64 {
-        let ident = format!(
+        let mut ident = format!(
             "temp-cost v{} | {:?} | {:?} | {:?}",
             COST_MODEL_VERSION, self.wafer, self.model, self.workload
         );
+        // The fault state is part of the answer's identity: a cache warmed
+        // on a healthy (or differently degraded) wafer must never serve a
+        // degraded solve. Healthy models keep the historical key, so
+        // existing warm-start files stay valid.
+        if self.is_degraded() {
+            use std::fmt::Write;
+            let _ = write!(
+                ident,
+                " | fault {:?} link_factor {:?}",
+                self.fault, self.link_factor
+            );
+        }
         crate::persist::fnv1a(ident.as_bytes())
     }
 
@@ -241,6 +349,7 @@ impl WaferCostModel {
     ) -> Result<CostReport> {
         cfg.validate(self.wafer.die_count())
             .map_err(|e| SolverError::Internal(e.to_string()))?;
+        self.check_connected()?;
 
         // ---- Memory ---------------------------------------------------------
         let mut memory = per_die_footprint(&self.model, workload, cfg);
@@ -249,7 +358,7 @@ impl WaferCostModel {
         // shard, which `per_die_footprint`'s per-layer accounting never
         // prices.
         memory.buffers += self.logits_transient_bytes(cfg, workload);
-        let fits_memory = memory.fits(self.wafer.hbm.capacity);
+        let fits_memory = memory.fits(self.usable_hbm());
 
         // ---- Per-layer compute (per micro-batch) ---------------------------
         let comp_layer = self.layer_compute_time(cfg, workload);
@@ -303,7 +412,8 @@ impl WaferCostModel {
                 _ => {
                     let t = op.collective().analytic_time(&self.wafer.d2d)
                         * op.per_layer_count
-                        * contention_factor;
+                        * contention_factor
+                        * self.link_factor;
                     let key = (parallel_kind_key(op.source), pattern_key(op.pattern));
                     let entry = coll_by_class.entry(key).or_insert(0.0);
                     *entry = entry.max(t);
@@ -502,7 +612,27 @@ impl WaferCostModel {
                 }
             }
         }
-        total
+        total / self.compute_factor()
+    }
+
+    /// Surviving-compute scaling: re-balanced partitions spread work in
+    /// proportion to live cores, so aggregate compute slows by the mean
+    /// surviving fraction. `1.0` healthy.
+    fn compute_factor(&self) -> f64 {
+        self.fault.compute_factor.max(1e-9)
+    }
+
+    /// Fails evaluations outright on a partitioned wafer: lockstep SPMD
+    /// collectives cannot complete across disconnected components, so no
+    /// configuration is feasible at any price.
+    fn check_connected(&self) -> Result<()> {
+        if self.fault.connected {
+            Ok(())
+        } else {
+            Err(SolverError::Internal(
+                "degraded wafer is disconnected: no feasible plan".into(),
+            ))
+        }
     }
 
     /// Evaluates one segment instance under this model's workload. See
@@ -535,6 +665,7 @@ impl WaferCostModel {
     ) -> Result<SegmentCost> {
         cfg.validate(self.wafer.die_count())
             .map_err(|e| SolverError::Internal(e.to_string()))?;
+        self.check_connected()?;
         let recompute_factor = match (segment.kind, workload.recompute) {
             // Only block activations are recomputed; the embedding lookup
             // and the head's loss path run once either way.
@@ -563,7 +694,7 @@ impl WaferCostModel {
         } * recompute_factor;
         let (collective_time, stream_time) = self.segment_comm(segment, cfg, workload);
         let memory_bytes = self.segment_footprint(segment, cfg, workload);
-        let fits_memory = memory_bytes <= self.wafer.hbm.capacity;
+        let fits_memory = memory_bytes <= self.usable_hbm();
         Ok(SegmentCost {
             kind: segment.kind,
             time: collective_time + compute_time.max(stream_time),
@@ -643,18 +774,19 @@ impl WaferCostModel {
                 }
             }
         }
-        total
+        total / self.compute_factor()
     }
 
     /// Analytic ring-collective time over a group of `n` dies (idealized
     /// one-hop neighbors, contention-free — the same formula the exact
-    /// path's [`Collective::analytic_time`] uses).
+    /// path's [`Collective::analytic_time`] uses), degraded-link inflation
+    /// included.
     fn ring_time(&self, n: usize, kind: CollectiveKind, bytes: f64) -> f64 {
         if n < 2 || bytes <= 0.0 {
             return 0.0;
         }
         let group: Vec<DieId> = (0..n as u32).map(DieId).collect();
-        Collective::new(kind, group, bytes).analytic_time(&self.wafer.d2d)
+        Collective::new(kind, group, bytes).analytic_time(&self.wafer.d2d) * self.link_factor
     }
 
     /// Per-micro-batch exposed collective and TATP-stream time of one
@@ -797,6 +929,7 @@ impl WaferCostModel {
         }
         let group: Vec<DieId> = (0..ep as u32).map(DieId).collect();
         Collective::new(CollectiveKind::AllToAll, group, bytes).analytic_time(&self.wafer.d2d)
+            * self.link_factor
     }
 
     /// One TATP stream round moving `chunk` bytes per direction — the
@@ -804,8 +937,9 @@ impl WaferCostModel {
     /// per-layer path and the closed-form segment evaluator (they must
     /// agree or the uniform-chain identity breaks).
     fn stream_round_time(&self, chunk: f64) -> f64 {
-        self.wafer.d2d.latency
-            + 0.5 * STREAM_WAVE_MULTIPLICITY * chunk / self.wafer.d2d.effective_bandwidth(chunk)
+        (self.wafer.d2d.latency
+            + 0.5 * STREAM_WAVE_MULTIPLICITY * chunk / self.wafer.d2d.effective_bandwidth(chunk))
+            * self.link_factor
     }
 
     /// The head's transient logits shard per die:
@@ -1171,6 +1305,88 @@ mod tests {
         // Invalid configurations are rejected, not mis-costed.
         let bad = HybridConfig::tuple(2, 2, 1, 4); // product 16 != 32
         assert!(m.evaluate_segment(emb, &bad, MappingEngine::Tcme).is_err());
+    }
+
+    #[test]
+    fn healthy_fault_map_is_the_identity_fingerprint_included() {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let wafer = WaferConfig::hpca();
+        let healthy = FaultMap::healthy(&wafer.mesh());
+        let base = WaferCostModel::new(wafer.clone(), model.clone(), workload.clone());
+        let faulted = WaferCostModel::with_fault_map(wafer, model, workload, &healthy);
+        assert!(!faulted.is_degraded());
+        assert_eq!(faulted.fingerprint(), base.fingerprint());
+        assert_eq!(faulted.usable_hbm(), base.wafer().hbm.capacity);
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let a = base.evaluate(&cfg, MappingEngine::Tcme).unwrap();
+        let b = faulted.evaluate(&cfg, MappingEngine::Tcme).unwrap();
+        assert_eq!(a, b, "healthy map must price bit-for-bit identically");
+    }
+
+    #[test]
+    fn link_faults_inflate_link_time_but_not_compute() {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let wafer = WaferConfig::hpca();
+        let faults = FaultMap::inject_link_faults(&wafer.mesh(), 0.1, 11);
+        let base = WaferCostModel::new(wafer.clone(), model.clone(), workload.clone());
+        let degraded = base.derated(&faults);
+        assert!(degraded.is_degraded());
+        assert_ne!(degraded.fingerprint(), base.fingerprint());
+        // Memory and compute are untouched by pure link faults.
+        assert_eq!(degraded.usable_hbm(), base.wafer().hbm.capacity);
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let h = base.evaluate(&cfg, MappingEngine::Tcme).unwrap();
+        let d = degraded.evaluate(&cfg, MappingEngine::Tcme).unwrap();
+        assert_eq!(d.compute_time, h.compute_time);
+        assert!(
+            d.collective_time > h.collective_time,
+            "rerouted collectives must cost more: {} vs {}",
+            d.collective_time,
+            h.collective_time
+        );
+        assert!(d.step_time > h.step_time);
+    }
+
+    #[test]
+    fn core_faults_slow_compute_and_shrink_usable_memory() {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let wafer = WaferConfig::hpca();
+        let faults = FaultMap::inject_core_faults(&wafer.mesh(), 0.25, 7);
+        let base = WaferCostModel::new(wafer.clone(), model.clone(), workload.clone());
+        let degraded = base.derated(&faults);
+        assert!(degraded.usable_hbm() < base.wafer().hbm.capacity);
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let h = base.evaluate(&cfg, MappingEngine::Tcme).unwrap();
+        let d = degraded.evaluate(&cfg, MappingEngine::Tcme).unwrap();
+        assert!(
+            d.compute_time > h.compute_time,
+            "derated cores must slow compute"
+        );
+        // Graceful: 25% dead cores cost well under 2x.
+        assert!(
+            d.step_time < 2.0 * h.step_time,
+            "{} vs {}",
+            d.step_time,
+            h.step_time
+        );
+    }
+
+    #[test]
+    fn disconnected_fabric_is_infeasible() {
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let wafer = WaferConfig::hpca();
+        let faults = FaultMap::inject_link_faults(&wafer.mesh(), 1.0, 3);
+        assert!(!faults.is_connected(&wafer.mesh()));
+        let m = WaferCostModel::with_fault_map(wafer, model, workload, &faults);
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        assert!(m.evaluate(&cfg, MappingEngine::Tcme).is_err());
+        let chain = m.chain().clone();
+        let seg = chain.find(temp_graph::segment::SegmentKind::Block).unwrap();
+        assert!(m.evaluate_segment(seg, &cfg, MappingEngine::Tcme).is_err());
     }
 
     #[test]

@@ -32,10 +32,12 @@ use temp_graph::workload::Workload;
 use temp_mapping::engines::MappingEngine;
 use temp_parallel::strategy::HybridConfig;
 use temp_wsc::config::WaferConfig;
+use temp_wsc::fault::FaultMap;
 
 use crate::cost::{CostReport, WaferCostModel};
 use crate::dp::solve_chain;
 use crate::ga::{optimize_ragged, GaParams};
+use crate::runtime::CancelToken;
 use crate::search::{CandidateCost, SearchContext, SearchStats};
 use crate::{Result, SolverError};
 
@@ -109,6 +111,56 @@ impl Dlws {
         }
     }
 
+    /// Creates a solver that plans directly on the degraded fabric
+    /// `faults` describes: the cost model derates compute, usable memory
+    /// and link-bound time from the fault map's [`temp_wsc::fault::DegradedView`]
+    /// (see [`WaferCostModel::with_fault_map`]). A healthy map routes
+    /// through the unmodified healthy pipeline, so its plans are
+    /// bit-for-bit identical to [`Dlws::new`].
+    pub fn with_fault_map(
+        wafer: WaferConfig,
+        model: ModelConfig,
+        workload: Workload,
+        faults: &FaultMap,
+    ) -> Self {
+        Dlws::from_context(Arc::new(SearchContext::new(
+            WaferCostModel::with_fault_map(wafer, model, workload, faults),
+        )))
+    }
+
+    /// A sibling solver planning the same `(model, workload)` on the
+    /// degraded fabric: shares the candidate enumeration (an `Arc` —
+    /// faults change feasibility, not which degree tuples exist) and the
+    /// GA tuning, but costs everything through the fault-derated model.
+    /// The degraded context's caches start empty; they are keyed by a
+    /// fault-extended fingerprint and must not mix with healthy entries.
+    pub fn degraded(&self, faults: &FaultMap) -> Dlws {
+        Dlws {
+            ctx: Arc::new(self.ctx.derated(faults)),
+            ga: self.ga,
+        }
+    }
+
+    /// Re-solves this solver's triple on the degraded fabric — the
+    /// framework-level fault adaptation of §VIII-F: partitions are
+    /// re-balanced (candidates re-ranked under derated compute/memory)
+    /// and communication re-routed (collectives priced over the surviving
+    /// links). A healthy map short-circuits to [`Dlws::solve`] on the
+    /// *shared* healthy context, so the fault-free sweep point is the
+    /// healthy plan itself, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NoFeasiblePlan`] when the degraded wafer
+    /// cannot host the model at all — a disconnected mesh, or derated
+    /// memory that no candidate fits (the fig20 link-fault cliff).
+    pub fn resolve_degraded(&self, faults: &FaultMap) -> Result<ExecutionPlan> {
+        if faults.is_healthy() {
+            return self.solve();
+        }
+        self.degraded(faults).solve()
+    }
+
     /// The shared search context (enumeration + cache + stats).
     pub fn context(&self) -> &Arc<SearchContext> {
         &self.ctx
@@ -162,6 +214,84 @@ impl Dlws {
     /// OOMs even with full recomputation.
     pub fn solve(&self) -> Result<ExecutionPlan> {
         self.solve_with_engine(MappingEngine::Tcme, |_| true)
+    }
+
+    /// Runs the full search under a wall-clock budget. A
+    /// [`CancelToken`] with the deadline is installed on the shared
+    /// context; the exact costing loops poll it between candidates and
+    /// skip the remainder once it fires, so the solve returns the best
+    /// plan among the candidates it managed to cost — and when *nothing*
+    /// was costed in time (or everything costed was infeasible), a
+    /// bounded serial fallback scan ignores the expired deadline and
+    /// produces a usable plan anyway. The token is always cleared before
+    /// returning, so the context (and the global worker pool under it)
+    /// keeps serving unbounded solves afterwards.
+    ///
+    /// Returns the plan and whether the deadline fired. A `true` flag
+    /// means the plan is best-effort: some candidates were never costed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NoFeasiblePlan`] only when no candidate at
+    /// all fits the wafer — the same condition under which the unbounded
+    /// [`Dlws::solve`] fails.
+    pub fn solve_with_deadline(
+        &self,
+        budget: std::time::Duration,
+    ) -> Result<(ExecutionPlan, bool)> {
+        let token = CancelToken::with_deadline(budget);
+        self.ctx.set_cancel_token(Some(token.clone()));
+        let result = self.solve();
+        self.ctx.set_cancel_token(None);
+        let timed_out = token.is_cancelled();
+        match result {
+            Ok(plan) => Ok((plan, timed_out)),
+            Err(_) if timed_out => self.fallback_plan().map(|plan| (plan, true)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The deadline-fallback path: serially cost a small prefix of the
+    /// candidate space (widening to all of it only if the prefix is
+    /// entirely infeasible), then solve restricted to that winner. No
+    /// token is consulted — by construction this runs *after* the
+    /// deadline fired, and its job is to guarantee a usable plan; the
+    /// scan is bounded so the overshoot stays small. Every evaluation
+    /// lands in the shared cache, so the work is never wasted.
+    fn fallback_plan(&self) -> Result<ExecutionPlan> {
+        const FALLBACK_SCAN: usize = 8;
+        let engine = MappingEngine::Tcme;
+        let dense: Vec<HybridConfig> = self
+            .ctx
+            .candidates()
+            .iter()
+            .copied()
+            .filter(|c| c.ep == 1)
+            .collect();
+        let head = dense.len().min(FALLBACK_SCAN);
+        let mut winner: Option<HybridConfig> = None;
+        let mut best = f64::INFINITY;
+        for window in [&dense[..head], &dense[head..]] {
+            for cfg in window {
+                let (t, _) = self.ctx.cost_of(cfg, engine);
+                if t < best {
+                    best = t;
+                    winner = Some(*cfg);
+                }
+            }
+            if winner.is_some() {
+                break;
+            }
+        }
+        let winner = winner.ok_or_else(|| {
+            SolverError::NoFeasiblePlan(
+                "deadline fallback: no candidate fits even with full recomputation".into(),
+            )
+        })?;
+        // Re-enter the normal pipeline restricted to the winner (plus the
+        // expert-parallel tuples a MoE chain's own segment row needs) so
+        // the returned plan carries well-formed segments and chain cost.
+        self.solve_with_engine(engine, |c| *c == winner || c.ep > 1)
     }
 
     /// Full search restricted to an engine and a configuration filter —
@@ -455,6 +585,64 @@ mod tests {
             "second solve must not re-cost anything"
         );
         assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn zero_deadline_still_returns_a_usable_plan_and_the_context_survives() {
+        let s = solver(ModelZoo::gpt3_6_7b());
+        let (fallback, timed_out) = s
+            .solve_with_deadline(std::time::Duration::ZERO)
+            .expect("deadline fallback must produce a plan");
+        assert!(timed_out, "a zero budget must report expiry");
+        assert!(fallback.report.fits_memory);
+        assert!(fallback.chain_cost.is_finite());
+        assert_eq!(fallback.segments.len(), 3);
+        // The same context (and its shared pool) keeps serving full solves.
+        let full = s.solve().unwrap();
+        assert!(
+            full.chain_cost <= fallback.chain_cost,
+            "unbounded search can only improve on the fallback: {} vs {}",
+            full.chain_cost,
+            fallback.chain_cost
+        );
+    }
+
+    #[test]
+    fn generous_deadline_reproduces_the_unbounded_plan() {
+        let s = solver(ModelZoo::gpt3_6_7b());
+        let (plan, timed_out) = s
+            .solve_with_deadline(std::time::Duration::from_secs(3600))
+            .unwrap();
+        assert!(!timed_out);
+        assert_eq!(plan, s.solve().unwrap());
+    }
+
+    #[test]
+    fn healthy_fault_map_resolves_to_the_identical_plan() {
+        use temp_wsc::fault::FaultMap;
+        let s = solver(ModelZoo::gpt3_6_7b());
+        let healthy = FaultMap::healthy(&WaferConfig::hpca().mesh());
+        let baseline = s.solve().unwrap();
+        let resolved = s.resolve_degraded(&healthy).unwrap();
+        assert_eq!(resolved, baseline, "healthy re-solve must be bit-for-bit");
+    }
+
+    #[test]
+    fn link_faults_resolve_to_a_feasible_slower_plan() {
+        use temp_wsc::fault::FaultMap;
+        let s = solver(ModelZoo::gpt3_6_7b());
+        let healthy = s.solve().unwrap();
+        let mesh = WaferConfig::hpca().mesh();
+        let faults = FaultMap::inject_link_faults(&mesh, 0.15, 23);
+        assert!(faults.is_connected(&mesh));
+        let degraded = s.resolve_degraded(&faults).unwrap();
+        assert!(degraded.report.fits_memory);
+        assert!(
+            degraded.report.step_time >= healthy.report.step_time,
+            "degraded fabric cannot beat the healthy plan: {} vs {}",
+            degraded.report.step_time,
+            healthy.report.step_time
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod cost;
 pub mod dlws;
 pub mod dp;
+pub mod faultcamp;
 pub mod ga;
 pub mod ilp;
 pub mod par;

@@ -127,12 +127,45 @@ impl ContextPool {
     }
 
     /// Best-effort warm import: a missing file means "no cache for this
-    /// context yet" and a malformed one is skipped whole (imports are
-    /// all-or-nothing), so warm starts can never corrupt a live context.
+    /// context yet"; a corrupt one — unreadable, truncated mid-record,
+    /// bit-flipped, or carrying a mismatched header — is rejected whole
+    /// (imports are all-or-nothing) and **quarantined** by renaming it to
+    /// `<name>.quarantined`, so warm starts can never corrupt a live
+    /// context, the next run does not trip over the same file, and the
+    /// evidence survives for a post-mortem instead of being deleted.
     fn try_warm_import(dir: &Path, ctx: &SearchContext) {
-        if let Ok(text) = std::fs::read_to_string(dir.join(Self::cache_file_name(ctx))) {
-            let _ = ctx.import_cost_table(&text);
+        let path = dir.join(Self::cache_file_name(ctx));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return,
+            Err(e) => {
+                // Exists but cannot be read as text (permissions, binary
+                // garbage): quarantine rather than retry forever.
+                Self::quarantine(&path, &e.to_string());
+                return;
+            }
+        };
+        if let Err(reason) = ctx.import_cost_table(&text) {
+            Self::quarantine(&path, &reason);
         }
+    }
+
+    /// Moves a corrupt cache file aside (`<name>.quarantined`), keeping
+    /// the bytes for inspection. Renaming is best-effort: on a read-only
+    /// directory the file simply stays put and keeps being skipped.
+    fn quarantine(path: &Path, reason: &str) {
+        let mut target = path.as_os_str().to_os_string();
+        target.push(".quarantined");
+        let renamed = std::fs::rename(path, &target).is_ok();
+        eprintln!(
+            "warm-start cache {} is corrupt ({reason}); {}",
+            path.display(),
+            if renamed {
+                "quarantined as .quarantined"
+            } else {
+                "quarantine rename failed, skipping it"
+            }
+        );
     }
 
     /// The wafer every pooled context plans on.
@@ -241,6 +274,87 @@ mod tests {
         assert_eq!(late.load_from(&dir).expect("load"), 1);
         late_ctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
         assert_eq!(late_ctx.stats().misses, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_files_are_rejected_whole_and_quarantined() {
+        let dir = std::env::temp_dir().join(format!("temp-pool-quarantine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let model = ModelZoo::gpt3_6_7b();
+        let workload = Workload::for_model(&model);
+        let cfg = HybridConfig::tuple(2, 2, 1, 8);
+        let cold = ContextPool::new(WaferConfig::hpca());
+        let ctx = cold.context(&model, &workload);
+        ctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
+        cold.save_to(&dir).expect("save");
+        let name = ContextPool::cache_file_name(&ctx);
+        let good = std::fs::read_to_string(dir.join(&name)).expect("read good cache");
+
+        let truncated = {
+            // Cut mid-line so the last record is torn, not merely absent.
+            let cut = good.len() * 2 / 3;
+            let cut = (cut..good.len())
+                .find(|&i| good.is_char_boundary(i))
+                .unwrap();
+            good.as_bytes()[..cut].to_vec()
+        };
+        let bit_flipped = good.replacen('.', "x", 1).into_bytes();
+        let version_skewed = good
+            .replacen("temp-cache v1", "temp-cache v9", 1)
+            .into_bytes();
+        let unreadable = vec![0xff, 0xfe, 0x80, 0x00, b'\n'];
+        let cases: [(&str, Vec<u8>); 4] = [
+            ("truncated", truncated),
+            ("bit-flipped", bit_flipped),
+            ("version-skewed", version_skewed),
+            ("unreadable (non-UTF-8)", unreadable),
+        ];
+        for (what, bytes) in cases {
+            std::fs::write(dir.join(&name), &bytes).expect("plant corrupt cache");
+            let warm = ContextPool::new(WaferConfig::hpca());
+            warm.load_from(&dir)
+                .expect("load_from must not fail on corruption");
+            let wctx = warm.context(&model, &workload);
+            // All-or-nothing: nothing from the corrupt file was applied,
+            // and the context still costs correctly from scratch.
+            let (cost, _) = wctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
+            assert!(cost.is_finite(), "{what}: pool context must stay usable");
+            assert!(
+                wctx.stats().misses > 0,
+                "{what}: a corrupt import must be rejected whole, not partially applied"
+            );
+            // Quarantined, not deleted: bytes moved aside for post-mortem.
+            assert!(
+                !dir.join(&name).exists(),
+                "{what}: corrupt file must be moved out of the warm path"
+            );
+            let quarantined = dir.join(format!("{name}.quarantined"));
+            assert!(
+                quarantined.exists(),
+                "{what}: quarantined copy must survive"
+            );
+            assert_eq!(
+                std::fs::read(&quarantined).expect("read quarantined"),
+                bytes,
+                "{what}: quarantine must preserve the corrupt bytes verbatim"
+            );
+        }
+
+        // A healthy file still round-trips after all that.
+        std::fs::write(dir.join(&name), good.as_bytes()).expect("restore good cache");
+        let warm = ContextPool::new(WaferConfig::hpca());
+        warm.load_from(&dir).expect("load");
+        let wctx = warm.context(&model, &workload);
+        wctx.cost_of(&cfg, temp_mapping::engines::MappingEngine::Tcme);
+        assert_eq!(
+            wctx.stats().misses,
+            0,
+            "good cache must import after quarantines"
+        );
+        assert!(dir.join(&name).exists());
 
         let _ = std::fs::remove_dir_all(&dir);
     }

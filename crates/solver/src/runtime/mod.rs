@@ -35,8 +35,92 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use deque::{Steal, WsDeque};
+
+/// Cooperative cancellation handle for bounded solves.
+///
+/// A token is shared between the thread that owns a deadline and the map
+/// loops costing candidates on its behalf: the loops poll
+/// [`CancelToken::is_cancelled`] between items and skip the remaining
+/// work once it reports true. Cancellation is *cooperative* — an item
+/// already executing runs to completion — so the pool is never poisoned:
+/// every queued chunk still drains, skipped items just return the
+/// caller's fallback value instead of doing work.
+///
+/// Tokens are cheap to clone (an `Arc` around an atomic) and may carry a
+/// deadline: once the deadline passes, `is_cancelled` latches the flag so
+/// later polls short-circuit without reading the clock.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that self-cancels once `budget` has elapsed from now (and
+    /// can still be cancelled early by hand).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested or the deadline has
+    /// passed. An expired deadline latches the flag, so subsequent polls
+    /// are a single atomic load.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+/// Error returned by [`WorkPool::try_map`] when a task's closure
+/// panicked: the failed job is surfaced to the submitter instead of
+/// re-panicking, and the pool keeps serving (no worker died — the chunk
+/// caught the unwind and completed its bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskPanicked;
+
+impl std::fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a work-stealing pool map task panicked")
+    }
+}
+
+impl std::error::Error for TaskPanicked {}
 
 /// One schedulable unit: a contiguous chunk of a job's items.
 struct Task {
@@ -169,8 +253,37 @@ impl WorkPool {
     /// # Panics
     ///
     /// Propagates (as a fresh panic) any panic raised by `f`; already
-    /// computed results are leaked, never dropped uninitialized.
+    /// computed results are leaked, never dropped uninitialized. Use
+    /// [`WorkPool::try_map`] to receive the failure as an error instead.
     pub fn map<T, R, F>(&self, items: &[T], f: &F, chunk: usize) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match self.try_map(items, f, chunk) {
+            Ok(out) => out,
+            Err(TaskPanicked) => panic!("work-stealing pool: a map task panicked"),
+        }
+    }
+
+    /// As [`WorkPool::map`], but a panicking closure is surfaced as
+    /// `Err(TaskPanicked)` instead of re-panicking in the submitter. The
+    /// failed job is fully drained first (every chunk completes its
+    /// bookkeeping, the panic is caught inside the chunk), so the pool —
+    /// including the shared global one — keeps serving subsequent jobs.
+    /// Already computed results of the failed job are leaked, never
+    /// dropped uninitialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskPanicked`] when any invocation of `f` panicked.
+    pub fn try_map<T, R, F>(
+        &self,
+        items: &[T],
+        f: &F,
+        chunk: usize,
+    ) -> std::result::Result<Vec<R>, TaskPanicked>
     where
         T: Sync,
         R: Send,
@@ -178,14 +291,16 @@ impl WorkPool {
     {
         let n = items.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let chunk = chunk.max(1);
         if n <= chunk || self.workers() == 1 && !self.on_this_pool() {
             // One chunk (or a 1-worker pool called externally, where
             // dispatch would serialize anyway with extra hops): run
-            // inline.
-            return items.iter().map(f).collect();
+            // inline, catching the unwind so the error contract holds on
+            // this path too.
+            return catch_unwind(AssertUnwindSafe(|| items.iter().map(f).collect()))
+                .map_err(|_| TaskPanicked);
         }
 
         let mut out: Vec<R> = Vec::with_capacity(n);
@@ -246,12 +361,12 @@ impl WorkPool {
         if job.header.panicked.load(Ordering::Acquire) {
             // `out` still has length 0: computed results leak, nothing
             // uninitialized is dropped.
-            panic!("work-stealing pool: a map task panicked");
+            return Err(TaskPanicked);
         }
         // SAFETY: all `chunks` tasks completed without panic, so every
         // slot `0..n` was written exactly once.
         unsafe { out.set_len(n) };
-        out
+        Ok(out)
     }
 
     /// Whether the current thread is a worker of *this* pool.
@@ -505,6 +620,47 @@ mod tests {
         assert!(result.is_err());
         // The pool survives the panic and keeps serving jobs.
         assert_eq!(pool.map(&[1u32, 2], &|x| x * 2, 1), vec![2, 4]);
+    }
+
+    #[test]
+    fn try_map_surfaces_a_panicked_task_as_an_error() {
+        let pool = WorkPool::with_workers(2);
+        let items: Vec<u32> = (0..64).collect();
+        let result = pool.try_map(
+            &items,
+            &|&x| {
+                assert!(x != 13, "boom");
+                x
+            },
+            1,
+        );
+        assert_eq!(result, Err(TaskPanicked));
+        // The failed job drained cleanly: the same pool serves the next
+        // job, and a clean job returns Ok.
+        assert_eq!(pool.try_map(&[1u32, 2], &|x| x * 2, 1), Ok(vec![2, 4]));
+        // The inline path (single chunk) honors the same contract.
+        let inline = pool.try_map(&[7u32], &|_| -> u32 { panic!("boom") }, 8);
+        assert_eq!(inline, Err(TaskPanicked));
+    }
+
+    #[test]
+    fn cancel_token_latches_manual_and_deadline_cancellation() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_none());
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled(), "clones share one flag");
+
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert!(expired.deadline().is_some());
+        assert!(expired.is_cancelled(), "zero budget expires immediately");
+        assert!(expired.is_cancelled(), "expiry latches");
+
+        let generous = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!generous.is_cancelled());
+        generous.cancel();
+        assert!(generous.is_cancelled(), "manual cancel beats the deadline");
     }
 
     #[test]

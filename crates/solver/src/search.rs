@@ -34,9 +34,11 @@ use temp_graph::segment::{SegmentChain, SegmentKind};
 use temp_graph::workload::{RecomputeMode, Workload};
 use temp_mapping::engines::MappingEngine;
 use temp_parallel::strategy::HybridConfig;
+use temp_wsc::fault::FaultMap;
 
 use crate::cost::{CostReport, SegmentCost, WaferCostModel};
 use crate::par;
+use crate::runtime::CancelToken;
 use crate::surrogate_gate::{self, GateParams};
 
 /// Memoization key: one cost-model evaluation is fully determined by the
@@ -180,6 +182,12 @@ pub struct SearchContext {
     full_reshard: f64,
     /// Whether batch costing may fan out over threads.
     parallel: AtomicBool,
+    /// Cooperative cancellation of batch costing: when set, the exact
+    /// costing loops poll the token between candidates and report the
+    /// remainder infeasible-without-evaluation once it fires. Skipped
+    /// candidates are **not** written to the cache (a skip is not a
+    /// verdict), so a later solve re-costs them.
+    cancel: RwLock<Option<CancelToken>>,
     /// Which evaluation pipeline `cost_candidates` runs.
     tier: RwLock<CostTier>,
     /// Surrogate-gate tuning (stride, top-K, minimum batch size, model).
@@ -295,6 +303,7 @@ impl SearchContext {
             base_candidates,
             full_reshard,
             parallel: AtomicBool::new(true),
+            cancel: RwLock::new(None),
             tier: RwLock::new(CostTier::Exact),
             gate: RwLock::new(GateParams::default()),
             gate_predictor: RwLock::new(None),
@@ -382,6 +391,30 @@ impl SearchContext {
     /// Whether batch costing fans out over threads.
     pub fn parallel(&self) -> bool {
         self.parallel.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) the cooperative cancellation token the exact
+    /// costing loops poll. Deadline-bounded solves set a
+    /// [`CancelToken::with_deadline`] token, run, then clear it so the
+    /// shared context keeps serving unbounded solves afterwards.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        *self.cancel.write().expect("cancel lock") = token;
+    }
+
+    /// The currently installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.read().expect("cancel lock").clone()
+    }
+
+    /// A sibling context planning on the degraded fabric `faults`
+    /// describes: same `(model, workload)`, fault-derated cost model (see
+    /// [`WaferCostModel::with_fault_map`]), and the **shared** candidate
+    /// enumeration (it depends only on the die count — faults do not
+    /// change which degree tuples exist, only which are feasible). The
+    /// caches start empty: degraded evaluations live under a different
+    /// fingerprint and must never mix with healthy entries.
+    pub fn derated(&self, faults: &FaultMap) -> SearchContext {
+        SearchContext::with_shared_candidates(self.cost.derated(faults), self.candidates_arc())
     }
 
     /// Selects the evaluation pipeline for batch costing (default:
@@ -935,16 +968,36 @@ impl SearchContext {
     }
 
     /// The exact (tier-2) batch costing path: every candidate runs the
-    /// full cost model, misses fill in parallel when enabled.
+    /// full cost model, misses fill in parallel when enabled. When a
+    /// cancellation token is installed (deadline-bounded solves), the
+    /// loop polls it between candidates: once it fires, the remaining
+    /// candidates come back `(INFINITY, None)` **without** being written
+    /// to the cache — a skip is not a verdict, so later unbounded solves
+    /// re-cost them.
     pub fn cost_candidates_exact(
         &self,
         candidates: &[HybridConfig],
         engine: MappingEngine,
     ) -> Vec<CandidateCost> {
+        let token = self.cancel_token();
         if self.parallel() {
-            par::par_map(candidates, |c| self.cost_of(c, engine))
+            match &token {
+                Some(token) => par::par_map_cancellable(
+                    token,
+                    candidates,
+                    |_| (f64::INFINITY, None),
+                    |c| self.cost_of(c, engine),
+                ),
+                None => par::par_map(candidates, |c| self.cost_of(c, engine)),
+            }
         } else {
-            candidates.iter().map(|c| self.cost_of(c, engine)).collect()
+            candidates
+                .iter()
+                .map(|c| match &token {
+                    Some(t) if t.is_cancelled() => (f64::INFINITY, None),
+                    _ => self.cost_of(c, engine),
+                })
+                .collect()
         }
     }
 }

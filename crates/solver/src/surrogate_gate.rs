@@ -195,23 +195,30 @@ pub(crate) fn cost_candidates_gated(
             targets.push(target);
         }
     }
+    // Exact-tier fallback shared by the two graceful-degradation exits:
+    // too little training signal, or a predictor that fails validation.
+    // Training costs are already paid (and cached); only the rest of the
+    // feasible set is re-costed exactly.
+    let exact_fallback =
+        |mut out: Vec<CandidateCost>, train_costs: Vec<CandidateCost>| -> Vec<CandidateCost> {
+            let rest: Vec<usize> = feasible
+                .iter()
+                .copied()
+                .filter(|i| !train_idx.contains(i))
+                .collect();
+            let cfgs: Vec<HybridConfig> = rest.iter().map(|&i| candidates[i]).collect();
+            for (&i, cost) in train_idx.iter().zip(train_costs) {
+                out[i] = cost;
+            }
+            for (&i, cost) in rest.iter().zip(ctx.cost_candidates_exact(&cfgs, engine)) {
+                out[i] = cost;
+            }
+            ctx.note_pruned((n - feasible.len()) as u64);
+            out
+        };
     if features.len() < MIN_TRAIN_SAMPLES {
-        // Not enough signal to rank safely: fall back to exact costing of
-        // the memory-feasible candidates.
-        let rest: Vec<usize> = feasible
-            .iter()
-            .copied()
-            .filter(|i| !train_idx.contains(i))
-            .collect();
-        let cfgs: Vec<HybridConfig> = rest.iter().map(|&i| candidates[i]).collect();
-        for (&i, cost) in train_idx.iter().zip(train_costs) {
-            out[i] = cost;
-        }
-        for (&i, cost) in rest.iter().zip(ctx.cost_candidates_exact(&cfgs, engine)) {
-            out[i] = cost;
-        }
-        ctx.note_pruned((n - feasible.len()) as u64);
-        return out;
+        // Not enough signal to rank safely.
+        return exact_fallback(out, train_costs);
     }
     // A warm predictor imported from another context (matching feature
     // layout) skips the per-batch fit entirely; otherwise fit the
@@ -219,6 +226,9 @@ pub(crate) fn cost_candidates_gated(
     // predictors never short-circuit later batches — each batch fits its
     // own, which the per-degree winner-retention guarantee relies on.
     let feature_dim = features.first().map(Vec::len).unwrap_or(0);
+    // Keep the training features around: whichever predictor we end up
+    // with (warm import or fresh fit) is validated against them below.
+    let probe = features.clone();
     let predictor = match ctx.imported_gate_predictor() {
         Some(warm) if warm.feature_dim() == feature_dim => warm,
         _ => {
@@ -236,6 +246,13 @@ pub(crate) fn cost_candidates_gated(
             fitted
         }
     };
+    // Graceful gate degradation: a predictor that cannot even score its
+    // own training features finitely (degenerate fit, corrupt or stale
+    // import) must not shortlist anything — drop to the exact tier for
+    // this batch instead of propagating NaN ranks.
+    if probe.iter().any(|f| !predictor.predict(f).is_finite()) {
+        return exact_fallback(out, train_costs);
+    }
 
     // Heterogeneous-chain correction: the DP downstream prices the
     // embedding/head segments from the tier-independent segment table and
@@ -578,6 +595,63 @@ mod tests {
         // The imported predictor stayed authoritative (no local refit
         // overwrote it): the export round-trips the imported text.
         assert_eq!(cold_ctx.export_gate_predictor().as_deref(), Some(&text[..]));
+    }
+
+    #[test]
+    fn overflowing_predictor_degrades_to_the_exact_tier() {
+        // An imported predictor can pass the parser's finiteness checks
+        // yet still overflow to infinity on real features (absurd weights
+        // from a stale or corrupted warm cache). The gate validates the
+        // predictor on its own training features and must drop to the
+        // exact tier rather than rank candidates by non-finite scores.
+        let warm_ctx = context();
+        warm_ctx.set_cost_tier(CostTier::SurrogateGated);
+        let candidates = warm_ctx.candidates().to_vec();
+        let healthy_gated = warm_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        let dim: usize = warm_ctx
+            .export_gate_predictor()
+            .expect("fitted predictor")
+            .split_whitespace()
+            .nth(2)
+            .expect("dim field")
+            .parse()
+            .expect("numeric dim");
+        let row = |v: &str| vec![v; dim].join(" ");
+        let poison = format!(
+            "linreg v1 {dim}\n{}\n0.0\n{}\n{}\n",
+            row("1.0e308"),
+            row("0.0"),
+            row("1.0"),
+        );
+        let bad_ctx = context();
+        bad_ctx.set_cost_tier(CostTier::SurrogateGated);
+        bad_ctx
+            .import_gate_predictor(&poison)
+            .expect("finite weights parse cleanly");
+        let gated = bad_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        // The fallback priced every memory-feasible candidate exactly —
+        // nothing was shortlisted away, unlike the healthy gated run
+        // where most candidates stay unpriced (infinite).
+        let finite = |costs: &[CandidateCost]| costs.iter().filter(|c| c.0.is_finite()).count();
+        assert!(
+            finite(&gated) > finite(&healthy_gated),
+            "fallback must price the whole feasible set: {} vs healthy gate's {}",
+            finite(&gated),
+            finite(&healthy_gated)
+        );
+        // Every priced candidate came from the exact tier: re-costing the
+        // batch exactly on the same context is served from the shared
+        // cache and must agree bit-for-bit.
+        bad_ctx.set_cost_tier(CostTier::Exact);
+        let exact = bad_ctx.cost_candidates(&candidates, MappingEngine::Tcme);
+        for (i, (g, e)) in gated.iter().zip(&exact).enumerate() {
+            if g.0.is_finite() {
+                assert_eq!(
+                    g.0, e.0,
+                    "candidate {i}: degraded gate must match the exact tier"
+                );
+            }
+        }
     }
 
     #[test]

@@ -47,5 +47,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             a.surviving_compute
         );
     }
+
+    // The planner itself on the broken wafer: re-run the full search
+    // against the derated cost model and compare plans.
+    use temp_graph::models::ModelZoo;
+    use temp_graph::workload::Workload;
+    use temp_solver::dlws::Dlws;
+    let model = ModelZoo::gpt3_6_7b();
+    let workload = Workload::for_model(&model);
+    let solver = Dlws::new(wafer.clone(), model, workload);
+    let healthy_plan = solver.solve()?;
+    let core_faults = FaultMap::inject_core_faults(&mesh, 0.25, 7);
+    let degraded_plan = solver.resolve_degraded(&core_faults)?;
+    println!(
+        "\nre-solved on 25% core faults: {} at {:.3}s/step (healthy: {} at {:.3}s/step, {:.0}% kept)",
+        degraded_plan.config.label(),
+        degraded_plan.report.step_time,
+        healthy_plan.config.label(),
+        healthy_plan.report.step_time,
+        100.0 * healthy_plan.report.step_time / degraded_plan.report.step_time
+    );
+
+    // Solves accept a wall-clock budget; an expired deadline still
+    // returns a usable (if less optimized) plan.
+    let (plan, timed_out) = solver.solve_with_deadline(std::time::Duration::from_secs(60))?;
+    println!(
+        "deadline solve: {} (timed out: {timed_out})",
+        plan.config.label()
+    );
     Ok(())
 }

@@ -434,3 +434,90 @@ fn stage_plans_dominate_uniform_on_moe_chains_at_two_wafers() {
         temp.model().layers + 2
     }
 }
+
+/// Per seed, the re-solved plan's cost never improves as the link-fault
+/// rate rises: dead-link sets nest per seed, every candidate's degraded
+/// cost is monotone in the fault set, and the solver minimizes over a
+/// space that faults can only shrink. Infeasible (disconnected) points
+/// dominate everything before them.
+#[test]
+fn resolved_throughput_is_monotone_in_link_fault_rate_per_seed() {
+    let model = ModelZoo::gpt3_6_7b();
+    let workload = Workload::for_model(&model);
+    let wafer = WaferConfig::hpca();
+    let solver = Dlws::new(wafer.clone(), model, workload);
+    let mesh = wafer.mesh();
+    for seed in [7u64, 23, 1009] {
+        let mut prev = (0.0f64, 0.0f64);
+        for rate in [0.0, 0.1, 0.2, 0.3, 0.5] {
+            let faults = FaultMap::inject_link_faults(&mesh, rate, seed);
+            let cost = match solver.resolve_degraded(&faults) {
+                Ok(plan) => {
+                    assert!(plan.report.fits_memory, "seed {seed} rate {rate}");
+                    plan.chain_cost
+                }
+                Err(_) => f64::INFINITY,
+            };
+            let (prev_rate, prev_cost) = prev;
+            assert!(
+                cost >= prev_cost * (1.0 - 1e-6),
+                "seed {seed}: cost fell from {prev_cost} at rate {prev_rate} \
+                 to {cost} at rate {rate}"
+            );
+            prev = (rate, cost);
+        }
+    }
+}
+
+/// Rerouted degraded-fabric traffic never touches a dead link: every
+/// surviving neighbor flow is routed over live links only, and the only
+/// way to get no flows at all is a disconnected mesh.
+#[test]
+fn rerouted_flows_never_cross_dead_links() {
+    use temp_repro::sim::network::rerouted_neighbor_flows;
+    let mut rng = StdRng::seed_from_u64(0xFA017);
+    for _ in 0..48 {
+        let w = rng.gen_range(2u32..8);
+        let h = rng.gen_range(2u32..6);
+        let mesh = Mesh::new(w, h).unwrap();
+        let rate = rng.gen_range(0.0..0.6);
+        let seed = rng.gen_range(0u64..1 << 32);
+        let faults = FaultMap::inject_link_faults(&mesh, rate, seed);
+        match rerouted_neighbor_flows(&mesh, &faults, (1u64 << 20) as f64) {
+            Some(flows) => {
+                assert!(!flows.is_empty());
+                for f in &flows {
+                    assert!(
+                        !f.crosses_dead_link(&faults),
+                        "{w}x{h} rate {rate:.2} seed {seed}: flow {:?}->{:?} \
+                         rides a dead link",
+                        f.src,
+                        f.dst
+                    );
+                }
+            }
+            None => assert!(
+                !faults.is_connected(&mesh),
+                "{w}x{h} rate {rate:.2} seed {seed}: flows only vanish when \
+                 the mesh disconnects"
+            ),
+        }
+    }
+}
+
+/// A fault map with no faults is not a different planning problem: the
+/// degraded re-solve entry point must reproduce the healthy plan
+/// bit-for-bit, answered from the same warm context.
+#[test]
+fn healthy_fault_map_reproduces_the_healthy_plan_bit_for_bit() {
+    for model in [ModelZoo::gpt3_6_7b(), ModelZoo::llama2_7b()] {
+        let name = model.name.clone();
+        let workload = Workload::for_model(&model);
+        let wafer = WaferConfig::hpca();
+        let solver = Dlws::new(wafer.clone(), model, workload);
+        let healthy = FaultMap::healthy(&wafer.mesh());
+        let baseline = solver.solve().expect("healthy plan");
+        let resolved = solver.resolve_degraded(&healthy).expect("healthy re-solve");
+        assert_eq!(resolved, baseline, "{name}");
+    }
+}
