@@ -64,13 +64,29 @@ fn json_u64_field(record: &str, field: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// Solves the fig13 zoo on one pool, returning per-model plan
-/// fingerprints and the total exact-evaluation count.
-fn solve_zoo(pool: &ContextPool) -> (Vec<String>, u64) {
+/// Pulls a float field out of a one-record bench JSON line (same
+/// tolerance for whitespace as [`json_u64_field`]).
+fn json_f64_field(record: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\"");
+    let after_key = record.find(&needle)? + needle.len();
+    let rest = record[after_key..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    digits.parse().ok()
+}
+
+/// Solves the fig13 zoo on one pool with the bound pruner toggled,
+/// returning per-model plan fingerprints and the total exact-evaluation
+/// count.
+fn solve_zoo_with(pool: &ContextPool, pruning: bool) -> (Vec<String>, u64) {
     let mut plans = Vec::new();
     let mut evals = 0u64;
     for model in ModelZoo::table2() {
         let workload = Workload::for_model(&model);
+        pool.context(&model, &workload).set_pruning(pruning);
         let plan = pool
             .solver(&model, &workload)
             .solve()
@@ -86,6 +102,22 @@ fn solve_zoo(pool: &ContextPool) -> (Vec<String>, u64) {
         ));
     }
     (plans, evals)
+}
+
+/// Production path: the zoo solve with the admissible bound pruner on.
+fn solve_zoo(pool: &ContextPool) -> (Vec<String>, u64) {
+    solve_zoo_with(pool, true)
+}
+
+/// Strips the bit-exact step time off a zoo fingerprint, leaving
+/// `model label`. Fingerprints from *independent* contexts agree only up
+/// to float association (HashMap-ordered sums), so cross-pool winner
+/// comparison matches on the configuration, not the rendered float.
+fn winner_of(fingerprint: &str) -> &str {
+    fingerprint
+        .rsplit_once(' ')
+        .map(|(head, _)| head)
+        .unwrap_or(fingerprint)
 }
 
 /// One leg of the cross-process warm-start smoke (`--warm-smoke`): cold
@@ -178,7 +210,18 @@ fn main() {
                 .unwrap_or_else(|| panic!("no multiwafer_gated_evals field in {path}"));
             let moe_evals = json_u64_field(&record, "moe_gated_evals")
                 .unwrap_or_else(|| panic!("no moe_gated_evals field in {path}"));
-            (path.clone(), evals, mw_evals, moe_evals)
+            let pruned_candidates = json_u64_field(&record, "pruned_candidates")
+                .unwrap_or_else(|| panic!("no pruned_candidates field in {path}"));
+            let campaign_s = json_f64_field(&record, "campaign_s")
+                .unwrap_or_else(|| panic!("no campaign_s field in {path}"));
+            (
+                path.clone(),
+                evals,
+                mw_evals,
+                moe_evals,
+                pruned_candidates,
+                campaign_s,
+            )
         });
 
     header("§VIII-H: end-to-end DLS solve time (GPT-3 6.7B, 32 dies)");
@@ -201,13 +244,26 @@ fn main() {
         stats.hits,
         stats.misses
     );
+    let (enum_s, bound_s, exact_s, gate_fit_s, contention_s) = stats.phase_seconds();
     println!(
-        "{{\"bench\":\"search_time\",\"metric\":\"solve\",\"cold_s\":{dls_total:.6},\"cached_s\":{dls_cached:.6},\"plan\":\"{}\"}}",
+        "phases: enumerate {enum_s:.4} s, bound {bound_s:.4} s, exact {exact_s:.4} s, \
+         gate-fit {gate_fit_s:.4} s, contention {contention_s:.4} s \
+         ({} bound-pruned + {} dominated)",
+        stats.bound_pruned, stats.dominated_pruned
+    );
+    println!(
+        "{{\"bench\":\"search_time\",\"metric\":\"solve\",\"cold_s\":{dls_total:.6},\"cached_s\":{dls_cached:.6},\"bound_s\":{bound_s:.6},\"exact_s\":{exact_s:.6},\"pruned\":{},\"plan\":\"{}\"}}",
+        stats.pruned_candidates(),
         plan.config.label()
     );
 
     header("search pipeline: serial vs scoped-thread vs work-stealing-pool costing");
     let threads = available_workers();
+    // What the work-stealing runtime actually brought up — the figure CI
+    // legs pin via TEMP_THREADS and the one every parallel claim is
+    // conditioned on.
+    let threads_effective = temp_solver::runtime::global().workers();
+    println!("threads: {threads} requested, {threads_effective} effective in the runtime");
     let serial_ctx = context();
     serial_ctx.set_parallel(false);
     let candidates = serial_ctx.candidates().to_vec();
@@ -459,6 +515,99 @@ fn main() {
         "{{\"bench\":\"search_time\",\"metric\":\"warm_start\",\"cold_s\":{cold_zoo_s:.6},\"warm_s\":{warm_zoo_s:.6},\"cold_evals\":{cold_evals},\"warm_evals\":{warm_evals},\"plans_match\":{warm_plans_match}}}"
     );
 
+    header("bound-pruned search: admissible prefilter vs exhaustive cold zoo solve");
+    // Two cold pools over the same six-model zoo: one with the
+    // lower-bound pruner disabled (the exhaustive reference), one with it
+    // on (the production path). Same winners are required — the bounds
+    // are admissible — so the only difference is how many candidates ever
+    // reach the exact cost model.
+    let exhaustive_pool = ContextPool::new(WaferConfig::hpca());
+    let t0 = Instant::now();
+    let (exhaustive_fps, exhaustive_evals) = solve_zoo_with(&exhaustive_pool, false);
+    let exhaustive_zoo_s = t0.elapsed().as_secs_f64();
+
+    let pruned_pool = ContextPool::new(WaferConfig::hpca());
+    let t0 = Instant::now();
+    let (pruned_fps, pruned_evals) = solve_zoo_with(&pruned_pool, true);
+    let pruned_zoo_s = t0.elapsed().as_secs_f64();
+
+    let prune_speedup = exhaustive_zoo_s / pruned_zoo_s.max(1e-9);
+    let pruned_winners_match = exhaustive_fps.len() == pruned_fps.len()
+        && exhaustive_fps
+            .iter()
+            .zip(&pruned_fps)
+            .all(|(e, p)| winner_of(e) == winner_of(p));
+    let mut pruned_candidates = 0u64;
+    let mut zoo_bound_s = 0.0f64;
+    let mut zoo_exact_s = 0.0f64;
+    let (mut coll_hits, mut coll_misses) = (0u64, 0u64);
+    for model in ModelZoo::table2() {
+        let workload = Workload::for_model(&model);
+        let ctx = pruned_pool.context(&model, &workload);
+        let s = ctx.stats();
+        pruned_candidates += s.pruned_candidates();
+        let (_, b, e, _, _) = s.phase_seconds();
+        zoo_bound_s += b;
+        zoo_exact_s += e;
+        let (h, m) = ctx.cost_model().collective_memo_stats();
+        coll_hits += h;
+        coll_misses += m;
+    }
+    let coll_hit_rate = coll_hits as f64 / (coll_hits + coll_misses).max(1) as f64;
+    println!(
+        "exhaustive zoo solve {exhaustive_zoo_s:.3} s ({exhaustive_evals} evals); \
+         pruned {pruned_zoo_s:.3} s ({pruned_evals} evals, {pruned_candidates} pruned) \
+         -> {prune_speedup:.2}x, winners match: {pruned_winners_match}"
+    );
+    println!(
+        "pruned-leg phases: bound {zoo_bound_s:.4} s vs exact {zoo_exact_s:.4} s; \
+         collective kernel {coll_hits} hits / {coll_misses} misses ({:.1}% hit rate)",
+        100.0 * coll_hit_rate
+    );
+    println!(
+        "{{\"bench\":\"search_time\",\"metric\":\"bound_pruning\",\"exhaustive_s\":{exhaustive_zoo_s:.6},\"pruned_s\":{pruned_zoo_s:.6},\"prune_speedup\":{prune_speedup:.4},\"exhaustive_evals\":{exhaustive_evals},\"pruned_evals\":{pruned_evals},\"pruned_candidates\":{pruned_candidates},\"bound_s\":{zoo_bound_s:.6},\"coll_hit_rate\":{coll_hit_rate:.4},\"winners_match\":{pruned_winners_match}}}"
+    );
+
+    header("flat-batched fault campaigns: one (model x kind x rate x seed) grid");
+    // A compact fig20-shaped campaign: every lane is one seed's full rate
+    // sweep, flat-batched on the work-stealing runtime, with each rate
+    // point's incumbent seeded from the previous rate's winner.
+    use temp_solver::faultcamp::{run_campaigns, CampaignSpec, FaultKind};
+    let campaign_specs = [
+        CampaignSpec {
+            model: ModelZoo::gpt3_6_7b(),
+            kind: FaultKind::Link,
+            rates: vec![0.0, 0.1, 0.2],
+        },
+        CampaignSpec {
+            model: ModelZoo::gpt3_6_7b(),
+            kind: FaultKind::Core,
+            rates: vec![0.0, 0.1, 0.2],
+        },
+    ];
+    let campaign_seeds = 2u64;
+    let t0 = Instant::now();
+    let curves = run_campaigns(&WaferConfig::hpca(), &campaign_specs, campaign_seeds);
+    let campaign_s = t0.elapsed().as_secs_f64();
+    let campaign_lanes = campaign_specs.len() as u64 * campaign_seeds;
+    for curve in &curves {
+        println!(
+            "  {} {:?}: head {:.3} -> tail {:.3} over {} rates",
+            curve.model,
+            curve.kind,
+            curve.head(),
+            curve.tail(),
+            curve.points.len()
+        );
+    }
+    println!(
+        "campaign: {campaign_lanes} lanes x {} rates in {campaign_s:.3} s on {threads_effective} worker(s)",
+        campaign_specs[0].rates.len()
+    );
+    println!(
+        "{{\"bench\":\"search_time\",\"metric\":\"campaign\",\"campaign_s\":{campaign_s:.6},\"lanes\":{campaign_lanes},\"seeds\":{campaign_seeds},\"threads_effective\":{threads_effective}}}"
+    );
+
     header("chain assignment: DP (DLS level 1) vs exact branch-and-bound (ILP stand-in)");
     println!(
         "{:>9} {:>12} {:>14} {:>10}",
@@ -498,6 +647,7 @@ fn main() {
         let record = format!(
             concat!(
                 "{{\"bench\":\"search_time\",\"model\":\"GPT-3 6.7B\",\"threads\":{},",
+                "\"threads_effective\":{},",
                 "\"serial_s\":{:.6},\"scoped_s\":{:.6},\"pool_s\":{:.6},",
                 "\"parallel_speedup\":{:.4},\"pool_speedup\":{:.4},",
                 "\"exact_cold_s\":{:.6},\"gated_cold_s\":{:.6},\"gated_speedup\":{:.4},",
@@ -507,9 +657,15 @@ fn main() {
                 "\"moe_gated_evals\":{},\"moe_exact_evals\":{},\"moe_plans_match\":{},",
                 "\"sweep_cache_hit_rate\":{:.4},\"sweep_exact_hit_rate\":{:.4},",
                 "\"sweep_gated_hit_rate\":{:.4},\"sweep_seg_hits\":{},",
-                "\"cold_evals\":{},\"warm_evals\":{},\"warm_plans_match\":{}}}\n"
+                "\"cold_evals\":{},\"warm_evals\":{},\"warm_plans_match\":{},",
+                "\"exhaustive_zoo_s\":{:.6},\"pruned_zoo_s\":{:.6},",
+                "\"prune_speedup\":{:.4},\"exhaustive_evals\":{},\"pruned_evals\":{},",
+                "\"pruned_candidates\":{},\"bound_time_s\":{:.6},",
+                "\"coll_hit_rate\":{:.4},\"pruned_winners_match\":{},",
+                "\"campaign_s\":{:.6},\"campaign_lanes\":{}}}\n"
             ),
             threads,
+            threads_effective,
             serial_s,
             scoped_s,
             pool_s,
@@ -535,12 +691,31 @@ fn main() {
             cold_evals,
             warm_evals,
             warm_plans_match,
+            exhaustive_zoo_s,
+            pruned_zoo_s,
+            prune_speedup,
+            exhaustive_evals,
+            pruned_evals,
+            pruned_candidates,
+            zoo_bound_s,
+            coll_hit_rate,
+            pruned_winners_match,
+            campaign_s,
+            campaign_lanes,
         );
         std::fs::write(&path, &record).expect("write bench JSON");
         println!("\nwrote {path}");
     }
 
-    if let Some((path, baseline_evals, baseline_mw_evals, baseline_moe_evals)) = check_baseline {
+    if let Some((
+        path,
+        baseline_evals,
+        baseline_mw_evals,
+        baseline_moe_evals,
+        baseline_pruned_candidates,
+        baseline_campaign_s,
+    )) = check_baseline
+    {
         // Bench-regression gate: fail when the gated search — single
         // wafer, the multi-wafer sweep, or the MoE chain — needs >20%
         // more exact evaluations than the committed baseline record.
@@ -586,6 +761,48 @@ fn main() {
             println!(
                 "pool-speedup check skipped ({threads} thread(s) < 4: no parallelism to measure)"
             );
+        }
+
+        // Pruning gates. The speedup gate is in-run (exhaustive vs pruned
+        // on this very machine, so it is machine-independent); the
+        // pruned-candidate count guards the bound quality itself — if the
+        // bounds loosen, fewer candidates are pruned and the count drops
+        // below 80% of the committed baseline.
+        println!(
+            "prune-speedup check: {prune_speedup:.2}x (limit >=2.00x), winners match: {pruned_winners_match}"
+        );
+        if prune_speedup < 2.0 || !pruned_winners_match {
+            eprintln!(
+                "FAIL: bound pruning must keep a >=2x cold zoo speedup with unchanged winners"
+            );
+            failed = true;
+        }
+        let pruned_floor = (baseline_pruned_candidates as f64 * 0.8).floor() as u64;
+        println!(
+            "pruned-candidates check vs {path}: fresh {pruned_candidates} vs baseline \
+             {baseline_pruned_candidates} (floor {pruned_floor})"
+        );
+        if pruned_candidates < pruned_floor {
+            eprintln!(
+                "FAIL: pruned_candidates dropped >20% ({pruned_candidates} < {pruned_floor}); \
+                 the lower bounds have loosened"
+            );
+            failed = true;
+        }
+        // Campaign wall-time gate: generous (3x the committed baseline)
+        // because CI runners vary, but a scheduling regression that
+        // serializes the lanes blows well past it.
+        let campaign_limit = baseline_campaign_s * 3.0;
+        println!(
+            "campaign wall-time check vs {path}: fresh {campaign_s:.3} s vs baseline \
+             {baseline_campaign_s:.3} s (limit {campaign_limit:.3} s)"
+        );
+        if campaign_s > campaign_limit {
+            eprintln!(
+                "FAIL: flat-batched campaign took {campaign_s:.3} s, over 3x the committed \
+                 {baseline_campaign_s:.3} s baseline"
+            );
+            failed = true;
         }
 
         if failed {

@@ -365,7 +365,31 @@ impl Temp {
                     .collect()
             })
             .collect();
-        let _ = ctx.cost_candidate_groups(&groups, system.engine);
+        match ctx.cost_tier() {
+            // Exact: route each group down the same path the per-combo
+            // solve takes, so the pre-cost fills exactly the cache
+            // entries the solves will read back. The single-stage group
+            // (`pp = 1`) goes through the bound-pruned chain path like
+            // `Dlws::solve_with_engine_pp` (its body row is the `ep = 1`
+            // subset; the full group prices the MoE row); partitioned
+            // degrees keep the exhaustive batch their stage DP needs.
+            temp_solver::search::CostTier::Exact => {
+                let mut flat: Vec<temp_parallel::strategy::HybridConfig> = Vec::new();
+                for group in &groups {
+                    if group.iter().all(|c| c.pp == 1) {
+                        let dense: Vec<temp_parallel::strategy::HybridConfig> =
+                            group.iter().filter(|c| c.ep == 1).copied().collect();
+                        let _ = ctx.cost_candidates_chain(&dense, group, system.engine);
+                    } else {
+                        flat.extend_from_slice(group);
+                    }
+                }
+                let _ = ctx.cost_candidates_exact(&flat, system.engine);
+            }
+            temp_solver::search::CostTier::SurrogateGated => {
+                let _ = ctx.cost_candidate_groups(&groups, system.engine);
+            }
+        }
 
         combos
             .into_iter()

@@ -52,15 +52,22 @@ pub struct CommOp {
 }
 
 impl CommOp {
-    /// The collective equivalent for timing (P2P streams map to one shift).
-    pub fn collective(&self) -> Collective {
-        let kind = match self.pattern {
+    /// The collective kind this op times as (P2P streams map to one shift).
+    pub fn collective_kind(&self) -> CollectiveKind {
+        match self.pattern {
             CommPattern::AllReduce => CollectiveKind::AllReduce,
             CommPattern::AllGather => CollectiveKind::AllGather,
             CommPattern::ReduceScatter => CollectiveKind::ReduceScatter,
             CommPattern::P2pStream => CollectiveKind::P2pShift,
-        };
-        Collective::new(kind, self.group.clone(), self.bytes)
+        }
+    }
+
+    /// The collective equivalent for timing. Timing-only callers that
+    /// would discard the group can skip this allocation:
+    /// [`Collective::analytic_time_for`] with
+    /// [`CommOp::collective_kind`] and `group.len()` prices identically.
+    pub fn collective(&self) -> Collective {
+        Collective::new(self.collective_kind(), self.group.clone(), self.bytes)
     }
 }
 

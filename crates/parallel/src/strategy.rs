@@ -219,13 +219,19 @@ impl HybridConfig {
     /// never calling this.
     pub fn enumerate_tuples_ep(dies: usize, fsdp: bool, max_ep: usize) -> Vec<HybridConfig> {
         let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         let mut ep = 1usize;
         while ep <= max_ep.min(dies) {
             if dies % ep == 0 {
+                // Keep-first dedup on the full configuration (the eval
+                // cache key): overlapping `(ep, remaining-dies)` splits
+                // must never hand the same candidate to bounds/exact
+                // costing twice.
                 out.extend(
                     Self::enumerate_tuples(dies / ep, fsdp)
                         .into_iter()
-                        .map(|c| HybridConfig { ep, ..c }),
+                        .map(|c| HybridConfig { ep, ..c })
+                        .filter(|c| seen.insert(*c)),
                 );
             }
             ep *= 2;

@@ -128,11 +128,31 @@ impl Collective {
     /// Idealized latency assuming every logical neighbor is one physical hop
     /// and links are contention-free (the textbook ring-collective formula).
     pub fn analytic_time(&self, d2d: &D2dConfig) -> f64 {
-        let rounds = self.round_count() as f64;
-        if rounds == 0.0 {
+        Self::analytic_time_for(self.kind, self.group.len(), self.bytes, d2d)
+    }
+
+    /// [`Collective::analytic_time`] as a pure function of the group
+    /// *size*: the idealized formula never looks at which dies
+    /// participate, only how many, so callers that would otherwise build
+    /// a throwaway group vector (or memoize timings by `(kind, n,
+    /// bytes)`) can use this directly.
+    pub fn analytic_time_for(kind: CollectiveKind, n: usize, bytes: f64, d2d: &D2dConfig) -> f64 {
+        if n < 2 {
             return 0.0;
         }
-        let shard = self.bytes_per_round();
+        let rounds = match kind {
+            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => n - 1,
+            CollectiveKind::AllReduce => 2 * (n - 1),
+            CollectiveKind::Broadcast | CollectiveKind::AllToAll => n - 1,
+            CollectiveKind::P2pShift => 1,
+        } as f64;
+        let shard = match kind {
+            CollectiveKind::AllGather
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllReduce
+            | CollectiveKind::AllToAll => bytes / n as f64,
+            CollectiveKind::Broadcast | CollectiveKind::P2pShift => bytes,
+        };
         rounds * d2d.transfer_time(shard)
     }
 

@@ -35,7 +35,6 @@ use temp_sim::network::{rerouted_neighbor_flows, ContentionSim};
 use temp_sim::power::EnergyLedger;
 use temp_wsc::config::WaferConfig;
 use temp_wsc::fault::{DegradedView, FaultMap};
-use temp_wsc::topology::DieId;
 use temp_wsc::units::MB;
 
 use crate::{Result, SolverError};
@@ -140,6 +139,56 @@ pub struct SegmentCost {
 /// serving answers from an older model.
 pub const COST_MODEL_VERSION: u32 = 1;
 
+/// One candidate's verdict from the batched admissible prefilter
+/// ([`WaferCostModel::chain_bounds`]): structural/memory feasibility plus
+/// a lower bound on the dense-block chain row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateBound {
+    /// `false` only when the exact path is guaranteed to return infinity
+    /// for this candidate (invalid degrees, disconnected fabric, or HBM
+    /// overflow under every recompute escalation).
+    pub feasible: bool,
+    /// Admissible lower bound on [`CostReport::block_time`]; `0.0` when
+    /// infeasible.
+    pub lb_block: f64,
+}
+
+/// One persisted entry of the memoized collective kernel: the raw
+/// analytic time of `(kind, participants, payload-bytes-as-bits)` under
+/// this wafer's D2D link parameters (no link-derating or contention
+/// factors folded in — those vary per evaluation and multiply on top).
+pub type CollectiveEntry = (CollectiveKind, u32, u64, f64);
+
+/// Memoized collective-time kernel shared by every timing path
+/// ([`WaferCostModel::evaluate_with`]'s op loop, the segment evaluator's
+/// ring collectives, the MoE all-to-all). The idealized ring formula is a
+/// pure function of `(kind, group size, bytes)` for a fixed D2D config,
+/// so repeated sub-terms across candidates, segments, stages and fault
+/// maps collapse into one table lookup. Values are *raw* — the link
+/// derating factor differs per fault map, so [`WaferCostModel::derated`]
+/// siblings share one table through the `Arc`.
+struct CollectiveMemo {
+    table: std::sync::RwLock<std::collections::HashMap<(CollectiveKind, u32, u64), f64>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl Default for CollectiveMemo {
+    fn default() -> Self {
+        CollectiveMemo {
+            table: std::sync::RwLock::new(std::collections::HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for CollectiveMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectiveMemo").finish_non_exhaustive()
+    }
+}
+
 /// The analytic wafer cost model.
 #[derive(Debug, Clone)]
 pub struct WaferCostModel {
@@ -161,6 +210,9 @@ pub struct WaferCostModel {
     /// `detour / bisection` factor and the [`ContentionSim`]-measured
     /// rerouted-neighbor-ring inflation. Exactly `1.0` when healthy.
     link_factor: f64,
+    /// Memoized raw collective times, shared across clones and degraded
+    /// siblings (the raw values are link-factor-independent).
+    coll_memo: std::sync::Arc<CollectiveMemo>,
 }
 
 impl WaferCostModel {
@@ -214,12 +266,17 @@ impl WaferCostModel {
     /// wafer/model/workload triple — the re-solve entry points build their
     /// degraded siblings through here.
     pub fn derated(&self, faults: &FaultMap) -> Self {
-        Self::with_fault_map(
+        let mut sibling = Self::with_fault_map(
             self.wafer.clone(),
             self.model.clone(),
             self.workload.clone(),
             faults,
-        )
+        );
+        // Raw collective times depend only on the (shared) D2D link
+        // parameters, never on the fault state — the whole campaign can
+        // reuse one kernel table.
+        sibling.coll_memo = self.coll_memo.clone();
+        sibling
     }
 
     fn build(
@@ -239,6 +296,7 @@ impl WaferCostModel {
             chain,
             fault,
             link_factor,
+            coll_memo: std::sync::Arc::new(CollectiveMemo::default()),
         }
     }
 
@@ -307,6 +365,199 @@ impl WaferCostModel {
             );
         }
         crate::persist::fnv1a(ident.as_bytes())
+    }
+
+    /// Raw analytic collective time through the shared memo table. Serving
+    /// a memoized value is bit-identical to recomputing: the formula is a
+    /// pure function of the key for this wafer's D2D config, so the stored
+    /// `f64` is the exact value a fresh computation would produce.
+    fn collective_raw_time(&self, kind: CollectiveKind, n: usize, bytes: f64) -> f64 {
+        use std::sync::atomic::Ordering;
+        let key = (kind, n as u32, bytes.to_bits());
+        if let Some(&t) = self.coll_memo.table.read().unwrap().get(&key) {
+            self.coll_memo.hits.fetch_add(1, Ordering::Relaxed);
+            return t;
+        }
+        let t = Collective::analytic_time_for(kind, n, bytes, &self.wafer.d2d);
+        self.coll_memo.misses.fetch_add(1, Ordering::Relaxed);
+        self.coll_memo.table.write().unwrap().insert(key, t);
+        t
+    }
+
+    /// Snapshot of the memoized collective kernel (unordered), for
+    /// persistence alongside the cost table.
+    pub fn collective_table_entries(&self) -> Vec<CollectiveEntry> {
+        self.coll_memo
+            .table
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&(kind, n, bits), &t)| (kind, n, bits, t))
+            .collect()
+    }
+
+    /// Merges persisted kernel entries into the memo (a warm start).
+    /// Entries already present win — both sides computed the same pure
+    /// function, so the choice is cosmetic.
+    pub fn merge_collective_entries(&self, entries: &[CollectiveEntry]) {
+        let mut table = self.coll_memo.table.write().unwrap();
+        for &(kind, n, bits, t) in entries {
+            table.entry((kind, n, bits)).or_insert(t);
+        }
+    }
+
+    /// `(hits, misses)` of the collective kernel since the table was
+    /// created (shared across clones and degraded siblings).
+    pub fn collective_memo_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.coll_memo.hits.load(Ordering::Relaxed),
+            self.coll_memo.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Batched admissible prefilter (structure-of-arrays pass over a
+    /// candidate batch): for each configuration, whether it can possibly
+    /// be feasible, and a lower bound on its dense-block chain row.
+    ///
+    /// Admissibility contract (what makes exact-with-pruning bit-identical
+    /// to exhaustive search):
+    ///
+    /// * `feasible == false` only when the exact escalation path
+    ///   ([`crate::search::SearchContext::cost_of`]) is *guaranteed* to
+    ///   return infinity: the degree product is invalid, the fabric is
+    ///   disconnected, or the [`per_die_footprint`] verdict (with the
+    ///   logits transient, exactly as [`WaferCostModel::evaluate_with`]
+    ///   computes it) overflows usable HBM under the base **and** the
+    ///   fully-recomputed workload.
+    /// * `lb_block <=` the exact [`CostReport::block_time`] (up to float
+    ///   association; pruning thresholds carry a relative epsilon). The
+    ///   bound keeps only terms the exact evaluation can never undercut:
+    ///   compute without the recompute factor (`>= 1`), the per-class
+    ///   collective times at contention factor 1 (the simulated factor is
+    ///   `>= 1`) on the same EP-folded traffic table
+    ///   (`temp_mapping::comm::extract_comm_ops`), and the exact TATP
+    ///   stream law (bitwise identical, it has no contention term).
+    pub fn chain_bounds(&self, candidates: &[HybridConfig]) -> Vec<CandidateBound> {
+        use temp_graph::workload::RecomputeMode;
+        const INFEASIBLE: CandidateBound = CandidateBound {
+            feasible: false,
+            lb_block: 0.0,
+        };
+        if !self.fault.connected {
+            return vec![INFEASIBLE; candidates.len()];
+        }
+        let base = &self.workload;
+        let full = self.workload.clone().with_recompute(RecomputeMode::Full);
+        // Hoisted across the batch: block ops and model scalars do not
+        // depend on the candidate.
+        let block = TransformerBuilder::new(&self.model, base).block();
+        let micro = base.micro_batches as f64;
+        let layers = self.model.layers as f64;
+        let moe_count = self.model.moe_layer_count() as f64;
+        let dense_count = self.model.dense_layer_count() as f64;
+        let e = base.compute_dtype.bytes() as f64;
+        let dies = self.wafer.die_count();
+        candidates
+            .iter()
+            .map(|cfg| {
+                if cfg.validate(dies).is_err() {
+                    return INFEASIBLE;
+                }
+                let mut fits_any = false;
+                for w in [base, &full] {
+                    let mut memory = per_die_footprint(&self.model, w, cfg);
+                    memory.buffers += self.logits_transient_bytes(cfg, w);
+                    if memory.fits(self.usable_hbm()) {
+                        fits_any = true;
+                        break;
+                    }
+                    if base.recompute == RecomputeMode::Full {
+                        break;
+                    }
+                }
+                if !fits_any {
+                    return INFEASIBLE;
+                }
+                // Compute floor: recompute-free per-layer compute time.
+                let comp_floor = self.ops_compute_time(block.ops(), cfg, base);
+                // Comm floor: the traffic table of `extract_comm_ops` on
+                // the EP-folded layout config, one term per (source,
+                // pattern) class — the exact path takes the max over
+                // same-class groups, and every group of a class carries
+                // identical (kind, size, bytes).
+                use CollectiveKind::{AllGather, AllReduce, ReduceScatter};
+                let dp_n = cfg.dp * cfg.ep.max(1);
+                let dp = dp_n as f64;
+                let (tp, sp, cp, tatp) =
+                    (cfg.tp as f64, cfg.sp as f64, cfg.cp as f64, cfg.tatp as f64);
+                let local_tokens =
+                    base.micro_batch_size() as f64 / dp * base.seq_len as f64 / (sp * cp);
+                let act_bytes = local_tokens * self.model.hidden as f64 * e;
+                let layer_weight_bytes = self.model.params_per_layer() as f64 * e
+                    / (tp * tatp * if cfg.fsdp { dp } else { 1.0 });
+                let mut comm_floor = 0.0;
+                if cfg.tp > 1 {
+                    comm_floor += self.collective_raw_time(AllReduce, cfg.tp, act_bytes)
+                        * 4.0
+                        * self.link_factor;
+                }
+                if cfg.sp > 1 {
+                    comm_floor += self.collective_raw_time(AllGather, cfg.sp, act_bytes * sp)
+                        * 2.0
+                        * self.link_factor;
+                    comm_floor += self.collective_raw_time(ReduceScatter, cfg.sp, act_bytes * sp)
+                        * 2.0
+                        * self.link_factor;
+                }
+                if cfg.cp > 1 {
+                    let kv_bytes =
+                        2.0 * act_bytes * cp / self.model.heads as f64 * self.model.kv_heads as f64;
+                    comm_floor += self.collective_raw_time(AllGather, cfg.cp, kv_bytes)
+                        * 1.0
+                        * self.link_factor;
+                }
+                if cfg.fsdp && dp_n > 1 {
+                    comm_floor +=
+                        self.collective_raw_time(AllGather, dp_n, layer_weight_bytes * dp)
+                            * 2.0
+                            * self.link_factor;
+                    comm_floor +=
+                        self.collective_raw_time(ReduceScatter, dp_n, layer_weight_bytes * dp)
+                            * 1.0
+                            * self.link_factor;
+                } else if dp_n > 1 {
+                    comm_floor += self.collective_raw_time(AllReduce, dp_n, layer_weight_bytes)
+                        * 1.0
+                        * self.link_factor;
+                }
+                // Stream term: bitwise the exact path's P2P pricing (no
+                // contention factor exists there to drop).
+                let mut stream_floor = 0.0;
+                if cfg.tatp > 1 {
+                    let stream_bytes = 2.0 * layer_weight_bytes * tatp;
+                    let t_deg = cfg.tatp.max(1) as f64;
+                    let chunk = stream_bytes / t_deg;
+                    stream_floor = 3.0 * t_deg * self.stream_round_time(chunk);
+                }
+                let lb_layer = comm_floor + comp_floor.max(stream_floor);
+                let pp = cfg.pp as f64;
+                let local_layers = (layers / pp).max(1.0);
+                // Dense-block share of one pipeline stage: MoE models
+                // price only their dense layers here (the MoE run has its
+                // own chain row).
+                let mult = if moe_count > 0.0 {
+                    local_layers / layers * dense_count
+                } else {
+                    local_layers
+                };
+                let lb_block = (micro + pp - 1.0) * mult * lb_layer;
+                CandidateBound {
+                    feasible: true,
+                    lb_block,
+                }
+            })
+            .collect()
     }
 
     /// Cheap analytic surrogate features of one evaluation key — the
@@ -410,10 +661,11 @@ impl WaferCostModel {
                     stream_layer = stream_layer.max(t);
                 }
                 _ => {
-                    let t = op.collective().analytic_time(&self.wafer.d2d)
-                        * op.per_layer_count
-                        * contention_factor
-                        * self.link_factor;
+                    let t =
+                        self.collective_raw_time(op.collective_kind(), op.group.len(), op.bytes)
+                            * op.per_layer_count
+                            * contention_factor
+                            * self.link_factor;
                     let key = (parallel_kind_key(op.source), pattern_key(op.pattern));
                     let entry = coll_by_class.entry(key).or_insert(0.0);
                     *entry = entry.max(t);
@@ -785,8 +1037,7 @@ impl WaferCostModel {
         if n < 2 || bytes <= 0.0 {
             return 0.0;
         }
-        let group: Vec<DieId> = (0..n as u32).map(DieId).collect();
-        Collective::new(kind, group, bytes).analytic_time(&self.wafer.d2d) * self.link_factor
+        self.collective_raw_time(kind, n, bytes) * self.link_factor
     }
 
     /// Per-micro-batch exposed collective and TATP-stream time of one
@@ -927,9 +1178,7 @@ impl WaferCostModel {
         if ep < 2 || bytes <= 0.0 {
             return 0.0;
         }
-        let group: Vec<DieId> = (0..ep as u32).map(DieId).collect();
-        Collective::new(CollectiveKind::AllToAll, group, bytes).analytic_time(&self.wafer.d2d)
-            * self.link_factor
+        self.collective_raw_time(CollectiveKind::AllToAll, ep, bytes) * self.link_factor
     }
 
     /// One TATP stream round moving `chunk` bytes per direction — the

@@ -351,9 +351,13 @@ impl Dlws {
                 "no dense-path candidates pass the filter".into(),
             ));
         }
-        // Cost every body candidate once; cache misses run in parallel,
-        // hits (from earlier solves over overlapping spaces) are free.
-        let costed: Vec<CandidateCost> = self.ctx.cost_candidates(&candidates, engine);
+        // Cost the body candidates through the bound-pruned chain path:
+        // cache misses run in parallel, hits (from earlier solves over
+        // overlapping spaces) are free, and candidates the admissible
+        // bounds prove non-optimal skip the cost model entirely.
+        let costed: Vec<CandidateCost> =
+            self.ctx
+                .cost_candidates_chain(&candidates, &all_candidates, engine);
         if costed.iter().all(|(t, _)| !t.is_finite()) {
             return Err(SolverError::NoFeasiblePlan(
                 "every candidate OOMs even with full recomputation".into(),

@@ -96,9 +96,23 @@ impl CampaignCurve {
     }
 }
 
+/// One request of a flat-batched campaign ([`run_campaigns`]): a model
+/// crossed with one fault class and its rate grid.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Model to re-solve on the degraded fabric.
+    pub model: ModelConfig,
+    /// Fault class injected.
+    pub kind: FaultKind,
+    /// Rates swept, in order (incumbent seeding walks this order).
+    pub rates: Vec<f64>,
+}
+
 /// Runs a seeded fault campaign for one model: injects `kind` faults at
 /// every rate in `rates` for `seeds` seeds, re-solves on the degraded
 /// fabric, and aggregates relative throughput.
+///
+/// A thin wrapper over [`run_campaigns`] with a single spec.
 ///
 /// # Panics
 ///
@@ -111,49 +125,150 @@ pub fn run_campaign(
     rates: &[f64],
     seeds: u64,
 ) -> CampaignCurve {
-    let workload = Workload::for_model(model);
-    let solver = Dlws::new(wafer.clone(), model.clone(), workload);
-    let healthy = solver
-        .solve()
-        .expect("healthy wafer must have a feasible plan");
+    run_campaigns(
+        wafer,
+        &[CampaignSpec {
+            model: model.clone(),
+            kind,
+            rates: rates.to_vec(),
+        }],
+        seeds,
+    )
+    .pop()
+    .expect("one spec in, one curve out")
+}
+
+/// The campaign-lane cost class: each item is a whole rate sweep of
+/// re-solves, orders of magnitude heavier than a candidate costing item,
+/// so it keeps its own dispatch estimate.
+static CAMPAIGN_LANES: crate::par::ParClass = crate::par::ParClass::new();
+
+/// Flat-batched fault campaigns: the full `(spec x seed)` grid is
+/// scheduled as one batch on the work-stealing runtime
+/// ([`crate::runtime::global`]), so campaign wall time scales with the
+/// worker count instead of the grid size. Each lane walks its rate grid
+/// **in order**, deriving every fault map's degraded view exactly once
+/// and seeding each rate point's incumbent with the previous rate's
+/// winning configuration — the bound-pruned chain path
+/// ([`crate::search::SearchContext::cost_candidates_chain`]) then skips
+/// most of the candidate space immediately, without changing any winner.
+///
+/// Scores are aggregated in seed order, so curves are independent of the
+/// runtime's scheduling.
+///
+/// # Panics
+///
+/// Panics if any re-solved plan violates its derated memory verdict —
+/// that is a solver invariant, not a data point.
+pub fn run_campaigns(
+    wafer: &WaferConfig,
+    specs: &[CampaignSpec],
+    seeds: u64,
+) -> Vec<CampaignCurve> {
+    // One solver + healthy plan per distinct model: healthy solves are
+    // shared across fault kinds and across every lane's rate-0 point.
+    let mut solvers: Vec<(String, Dlws, f64)> = Vec::new();
+    for spec in specs {
+        if solvers.iter().any(|(name, _, _)| *name == spec.model.name) {
+            continue;
+        }
+        let workload = Workload::for_model(&spec.model);
+        let solver = Dlws::new(wafer.clone(), spec.model.clone(), workload);
+        let healthy = solver
+            .solve()
+            .expect("healthy wafer must have a feasible plan");
+        solvers.push((spec.model.name.clone(), solver, healthy.chain_cost));
+    }
+    let solver_of = |name: &str| {
+        solvers
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, s, h)| (s, *h))
+            .expect("solver built for every spec")
+    };
+
     let mesh = wafer.mesh();
-    let points = rates
-        .iter()
-        .map(|&rate| {
-            let mut total = 0.0;
-            let mut feasible = 0usize;
-            for s in 0..seeds {
-                let faults = kind.inject(&mesh, rate, kind.seed_base() + s);
-                match solver.resolve_degraded(&faults) {
-                    Ok(plan) => {
-                        assert!(
-                            plan.report.fits_memory,
-                            "{} {kind:?} rate {rate} seed {s}: re-solved plan \
-                             violates the derated memory verdict",
-                            model.name
-                        );
-                        feasible += 1;
-                        total += healthy.chain_cost / plan.chain_cost;
-                    }
-                    Err(_) => {
+    let lanes: Vec<(usize, u64)> = (0..specs.len())
+        .flat_map(|i| (0..seeds).map(move |s| (i, s)))
+        .collect();
+
+    // One lane = one (spec, seed): every rate of that seed's sweep, in
+    // order, carrying the previous rate's winner as the incumbent seed.
+    let lane_scores: Vec<Vec<Option<f64>>> =
+        crate::par::par_map_class(&CAMPAIGN_LANES, &lanes, |&(i, s)| {
+            let spec = &specs[i];
+            let (solver, _) = solver_of(&spec.model.name);
+            let mut prev_winner: Option<temp_parallel::strategy::HybridConfig> = None;
+            spec.rates
+                .iter()
+                .map(|&rate| {
+                    let faults = spec.kind.inject(&mesh, rate, spec.kind.seed_base() + s);
+                    let solved = if faults.is_healthy() {
+                        solver.solve()
+                    } else {
+                        let degraded = solver.degraded(&faults);
+                        if let Some(winner) = prev_winner {
+                            degraded.context().set_bound_seeds(vec![winner]);
+                        }
+                        degraded.solve()
+                    };
+                    match solved {
+                        Ok(plan) => {
+                            assert!(
+                                plan.report.fits_memory,
+                                "{} {:?} rate {rate} seed {s}: re-solved plan \
+                                 violates the derated memory verdict",
+                                spec.model.name, spec.kind
+                            );
+                            prev_winner = Some(plan.config);
+                            Some(plan.chain_cost)
+                        }
                         // Disconnected fabric or nothing fits the derated
                         // wafer: zero throughput, counted, not skipped.
+                        Err(_) => None,
                     }
-                }
-            }
-            CampaignPoint {
-                rate,
-                relative_throughput: total / seeds as f64,
-                feasible_seeds: feasible,
-                seeds: seeds as usize,
+                })
+                .collect()
+        });
+
+    // Aggregate per spec in seed order, so the curve is deterministic
+    // regardless of lane scheduling.
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let (_, healthy_cost) = solver_of(&spec.model.name);
+            let points = spec
+                .rates
+                .iter()
+                .enumerate()
+                .map(|(r, &rate)| {
+                    let mut total = 0.0;
+                    let mut feasible = 0usize;
+                    for (lane, scores) in lanes.iter().zip(&lane_scores) {
+                        if lane.0 != i {
+                            continue;
+                        }
+                        if let Some(chain_cost) = scores[r] {
+                            feasible += 1;
+                            total += healthy_cost / chain_cost;
+                        }
+                    }
+                    CampaignPoint {
+                        rate,
+                        relative_throughput: total / seeds as f64,
+                        feasible_seeds: feasible,
+                        seeds: seeds as usize,
+                    }
+                })
+                .collect();
+            CampaignCurve {
+                model: spec.model.name.clone(),
+                kind: spec.kind,
+                points,
             }
         })
-        .collect();
-    CampaignCurve {
-        model: model.name.clone(),
-        kind,
-        points,
-    }
+        .collect()
 }
 
 /// The link-fault rates Fig. 20(b) sweeps (cliff region included).

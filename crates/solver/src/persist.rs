@@ -18,6 +18,7 @@ use temp_graph::workload::RecomputeMode;
 use temp_mapping::engines::MappingEngine;
 use temp_parallel::memory::FootprintBreakdown;
 use temp_parallel::strategy::HybridConfig;
+use temp_sim::collectives::CollectiveKind;
 use temp_sim::power::EnergyLedger;
 
 use crate::cost::{CostReport, SegmentCost};
@@ -74,6 +75,29 @@ pub(crate) fn kind_from_code(code: u8) -> Result<SegmentKind, String> {
         .get(code as usize)
         .copied()
         .ok_or_else(|| format!("unknown segment kind code {code}"))
+}
+
+pub(crate) fn collective_code(kind: CollectiveKind) -> u8 {
+    match kind {
+        CollectiveKind::AllGather => 0,
+        CollectiveKind::AllReduce => 1,
+        CollectiveKind::ReduceScatter => 2,
+        CollectiveKind::Broadcast => 3,
+        CollectiveKind::AllToAll => 4,
+        CollectiveKind::P2pShift => 5,
+    }
+}
+
+pub(crate) fn collective_from_code(code: u8) -> Result<CollectiveKind, String> {
+    match code {
+        0 => Ok(CollectiveKind::AllGather),
+        1 => Ok(CollectiveKind::AllReduce),
+        2 => Ok(CollectiveKind::ReduceScatter),
+        3 => Ok(CollectiveKind::Broadcast),
+        4 => Ok(CollectiveKind::AllToAll),
+        5 => Ok(CollectiveKind::P2pShift),
+        other => Err(format!("unknown collective kind code {other}")),
+    }
 }
 
 /// `dp fsdp01 tp sp cp tatp ep pp`.
@@ -321,9 +345,20 @@ mod tests {
         for kind in SegmentKind::ALL {
             assert_eq!(kind_from_code(kind.code()).unwrap(), kind);
         }
+        for kind in [
+            CollectiveKind::AllGather,
+            CollectiveKind::AllReduce,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::Broadcast,
+            CollectiveKind::AllToAll,
+            CollectiveKind::P2pShift,
+        ] {
+            assert_eq!(collective_from_code(collective_code(kind)).unwrap(), kind);
+        }
         assert!(engine_from_code(9).is_err());
         assert!(mode_from_code(9).is_err());
         assert!(kind_from_code(9).is_err());
+        assert!(collective_from_code(9).is_err());
     }
 
     #[test]

@@ -109,6 +109,29 @@ pub struct SearchStats {
     /// rank-of-winner statistics (see
     /// [`SearchContext::effective_top_k`]).
     pub adaptive_top_k: u64,
+    /// Candidates the admissible prefilter rejected outright (invalid
+    /// degrees, disconnected fabric, or HBM overflow under every
+    /// recompute escalation) — exactly the set the exact path would have
+    /// reported infinite, skipped without evaluation.
+    pub bound_pruned: u64,
+    /// Candidates whose admissible lower bound exceeded the incumbent
+    /// chain value, skipped without evaluation (see
+    /// [`SearchContext::cost_candidates_chain`]).
+    pub dominated_pruned: u64,
+    /// Wall time (ns) spent enumerating the candidate space.
+    pub enumerate_ns: u64,
+    /// Wall time (ns) spent in the batched bound prefilter (bounds,
+    /// end-segment floors, pruning decisions).
+    pub bound_ns: u64,
+    /// Wall time (ns) spent in exact batch costing (mapping + contention
+    /// simulation of cache misses).
+    pub exact_ns: u64,
+    /// Wall time (ns) spent fitting surrogate gate predictors.
+    pub gate_fit_ns: u64,
+    /// Wall time (ns) spent deriving degraded fabrics (DegradedView +
+    /// rerouted ContentionSim), attributed to the context that spawned
+    /// the degraded sibling.
+    pub contention_ns: u64,
 }
 
 impl SearchStats {
@@ -151,6 +174,25 @@ impl SearchStats {
             self.seg_hits as f64 / total as f64
         }
     }
+
+    /// Total candidates skipped without exact evaluation (prefilter +
+    /// incumbent dominance).
+    pub fn pruned_candidates(&self) -> u64 {
+        self.bound_pruned + self.dominated_pruned
+    }
+
+    /// The phase timing breakdown in seconds:
+    /// `(enumerate, bound, exact, gate_fit, contention)`.
+    pub fn phase_seconds(&self) -> (f64, f64, f64, f64, f64) {
+        let s = |ns: u64| ns as f64 / 1e9;
+        (
+            s(self.enumerate_ns),
+            s(self.bound_ns),
+            s(self.exact_ns),
+            s(self.gate_fit_ns),
+            s(self.contention_ns),
+        )
+    }
 }
 
 /// What [`SearchContext::import_cost_table`] brought in.
@@ -164,6 +206,8 @@ pub struct ImportSummary {
     /// Whether a gate predictor rode along (imported as authoritative —
     /// gated batches skip the per-batch fit).
     pub gate: bool,
+    /// Memoized collective-kernel entries imported.
+    pub colls: usize,
 }
 
 /// Shared, thread-safe search state for one `(wafer, model, workload)`
@@ -219,6 +263,21 @@ pub struct SearchContext {
     /// Max observed surrogate rank of a gated batch's exact winner, stored
     /// as `rank + 1` (0 = no observation yet).
     winner_rank: AtomicU64,
+    /// Whether the chain costing path may skip candidates via the
+    /// admissible prefilter + incumbent dominance (default on; turned off
+    /// for exhaustive reference runs).
+    pruning: AtomicBool,
+    /// Configurations the chain path must evaluate in its seed chunk even
+    /// when uncached — fault campaigns put the previous rate point's
+    /// winner here so an incumbent exists immediately.
+    bound_seeds: RwLock<Vec<HybridConfig>>,
+    bound_pruned: AtomicU64,
+    dominated_pruned: AtomicU64,
+    enumerate_ns: AtomicU64,
+    bound_ns: AtomicU64,
+    exact_ns: AtomicU64,
+    gate_fit_ns: AtomicU64,
+    contention_ns: AtomicU64,
 }
 
 impl SearchContext {
@@ -227,6 +286,7 @@ impl SearchContext {
     /// enumeration with expert-parallel tuples (`ep > 1`, capped at the
     /// expert count) — see [`SearchContext::enumerate_moe_candidates`].
     pub fn new(cost: WaferCostModel) -> Self {
+        let started = std::time::Instant::now();
         let dies = cost.wafer().die_count();
         let base = match cost.model().moe {
             Some(moe) => Arc::new(Self::enumerate_moe_candidates(
@@ -235,7 +295,10 @@ impl SearchContext {
             )),
             None => Arc::new(Self::enumerate_base_candidates(dies)),
         };
-        Self::with_shared_candidates(cost, base)
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let ctx = Self::with_shared_candidates(cost, base);
+        ctx.enumerate_ns.fetch_add(elapsed, Ordering::Relaxed);
+        ctx
     }
 
     /// The wafer-level candidate enumeration a context is built over —
@@ -276,6 +339,7 @@ impl SearchContext {
         cost: WaferCostModel,
         base_candidates: Arc<Vec<HybridConfig>>,
     ) -> Self {
+        let started = std::time::Instant::now();
         let dies = cost.wafer().die_count();
         let base_candidates = match cost.model().moe {
             Some(moe) if base_candidates.iter().all(|c| c.ep == 1) => Arc::new(
@@ -283,6 +347,7 @@ impl SearchContext {
             ),
             _ => base_candidates,
         };
+        let enumerate_ns = started.elapsed().as_nanos() as u64;
         debug_assert!(base_candidates
             .iter()
             .all(|c| c.intra_wafer_degree() * c.ep == dies));
@@ -319,6 +384,15 @@ impl SearchContext {
             seg_hits: AtomicU64::new(0),
             seg_misses: AtomicU64::new(0),
             winner_rank: AtomicU64::new(0),
+            pruning: AtomicBool::new(true),
+            bound_seeds: RwLock::new(Vec::new()),
+            bound_pruned: AtomicU64::new(0),
+            dominated_pruned: AtomicU64::new(0),
+            enumerate_ns: AtomicU64::new(enumerate_ns),
+            bound_ns: AtomicU64::new(0),
+            exact_ns: AtomicU64::new(0),
+            gate_fit_ns: AtomicU64::new(0),
+            contention_ns: AtomicU64::new(0),
         }
     }
 
@@ -414,7 +488,36 @@ impl SearchContext {
     /// caches start empty: degraded evaluations live under a different
     /// fingerprint and must never mix with healthy entries.
     pub fn derated(&self, faults: &FaultMap) -> SearchContext {
-        SearchContext::with_shared_candidates(self.cost.derated(faults), self.candidates_arc())
+        let started = std::time::Instant::now();
+        let ctx =
+            SearchContext::with_shared_candidates(self.cost.derated(faults), self.candidates_arc());
+        // Deriving the DegradedView and the rerouted ContentionSim is the
+        // expensive part of spawning a degraded sibling; attribute it to
+        // the parent so campaign profiles show where fault sweeps spend.
+        self.contention_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        ctx
+    }
+
+    /// Enables/disables bound pruning in the chain costing path
+    /// (default: enabled). Exhaustive reference runs (tests, benchmark
+    /// baselines) disable it; plans are bit-identical either way — the
+    /// flag only changes how many candidates pay the exact cost model.
+    pub fn set_pruning(&self, on: bool) {
+        self.pruning.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the chain costing path may prune.
+    pub fn pruning(&self) -> bool {
+        self.pruning.load(Ordering::Relaxed)
+    }
+
+    /// Seeds the chain path's incumbent: these configurations are
+    /// force-included in the first exact chunk even on a cold cache.
+    /// Fault campaigns pass the previous rate point's winner so dominance
+    /// pruning engages immediately.
+    pub fn set_bound_seeds(&self, seeds: Vec<HybridConfig>) {
+        *self.bound_seeds.write().expect("bound seeds lock") = seeds;
     }
 
     /// Selects the evaluation pipeline for batch costing (default:
@@ -512,6 +615,8 @@ impl SearchContext {
     /// winner_rank <r>
     /// gate <lines>
     /// <gate predictor text, verbatim>
+    /// coll <n>
+    /// C <kind> <participants> <bytes-bits> <raw-time>
     /// ```
     ///
     /// Records are sorted, so exporting the same state twice yields
@@ -586,6 +691,24 @@ impl SearchContext {
                 out.push('\n');
             }
             None => out.push_str("gate 0\n"),
+        }
+
+        // The memoized collective kernel rides along as a trailing
+        // section (older files simply end after the gate — imports treat
+        // a missing section as empty).
+        let mut colls: Vec<String> = self
+            .cost
+            .collective_table_entries()
+            .into_iter()
+            .map(|(kind, n, bits, time)| {
+                format!("C {} {n} {bits} {time:?}", persist::collective_code(kind))
+            })
+            .collect();
+        colls.sort_unstable();
+        writeln!(out, "coll {}", colls.len()).expect("write to string");
+        for line in colls {
+            out.push_str(&line);
+            out.push('\n');
         }
         out
     }
@@ -699,11 +822,38 @@ impl SearchContext {
             None
         };
 
+        // Trailing collective-kernel section; files persisted before the
+        // kernel existed simply end here, which imports as "no entries".
+        let mut colls: Vec<crate::cost::CollectiveEntry> = Vec::new();
+        if let Some(line) = lines.next() {
+            let mut f = Fields::new(line);
+            if f.next()? != "coll" {
+                return Err(format!("expected coll section, got {line:?}"));
+            }
+            let n_colls = f.usize()?;
+            f.finish()?;
+            colls.reserve(n_colls);
+            for _ in 0..n_colls {
+                let line = lines.next().ok_or("truncated coll section")?;
+                let mut f = Fields::new(line);
+                if f.next()? != "C" {
+                    return Err(format!("expected C record, got {line:?}"));
+                }
+                let kind = persist::collective_from_code(f.u64()? as u8)?;
+                let participants = f.u64()? as u32;
+                let bits = f.u64()?;
+                let time = f.f64()?;
+                f.finish()?;
+                colls.push((kind, participants, bits, time));
+            }
+        }
+
         // All parsed — merge.
         let summary = ImportSummary {
             evals: evals.len(),
             segs: segs.len(),
             gate: gate_text.is_some(),
+            colls: colls.len(),
         };
         {
             let mut cache = self.cache.write().expect("cache lock");
@@ -721,6 +871,7 @@ impl SearchContext {
         if let Some(text) = gate_text {
             self.import_gate_predictor(&text)?;
         }
+        self.cost.merge_collective_entries(&colls);
         Ok(summary)
     }
 
@@ -825,7 +976,20 @@ impl SearchContext {
             seg_hits: self.seg_hits.load(Ordering::Relaxed),
             seg_misses: self.seg_misses.load(Ordering::Relaxed),
             adaptive_top_k: self.effective_top_k() as u64,
+            bound_pruned: self.bound_pruned.load(Ordering::Relaxed),
+            dominated_pruned: self.dominated_pruned.load(Ordering::Relaxed),
+            enumerate_ns: self.enumerate_ns.load(Ordering::Relaxed),
+            bound_ns: self.bound_ns.load(Ordering::Relaxed),
+            exact_ns: self.exact_ns.load(Ordering::Relaxed),
+            gate_fit_ns: self.gate_fit_ns.load(Ordering::Relaxed),
+            contention_ns: self.contention_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records time spent fitting a gate predictor (internal to the
+    /// surrogate gate).
+    pub(crate) fn note_gate_fit_ns(&self, ns: u64) {
+        self.gate_fit_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// The per-tier attribution counter for a hit (`true`) or miss under
@@ -979,8 +1143,9 @@ impl SearchContext {
         candidates: &[HybridConfig],
         engine: MappingEngine,
     ) -> Vec<CandidateCost> {
+        let started = std::time::Instant::now();
         let token = self.cancel_token();
-        if self.parallel() {
+        let out = if self.parallel() {
             match &token {
                 Some(token) => par::par_map_cancellable(
                     token,
@@ -998,7 +1163,236 @@ impl SearchContext {
                     _ => self.cost_of(c, engine),
                 })
                 .collect()
+        };
+        self.exact_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Batch costing for a **chain solve** (the DLWS body row): like
+    /// [`SearchContext::cost_candidates`], but allowed to skip candidates
+    /// that provably cannot win the chain DP. `candidates` is the dense
+    /// body row (`ep == 1`); `moe_candidates` is the list the chain's
+    /// MoeBlock row (if any) is priced over — a superset of `candidates`
+    /// for MoE models, ignored for dense chains.
+    ///
+    /// Two admissible skip rules (see [`WaferCostModel::chain_bounds`]):
+    ///
+    /// 1. **Prefilter** — candidates whose exact evaluation is guaranteed
+    ///    infinite (invalid degrees, disconnected fabric, HBM overflow
+    ///    under every recompute escalation) come back `(INFINITY, None)`
+    ///    without touching the cost model.
+    /// 2. **Incumbent dominance** — once any feasible candidate's full
+    ///    uniform chain value is known (warm cache, campaign seed, or the
+    ///    seed chunk of the best-bounded candidates), a candidate whose
+    ///    lower-bounded chain value exceeds it cannot be on the optimal
+    ///    DP path, so its row entry may be infinite without changing the
+    ///    DP/GA winner.
+    ///
+    /// Skipped candidates are **not** cached (a skip is not a verdict);
+    /// a warm rerun prunes a superset of the cold run's skips, so replays
+    /// stay zero-miss. [`SearchContext::set_pruning`]`(false)` restores
+    /// the exhaustive pre-PR behavior bit for bit.
+    pub fn cost_candidates_chain(
+        &self,
+        candidates: &[HybridConfig],
+        moe_candidates: &[HybridConfig],
+        engine: MappingEngine,
+    ) -> Vec<CandidateCost> {
+        match self.cost_tier() {
+            CostTier::SurrogateGated => {
+                surrogate_gate::cost_candidates_gated(self, candidates, engine, self.gate_params())
+            }
+            CostTier::Exact if !self.pruning() => self.cost_candidates_exact(candidates, engine),
+            CostTier::Exact => {
+                self.cost_candidates_chain_pruned(candidates, moe_candidates, engine)
+            }
         }
+    }
+
+    /// The pruned exact path behind [`SearchContext::cost_candidates_chain`].
+    fn cost_candidates_chain_pruned(
+        &self,
+        candidates: &[HybridConfig],
+        moe_candidates: &[HybridConfig],
+        engine: MappingEngine,
+    ) -> Vec<CandidateCost> {
+        /// How many of the best-bounded uncached candidates seed the
+        /// incumbent on a cold cache. A fixed constant (never derived
+        /// from the worker count) so the pruned-candidate counts are
+        /// identical across `TEMP_THREADS` legs.
+        const SEED_CHUNK: usize = 16;
+        /// Relative slack on the dominance threshold, covering the float
+        /// association differences between the bound's fixed-order sums
+        /// and the exact evaluation's fold order.
+        const REL_MARGIN: f64 = 1e-9;
+
+        let bound_started = std::time::Instant::now();
+        let base_mode = self.cost.workload().recompute;
+        let bounds = self.cost.chain_bounds(candidates);
+        let n = candidates.len();
+
+        // End-segment rows, priced over exactly the lists the chain DP
+        // will consume (memoized — the solve re-reads them for free):
+        // their per-row minima floor every chain's end cost, and their
+        // per-candidate values reconstruct the uniform-genome chain value
+        // that serves as the incumbent upper bound.
+        let mut end_floor = 0.0;
+        let mut end_sum = vec![0.0f64; n];
+        for segment in self.cost.chain().segments() {
+            let row: Vec<f64> = match segment.kind {
+                SegmentKind::Block => continue,
+                SegmentKind::MoeBlock => {
+                    let full =
+                        self.segment_step_costs(segment.kind, moe_candidates, engine, base_mode);
+                    let floor = full
+                        .iter()
+                        .copied()
+                        .filter(|t| t.is_finite())
+                        .fold(f64::INFINITY, f64::min);
+                    if floor.is_finite() {
+                        end_floor += floor;
+                    }
+                    let mut pos: HashMap<HybridConfig, usize> = HashMap::new();
+                    for (i, c) in moe_candidates.iter().enumerate() {
+                        pos.entry(*c).or_insert(i);
+                    }
+                    candidates
+                        .iter()
+                        .map(|c| pos.get(c).map(|&i| full[i]).unwrap_or(f64::INFINITY))
+                        .collect()
+                }
+                kind => {
+                    let row = self.segment_step_costs(kind, candidates, engine, base_mode);
+                    let floor = row
+                        .iter()
+                        .copied()
+                        .filter(|t| t.is_finite())
+                        .fold(f64::INFINITY, f64::min);
+                    if floor.is_finite() {
+                        end_floor += floor;
+                    }
+                    row
+                }
+            };
+            for (s, v) in end_sum.iter_mut().zip(&row) {
+                *s += v;
+            }
+        }
+
+        // Prefilter: reject what the exact path is guaranteed to report
+        // infinite. Not cached — a skip is not a verdict.
+        let mut results: Vec<Option<CandidateCost>> = vec![None; n];
+        let mut prefiltered = 0u64;
+        for (i, b) in bounds.iter().enumerate() {
+            if !b.feasible {
+                results[i] = Some((f64::INFINITY, None));
+                prefiltered += 1;
+            }
+        }
+        self.bound_pruned.fetch_add(prefiltered, Ordering::Relaxed);
+
+        // Incumbent: the best uniform chain value among candidates whose
+        // verdict the cache already knows (warm contexts, prior campaign
+        // rate points, gate shortlists).
+        let mut incumbent = f64::INFINITY;
+        let mut cached_idx: Vec<usize> = Vec::new();
+        let mut uncached: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if results[i].is_some() {
+                continue;
+            }
+            match self.cost_of_cached(&candidates[i], engine) {
+                Some((t, payload)) => {
+                    if t.is_finite() {
+                        if let Some((_, report)) = &payload {
+                            incumbent = incumbent.min(end_sum[i] + report.block_time());
+                        }
+                    }
+                    cached_idx.push(i);
+                }
+                None => uncached.push(i),
+            }
+        }
+        self.bound_ns
+            .fetch_add(bound_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Cold cache: evaluate a deterministic seed chunk — any forced
+        // campaign seeds plus the best-bounded candidates — to establish
+        // the incumbent before pruning the rest.
+        if !incumbent.is_finite() && !uncached.is_empty() {
+            let forced = self.bound_seeds.read().expect("bound seeds lock").clone();
+            let mut order = uncached.clone();
+            order.sort_by(|&a, &b| {
+                bounds[a]
+                    .lb_block
+                    .partial_cmp(&bounds[b].lb_block)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let mut seed: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| forced.contains(&candidates[i]))
+                .collect();
+            for &i in &order {
+                if seed.len() >= SEED_CHUNK {
+                    break;
+                }
+                if !seed.contains(&i) {
+                    seed.push(i);
+                }
+            }
+            let seed_cfgs: Vec<HybridConfig> = seed.iter().map(|&i| candidates[i]).collect();
+            let seed_costs = self.cost_candidates_exact(&seed_cfgs, engine);
+            for (&i, cc) in seed.iter().zip(seed_costs) {
+                if cc.0.is_finite() {
+                    if let Some((_, report)) = &cc.1 {
+                        incumbent = incumbent.min(end_sum[i] + report.block_time());
+                    }
+                }
+                results[i] = Some(cc);
+            }
+            uncached.retain(|i| !seed.contains(i));
+        }
+
+        // Dominance: a candidate whose lower-bounded chain value exceeds
+        // the incumbent's (achievable) chain value cannot be on the
+        // optimal DP path.
+        let prune_started = std::time::Instant::now();
+        let mut survivors: Vec<usize> = Vec::new();
+        if incumbent.is_finite() {
+            let threshold = incumbent * (1.0 + REL_MARGIN);
+            let mut dominated = 0u64;
+            for &i in &uncached {
+                if end_floor + bounds[i].lb_block > threshold {
+                    results[i] = Some((f64::INFINITY, None));
+                    dominated += 1;
+                } else {
+                    survivors.push(i);
+                }
+            }
+            self.dominated_pruned
+                .fetch_add(dominated, Ordering::Relaxed);
+        } else {
+            survivors = uncached;
+        }
+        self.bound_ns
+            .fetch_add(prune_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Everything left — cached verdicts (counted as hits, exactly
+        // like the exhaustive path) and surviving unknowns — pays the
+        // exact cost model.
+        let rest: Vec<usize> = cached_idx.into_iter().chain(survivors).collect();
+        let rest_cfgs: Vec<HybridConfig> = rest.iter().map(|&i| candidates[i]).collect();
+        let rest_costs = self.cost_candidates_exact(&rest_cfgs, engine);
+        for (&i, cc) in rest.iter().zip(rest_costs) {
+            results[i] = Some(cc);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every candidate resolved"))
+            .collect()
     }
 }
 
@@ -1275,6 +1669,61 @@ mod tests {
             fresh.export_cost_table().lines().nth(1),
             Some("evals 0"),
             "failed imports must not merge partial state"
+        );
+    }
+
+    #[test]
+    fn collective_table_round_trips_and_rejects_version_skew() {
+        let ctx = context();
+        let good = HybridConfig::tuple(2, 2, 1, 8);
+        ctx.evaluate(&good, MappingEngine::Tcme, RecomputeMode::Selective);
+        let mut entries = ctx.cost_model().collective_table_entries();
+        assert!(
+            !entries.is_empty(),
+            "an exact evaluation must fill the collective memo"
+        );
+
+        let text = ctx.export_cost_table();
+        assert!(
+            text.lines().any(|l| l.starts_with("coll ")),
+            "export must carry the collective section"
+        );
+
+        let fresh = context();
+        let summary = fresh.import_cost_table(&text).expect("import");
+        assert_eq!(summary.colls, entries.len());
+        let mut imported = fresh.cost_model().collective_table_entries();
+        let key =
+            |e: &crate::cost::CollectiveEntry| (crate::persist::collective_code(e.0), e.1, e.2);
+        entries.sort_by_key(key);
+        imported.sort_by_key(key);
+        assert_eq!(entries, imported, "timings must survive bit for bit");
+
+        // The warm table answers every collective the evaluation needs:
+        // re-evaluating the same candidate derives no new entries.
+        let (_, misses_before) = fresh.cost_model().collective_memo_stats();
+        let _ = fresh.cost_model().evaluate(&good, MappingEngine::Tcme);
+        let (hits, misses_after) = fresh.cost_model().collective_memo_stats();
+        assert_eq!(
+            misses_after, misses_before,
+            "warm kernel must not re-derive"
+        );
+        assert!(hits > 0);
+
+        // The fingerprint embeds `COST_MODEL_VERSION`, so a cache written
+        // by any other cost-model revision dies at the header.
+        let header = text.lines().next().unwrap().to_string();
+        let skewed = text.replacen(&header, "temp-cache v1 0000000000000000", 1);
+        let err = context().import_cost_table(&skewed).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+
+        // A mangled collective record fails the parse and merges nothing.
+        let mangled = text.replacen("\nC ", "\nC x", 1);
+        let victim = context();
+        assert!(victim.import_cost_table(&mangled).is_err());
+        assert!(
+            victim.cost_model().collective_table_entries().is_empty(),
+            "failed imports must not merge partial collective state"
         );
     }
 

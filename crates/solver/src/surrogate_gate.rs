@@ -232,6 +232,7 @@ pub(crate) fn cost_candidates_gated(
     let predictor = match ctx.imported_gate_predictor() {
         Some(warm) if warm.feature_dim() == feature_dim => warm,
         _ => {
+            let fit_started = std::time::Instant::now();
             let fitted = GatePredictor::fit(
                 params.model,
                 &Dataset {
@@ -242,6 +243,7 @@ pub(crate) fn cost_candidates_gated(
                     class: TargetClass::Compute,
                 },
             );
+            ctx.note_gate_fit_ns(fit_started.elapsed().as_nanos() as u64);
             ctx.store_gate_predictor(fitted.clone());
             fitted
         }

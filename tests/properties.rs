@@ -505,6 +505,156 @@ fn rerouted_flows_never_cross_dead_links() {
     }
 }
 
+/// The bound-pruned chain search returns the exhaustive winner
+/// bit-for-bit on every fig13 zoo model, dense and MoE. The pruned solve
+/// runs first (cold); pruning is then disabled on the **same** context,
+/// so the exhaustive pass re-costs exactly the pruned holes with the
+/// exact model — a wrongly pruned optimum would win the second solve and
+/// the plans would differ. Sharing the context keeps the comparison
+/// bit-exact: the winning report is literally the same cached evaluation.
+#[test]
+fn bound_pruned_search_is_bit_identical_to_exhaustive_zoo_wide() {
+    let mut pruned_total = 0u64;
+    for model in ModelZoo::table2().into_iter().chain(ModelZoo::moe_zoo()) {
+        let name = model.name.clone();
+        let workload = Workload::for_model(&model);
+        let solver = Dlws::new(WaferConfig::hpca(), model, workload);
+        let pruned = solver.solve().expect("pruned solve");
+        pruned_total += solver.context().stats().pruned_candidates();
+        solver.context().set_pruning(false);
+        let exhaustive = solver.solve().expect("exhaustive solve");
+        assert_eq!(pruned, exhaustive, "{name}");
+    }
+    assert!(
+        pruned_total > 0,
+        "the property is vacuous if nothing was ever pruned"
+    );
+}
+
+/// Pruned and exhaustive two-wafer staged plans agree: the staged
+/// planner's pre-costing and pp=1 solves ride the bound-pruned chain
+/// path, so filling every pruned hole with exact costs must not change
+/// any stage assignment.
+#[test]
+fn bound_pruned_staged_plans_match_exhaustive_at_two_wafers() {
+    use temp_repro::core::baselines::BaselineSystem;
+    use temp_repro::core::framework::Temp;
+    use temp_repro::wsc::multiwafer::MultiWaferSystem;
+
+    for model in [ModelZoo::gpt3_6_7b(), ModelZoo::deepseek_moe_16b()] {
+        let name = model.name.clone();
+        let temp = Temp::hpca(model);
+        let system = BaselineSystem::temp();
+        let wafers = MultiWaferSystem::new(temp.wafer().clone(), 2).unwrap();
+        let pruned = temp.evaluate_multiwafer(&system, &wafers, 1);
+        temp.solver().context().set_pruning(false);
+        let exhaustive = temp.evaluate_multiwafer(&system, &wafers, 1);
+        assert_eq!(pruned, exhaustive, "{name}");
+    }
+}
+
+/// On seeded degraded fabrics the pruned re-solve and the exhaustive
+/// re-solve pick the same plan, and infeasibility verdicts agree — the
+/// bounds stay admissible under fault-derated bandwidth, shrunken HBM,
+/// and rerouted links.
+#[test]
+fn bound_pruned_degraded_resolves_match_exhaustive_per_seed() {
+    use temp_repro::solver::faultcamp::FaultKind;
+
+    let model = ModelZoo::gpt3_6_7b();
+    let workload = Workload::for_model(&model);
+    let wafer = WaferConfig::hpca();
+    let solver = Dlws::new(wafer.clone(), model, workload);
+    let mesh = wafer.mesh();
+    for kind in [FaultKind::Link, FaultKind::Core] {
+        for (rate, s) in [(0.1, 3), (0.25, 7), (0.4, 11)] {
+            let faults = kind.inject(&mesh, rate, kind.seed_base() + s);
+            let degraded = solver.degraded(&faults);
+            let pruned = degraded.solve();
+            degraded.context().set_pruning(false);
+            let exhaustive = degraded.solve();
+            match (pruned, exhaustive) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "{kind:?} rate {rate} seed {s}")
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{kind:?} rate {rate} seed {s}: feasibility diverged \
+                     (pruned ok={}, exhaustive ok={})",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// Seeding the incumbent with a known-good configuration (as the
+/// campaign harness does with the previous rate point's winner) is a
+/// pure accelerator: the winner and its cost are unchanged.
+#[test]
+fn incumbent_seeding_never_changes_the_winner() {
+    let model = ModelZoo::gpt3_6_7b();
+    let wafer = WaferConfig::hpca();
+    let workload = Workload::for_model(&model);
+    let baseline = Dlws::new(wafer.clone(), model.clone(), workload.clone())
+        .solve()
+        .expect("baseline solve");
+
+    let seeded = Dlws::new(wafer, model, workload);
+    seeded.context().set_bound_seeds(vec![baseline.config]);
+    let plan = seeded.solve().expect("seeded solve");
+    assert_eq!(plan.config, baseline.config);
+    // Fresh contexts re-fold HashMap-ordered sums, so the cost matches
+    // up to float association, not bitwise.
+    assert!(
+        (plan.chain_cost - baseline.chain_cost).abs() <= 1e-9 * baseline.chain_cost,
+        "{} vs {}",
+        plan.chain_cost,
+        baseline.chain_cost
+    );
+}
+
+/// Every chain bound is admissible on a sampled candidate grid: the
+/// lower bound never exceeds the exact block row, and `feasible = false`
+/// is only claimed when the exact path indeed returns infinity.
+#[test]
+fn chain_bounds_are_admissible_on_a_sampled_grid() {
+    for model in [ModelZoo::gpt3_6_7b(), ModelZoo::deepseek_moe_16b()] {
+        let name = model.name.clone();
+        let workload = Workload::for_model(&model);
+        let solver = Dlws::new(WaferConfig::hpca(), model, workload);
+        let ctx = solver.context();
+        let mut rng = StdRng::seed_from_u64(0xB0D5);
+        let sampled: Vec<HybridConfig> = ctx
+            .candidates()
+            .iter()
+            .filter(|_| rng.gen_bool(0.6))
+            .copied()
+            .collect();
+        assert!(sampled.len() > 20, "{name}: sample too small to mean much");
+        let bounds = ctx.cost_model().chain_bounds(&sampled);
+        let costs = ctx.cost_candidates_exact(&sampled, MappingEngine::Tcme);
+        for ((cfg, b), (t, report)) in sampled.iter().zip(&bounds).zip(&costs) {
+            if !b.feasible {
+                assert!(
+                    !t.is_finite(),
+                    "{name} {cfg:?}: bound claims infeasible, exact found {t}"
+                );
+                continue;
+            }
+            if let Some((_, r)) = report {
+                assert!(
+                    b.lb_block <= r.block_time() * (1.0 + 1e-9),
+                    "{name} {cfg:?}: bound {} above exact block row {}",
+                    b.lb_block,
+                    r.block_time()
+                );
+            }
+        }
+    }
+}
+
 /// A fault map with no faults is not a different planning problem: the
 /// degraded re-solve entry point must reproduce the healthy plan
 /// bit-for-bit, answered from the same warm context.

@@ -44,7 +44,11 @@ fn gated_search_matches_exhaustive_on_the_fig13_zoo() {
         let after_gated = ctx.stats();
 
         // Exhaustive solve on the same context: only the candidates the
-        // gate pruned still need costing.
+        // gate pruned still need costing. Bound pruning is disabled so
+        // the reference really is exhaustive — with it on, the incumbent
+        // from the gate's own evaluations can prune every remaining
+        // candidate, and "strictly fewer misses" no longer discriminates.
+        ctx.set_pruning(false);
         ctx.set_cost_tier(CostTier::Exact);
         let exact = solver.solve().unwrap_or_else(|e| panic!("{name}: {e}"));
         let after_exact = ctx.stats();
@@ -317,6 +321,10 @@ fn tier_switch_is_idempotent_on_a_warm_context() {
         workload,
     )));
     let solver = Dlws::from_context(ctx.clone());
+    // Exhaustive first solve: bound pruning would leave uncached holes
+    // (skips are not verdicts) that the gate's stride-sampled training
+    // set then re-costs, which is exactly the warmth this test relies on.
+    ctx.set_pruning(false);
     let exact_first = solver.solve().unwrap();
     let misses_after_exact = ctx.stats().misses;
 
