@@ -78,20 +78,52 @@ fn json_f64_field(record: &str, field: &str) -> Option<f64> {
     digits.parse().ok()
 }
 
+/// Per-model instrumentation captured during a zoo solve: wall time,
+/// mean exact-evaluation latency, and the contention warm/cached-serve
+/// hit rate observed while that model solved.
+struct ZooModelStats {
+    name: String,
+    solve_wall_s: f64,
+    eval_ns_mean: f64,
+    contention_warm_hit_rate: f64,
+}
+
 /// Solves the fig13 zoo on one pool with the bound pruner toggled,
-/// returning per-model plan fingerprints and the total exact-evaluation
-/// count.
-fn solve_zoo_with(pool: &ContextPool, pruning: bool) -> (Vec<String>, u64) {
+/// returning per-model plan fingerprints, the total exact-evaluation
+/// count, and per-model solve instrumentation.
+fn solve_zoo_with(pool: &ContextPool, pruning: bool) -> (Vec<String>, u64, Vec<ZooModelStats>) {
     let mut plans = Vec::new();
     let mut evals = 0u64;
+    let mut per_model = Vec::new();
     for model in ModelZoo::table2() {
         let workload = Workload::for_model(&model);
-        pool.context(&model, &workload).set_pruning(pruning);
+        let ctx = pool.context(&model, &workload);
+        ctx.set_pruning(pruning);
+        let before = ctx.stats();
+        let (warm_h0, warm_m0) = temp_sim::network::contention_warm_stats();
+        let t0 = Instant::now();
         let plan = pool
             .solver(&model, &workload)
             .solve()
             .expect("zoo model must solve");
-        evals += pool.context(&model, &workload).stats().misses;
+        let solve_wall_s = t0.elapsed().as_secs_f64();
+        let (warm_h1, warm_m1) = temp_sim::network::contention_warm_stats();
+        let after = ctx.stats();
+        evals += after.misses;
+        let d_misses = after.misses.saturating_sub(before.misses);
+        let d_exact_ns = after.exact_ns.saturating_sub(before.exact_ns);
+        let warm_hits = warm_h1.saturating_sub(warm_h0);
+        let warm_total = warm_hits + warm_m1.saturating_sub(warm_m0);
+        per_model.push(ZooModelStats {
+            name: model.name.clone(),
+            solve_wall_s,
+            eval_ns_mean: d_exact_ns as f64 / d_misses.max(1) as f64,
+            contention_warm_hit_rate: if warm_total == 0 {
+                0.0
+            } else {
+                warm_hits as f64 / warm_total as f64
+            },
+        });
         // `{:?}` renders the step time bit-exactly, so matching
         // fingerprints mean matching plans, not just matching labels.
         plans.push(format!(
@@ -101,11 +133,11 @@ fn solve_zoo_with(pool: &ContextPool, pruning: bool) -> (Vec<String>, u64) {
             plan.report.step_time
         ));
     }
-    (plans, evals)
+    (plans, evals, per_model)
 }
 
 /// Production path: the zoo solve with the admissible bound pruner on.
-fn solve_zoo(pool: &ContextPool) -> (Vec<String>, u64) {
+fn solve_zoo(pool: &ContextPool) -> (Vec<String>, u64, Vec<ZooModelStats>) {
     solve_zoo_with(pool, true)
 }
 
@@ -137,7 +169,7 @@ fn warm_smoke(dir: &Path) -> i32 {
                 .expect("malformed meta.txt");
             let cold_plans: Vec<&str> = lines.collect();
             pool.load_from(dir).expect("load persisted caches");
-            let (plans, warm_evals) = solve_zoo(&pool);
+            let (plans, warm_evals, _) = solve_zoo(&pool);
             println!(
                 "warm leg: {warm_evals} evals vs {cold_evals} cold ({:.1}% of cold)",
                 100.0 * warm_evals as f64 / cold_evals.max(1) as f64
@@ -162,7 +194,7 @@ fn warm_smoke(dir: &Path) -> i32 {
             0
         }
         Err(_) => {
-            let (plans, cold_evals) = solve_zoo(&pool);
+            let (plans, cold_evals, _) = solve_zoo(&pool);
             pool.save_to(dir).expect("persist caches");
             let mut meta = format!("cold_evals {cold_evals}\n");
             for plan in &plans {
@@ -195,6 +227,22 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    // The carried pruned-zoo baseline anchors the batched-costing gate
+    // to the pre-batching engine: re-baselining (--json rewrites)
+    // preserves `pruned_zoo_baseline_s` once it exists, falling back to
+    // the old record's own `pruned_zoo_s` on the first transition. Read
+    // it up front — --json may overwrite the file later in the run.
+    let carried_pruned_zoo_baseline_s = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .into_iter()
+        .chain(json_path.as_ref())
+        .find_map(|path| {
+            let record = std::fs::read_to_string(path).ok()?;
+            json_f64_field(&record, "pruned_zoo_baseline_s")
+                .or_else(|| json_f64_field(&record, "pruned_zoo_s"))
+        });
     // Read the regression baseline up front: --json may overwrite the
     // same file later in the run.
     let check_baseline = args
@@ -493,13 +541,13 @@ fn main() {
     let _ = std::fs::remove_dir_all(&warm_dir);
     let cold_pool = ContextPool::new(WaferConfig::hpca());
     let t0 = Instant::now();
-    let (cold_fps, cold_evals) = solve_zoo(&cold_pool);
+    let (cold_fps, cold_evals, _) = solve_zoo(&cold_pool);
     let cold_zoo_s = t0.elapsed().as_secs_f64();
     let saved = cold_pool.save_to(&warm_dir).expect("persist zoo caches");
     let warm_pool = ContextPool::new(WaferConfig::hpca());
     warm_pool.load_from(&warm_dir).expect("import zoo caches");
     let t0 = Instant::now();
-    let (warm_fps, warm_evals) = solve_zoo(&warm_pool);
+    let (warm_fps, warm_evals, _) = solve_zoo(&warm_pool);
     let warm_zoo_s = t0.elapsed().as_secs_f64();
     let warm_plans_match = cold_fps == warm_fps;
     let _ = std::fs::remove_dir_all(&warm_dir);
@@ -523,12 +571,12 @@ fn main() {
     // reach the exact cost model.
     let exhaustive_pool = ContextPool::new(WaferConfig::hpca());
     let t0 = Instant::now();
-    let (exhaustive_fps, exhaustive_evals) = solve_zoo_with(&exhaustive_pool, false);
+    let (exhaustive_fps, exhaustive_evals, _) = solve_zoo_with(&exhaustive_pool, false);
     let exhaustive_zoo_s = t0.elapsed().as_secs_f64();
 
     let pruned_pool = ContextPool::new(WaferConfig::hpca());
     let t0 = Instant::now();
-    let (pruned_fps, pruned_evals) = solve_zoo_with(&pruned_pool, true);
+    let (pruned_fps, pruned_evals, zoo_model_stats) = solve_zoo_with(&pruned_pool, true);
     let pruned_zoo_s = t0.elapsed().as_secs_f64();
 
     let prune_speedup = exhaustive_zoo_s / pruned_zoo_s.max(1e-9);
@@ -564,6 +612,16 @@ fn main() {
          collective kernel {coll_hits} hits / {coll_misses} misses ({:.1}% hit rate)",
         100.0 * coll_hit_rate
     );
+    for m in &zoo_model_stats {
+        println!(
+            "  {}: solve {:.4} s, mean exact eval {:.0} ns, contention warm/cached \
+             hit rate {:.1}%",
+            m.name,
+            m.solve_wall_s,
+            m.eval_ns_mean,
+            100.0 * m.contention_warm_hit_rate
+        );
+    }
     println!(
         "{{\"bench\":\"search_time\",\"metric\":\"bound_pruning\",\"exhaustive_s\":{exhaustive_zoo_s:.6},\"pruned_s\":{pruned_zoo_s:.6},\"prune_speedup\":{prune_speedup:.4},\"exhaustive_evals\":{exhaustive_evals},\"pruned_evals\":{pruned_evals},\"pruned_candidates\":{pruned_candidates},\"bound_s\":{zoo_bound_s:.6},\"coll_hit_rate\":{coll_hit_rate:.4},\"winners_match\":{pruned_winners_match}}}"
     );
@@ -662,7 +720,8 @@ fn main() {
                 "\"prune_speedup\":{:.4},\"exhaustive_evals\":{},\"pruned_evals\":{},",
                 "\"pruned_candidates\":{},\"bound_time_s\":{:.6},",
                 "\"coll_hit_rate\":{:.4},\"pruned_winners_match\":{},",
-                "\"campaign_s\":{:.6},\"campaign_lanes\":{}}}\n"
+                "\"campaign_s\":{:.6},\"campaign_lanes\":{},",
+                "\"pruned_zoo_baseline_s\":{:.6},\"zoo_models\":[{}]}}\n"
             ),
             threads,
             threads_effective,
@@ -702,6 +761,15 @@ fn main() {
             pruned_winners_match,
             campaign_s,
             campaign_lanes,
+            carried_pruned_zoo_baseline_s.unwrap_or(pruned_zoo_s),
+            zoo_model_stats
+                .iter()
+                .map(|m| format!(
+                    "{{\"name\":\"{}\",\"solve_wall_s\":{:.6},\"eval_ns_mean\":{:.1},\"contention_warm_hit_rate\":{:.4}}}",
+                    m.name, m.solve_wall_s, m.eval_ns_mean, m.contention_warm_hit_rate
+                ))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         std::fs::write(&path, &record).expect("write bench JSON");
         println!("\nwrote {path}");
@@ -776,6 +844,31 @@ fn main() {
                 "FAIL: bound pruning must keep a >=2x cold zoo speedup with unchanged winners"
             );
             failed = true;
+        }
+        // Batched-costing gate: the SoA engine (hoisted op-graph walk,
+        // mapping memo, allocation-free hot paths) must keep the cold
+        // pruned zoo solve >=2x faster than the carried pre-batching
+        // baseline, with the winners still matching the exhaustive leg.
+        match carried_pruned_zoo_baseline_s {
+            Some(baseline_s) => {
+                let limit = baseline_s / 2.0;
+                println!(
+                    "batched-costing check vs {path}: fresh pruned_zoo_s {pruned_zoo_s:.6} s \
+                     vs carried baseline {baseline_s:.6} s (limit {limit:.6} s), \
+                     winners match: {pruned_winners_match}"
+                );
+                if pruned_zoo_s > limit || !pruned_winners_match {
+                    eprintln!(
+                        "FAIL: batched costing must keep pruned_zoo_s at or under half the \
+                         carried {baseline_s:.6} s baseline with unchanged winners"
+                    );
+                    failed = true;
+                }
+            }
+            None => println!(
+                "batched-costing check skipped: no pruned_zoo_baseline_s or pruned_zoo_s \
+                 in {path}"
+            ),
         }
         let pruned_floor = (baseline_pruned_candidates as f64 * 0.8).floor() as u64;
         println!(

@@ -1,0 +1,101 @@
+//! Allocation smoke for the warm-cache costing loop: once the candidate
+//! cache is populated, repeated exact costing must not touch the heap.
+//! Every hot-path structure is scalar-only ([`CostReport`] clones are
+//! flat copies, the collective kernel answers from a thread-local table,
+//! per-eval scratch lives in reusable arenas), so a single allocation
+//! here is a regression, not noise.
+//!
+//! The counting allocator is thread-local-gated: only allocations made
+//! by the measuring thread between `start()` and `stop()` are counted,
+//! so runtime worker threads parked in the background cannot pollute
+//! the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use temp_graph::models::ModelZoo;
+use temp_graph::workload::Workload;
+use temp_mapping::engines::MappingEngine;
+use temp_solver::cost::WaferCostModel;
+use temp_solver::search::SearchContext;
+use temp_wsc::config::WaferConfig;
+
+struct CountingAlloc;
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn start_counting() {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+}
+
+fn stop_counting() -> u64 {
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.with(|a| a.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.with(|c| c.get()) {
+            ALLOCS.with(|a| a.set(a.get() + 1));
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.with(|c| c.get()) {
+            ALLOCS.with(|a| a.set(a.get() + 1));
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// After two warm-up passes (cache fill + lazy-init settle), a sweep of
+/// warm-cache `cost_of` evaluations performs zero heap allocations.
+#[test]
+fn warm_cache_costing_is_allocation_free() {
+    let model = ModelZoo::gpt3_6_7b();
+    let workload = Workload::for_model(&model);
+    let ctx = SearchContext::new(WaferCostModel::new(WaferConfig::hpca(), model, workload));
+    // The measurement is per-thread; keep the costing on this thread.
+    ctx.set_parallel(false);
+    let candidates: Vec<_> = ctx.candidates().iter().take(32).copied().collect();
+    assert!(!candidates.is_empty());
+
+    // Pass 1 fills the candidate cache (cold evaluations allocate
+    // freely); pass 2 settles any remaining lazy initialization (lock
+    // shards, thread-local tables) on the warm path.
+    for _ in 0..2 {
+        for cfg in &candidates {
+            let _ = ctx.cost_of(cfg, MappingEngine::Tcme);
+        }
+    }
+
+    start_counting();
+    let mut acc = 0.0f64;
+    for _ in 0..32 {
+        for cfg in &candidates {
+            let (t, _) = ctx.cost_of(cfg, MappingEngine::Tcme);
+            if t.is_finite() {
+                acc += t;
+            }
+        }
+    }
+    let allocs = stop_counting();
+    assert!(acc.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "warm-cache costing loop made {allocs} heap allocations \
+         (expected zero after warm-up)"
+    );
+}

@@ -35,6 +35,22 @@ pub enum CommPattern {
     P2pStream,
 }
 
+impl CommPattern {
+    /// Number of pattern classes (the bound for per-pattern fixed arrays).
+    pub const COUNT: usize = 4;
+
+    /// Canonical small-integer code in `0..CommPattern::COUNT`, stable
+    /// across runs.
+    pub fn index(self) -> usize {
+        match self {
+            CommPattern::AllReduce => 0,
+            CommPattern::AllGather => 1,
+            CommPattern::ReduceScatter => 2,
+            CommPattern::P2pStream => 3,
+        }
+    }
+}
+
 /// One communication operation of the plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommOp {
@@ -52,6 +68,16 @@ pub struct CommOp {
 }
 
 impl CommOp {
+    /// Total distinct `(source, pattern)` traffic-class codes.
+    pub const CLASS_COUNT: usize = ParallelKind::COUNT * CommPattern::COUNT;
+
+    /// Canonical `(source, pattern)` traffic-class code in
+    /// `0..CommOp::CLASS_COUNT` — the index of this op's per-class
+    /// accumulator slot in the costing hot path.
+    pub fn class_code(&self) -> usize {
+        self.source.index() * CommPattern::COUNT + self.pattern.index()
+    }
+
     /// The collective kind this op times as (P2P streams map to one shift).
     pub fn collective_kind(&self) -> CollectiveKind {
         match self.pattern {

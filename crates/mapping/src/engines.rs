@@ -15,7 +15,7 @@ use temp_graph::models::ModelConfig;
 use temp_graph::workload::Workload;
 use temp_parallel::groups::{LayoutPolicy, WaferLayout};
 use temp_parallel::strategy::HybridConfig;
-use temp_sim::network::{ContentionSim, Flow};
+use temp_sim::network::{ContentionSim, Flow, SimCache};
 use temp_wsc::config::WaferConfig;
 
 use crate::comm::{extract_comm_ops, layer_flows, CommOp, TaggedFlow};
@@ -125,6 +125,18 @@ pub fn map_hybrid(
     best.ok_or_else(|| MappingError::Layout("no candidate layout".into()))
 }
 
+thread_local! {
+    /// Exact-match memo of contention solves shared by every mapping this
+    /// thread performs. Serves are bit-identical to cold solves (the cache
+    /// verifies the full flow set and link parameters on hit), so plans do
+    /// not depend on cache history or thread count.
+    static SIM_CACHE: std::cell::RefCell<SimCache> = std::cell::RefCell::new(SimCache::new());
+}
+
+/// Soft bound on memoized contention solves per thread; the cache resets
+/// once it grows past this, keeping long campaigns memory-stable.
+const SIM_CACHE_CAP: usize = 8192;
+
 fn map_with_policy(
     engine: MappingEngine,
     wafer: &WaferConfig,
@@ -149,14 +161,22 @@ fn map_with_policy(
     // scale by each op's round count and per-layer multiplicity.
     let sim = ContentionSim::new(wafer);
     let raw: Vec<Flow> = flows.iter().map(|tf| tf.flow.clone()).collect();
-    let round_makespan = if raw.is_empty() {
-        0.0
-    } else {
-        sim.simulate(&raw).makespan
-    };
-    let isolated_round: f64 = raw
+    let round_makespan = SIM_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() > SIM_CACHE_CAP {
+            *cache = SimCache::new();
+        }
+        if raw.is_empty() {
+            0.0
+        } else {
+            sim.simulate_cached(&raw, &mut cache).makespan
+        }
+    });
+    // Lone flows bypass the fluid event loop entirely: the scalar fast
+    // path is bit-identical to simulating each flow on its own.
+    let isolated_round = raw
         .iter()
-        .map(|f| sim.simulate(std::slice::from_ref(f)).makespan)
+        .map(|f| sim.isolated_makespan(f))
         .fold(0.0, f64::max);
     let scale = comm_rounds_scale(&comm_ops);
     let loads = TrafficOptimizer::new(mesh).link_loads(&flows);

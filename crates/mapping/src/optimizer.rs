@@ -89,11 +89,15 @@ impl TrafficOptimizer {
     }
 
     fn max_load(&self, flows: &[TaggedFlow]) -> (Option<LinkId>, f64) {
-        let loads = self.link_loads(flows);
+        Self::max_of(&self.link_loads(flows))
+    }
+
+    /// Most-loaded link of an already-built load map.
+    fn max_of(loads: &HashMap<LinkId, f64>) -> (Option<LinkId>, f64) {
         loads
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"))
-            .map(|(l, v)| (Some(l), v))
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .map(|(l, v)| (Some(*l), *v))
             .unwrap_or((None, 0.0))
     }
 
@@ -124,23 +128,30 @@ impl TrafficOptimizer {
             // Phase 4: reroute hot flows over load-aware detours.
             // (Duplicate merging is implicit in `link_loads`' multicast
             // dedup; rerouting must therefore beat the deduped load.)
+            // The load map only changes when a reroute is accepted, so it
+            // is rebuilt on acceptance instead of once per hot flow — the
+            // values every candidate is judged against are identical.
+            let mut loads = self.link_loads(&flows);
             for i in hot {
-                let candidate = self.best_alternative(&flows, i, bottleneck);
+                let candidate = self.best_alternative(&flows, &loads, i, bottleneck);
                 if let Some(new_flow) = candidate {
                     flows[i].flow = new_flow;
                     rerouted += 1;
+                    loads = self.link_loads(&flows);
                 }
             }
-            // Phase 5: global update & termination check.
-            let (new_mcl, new_cur) = self.max_load(&flows);
+            // Phase 5: global update & termination check. `loads` is
+            // rebuilt after every accepted reroute, so it is current here.
+            let (new_mcl, new_cur) = Self::max_of(&loads);
             mcl = new_mcl;
             cur = new_cur;
         }
-        let (_, final_max) = self.max_load(&flows);
+        // `cur` always holds the max load of the final flow set: every
+        // path that mutates `flows` refreshes it in phase 5.
         OptimizationOutcome {
             flows,
             initial_max_load: initial,
-            final_max_load: final_max,
+            final_max_load: cur,
             iterations,
             rerouted,
         }
@@ -149,10 +160,16 @@ impl TrafficOptimizer {
     /// Best alternative route for flow `i` avoiding `bottleneck`: tries the
     /// transposed dimension order and a load-aware Dijkstra detour; returns
     /// the route that lowers the flow's own bottleneck load, if any.
-    fn best_alternative(&self, flows: &[TaggedFlow], i: usize, bottleneck: LinkId) -> Option<Flow> {
+    /// `loads` must be the current flow set's [`TrafficOptimizer::link_loads`].
+    fn best_alternative(
+        &self,
+        flows: &[TaggedFlow],
+        loads: &HashMap<LinkId, f64>,
+        i: usize,
+        bottleneck: LinkId,
+    ) -> Option<Flow> {
         let tf = &flows[i];
-        let loads = self.link_loads(flows);
-        let current_worst = self.route_worst_load(&loads, &tf.flow.route, 0.0);
+        let current_worst = self.route_worst_load(loads, &tf.flow.route, 0.0);
         let mut best: Option<(f64, Flow)> = None;
         // Candidate 1: transposed dimension order.
         let yx = Flow::routed(
@@ -163,7 +180,7 @@ impl TrafficOptimizer {
             RouteOrder::YThenX,
         );
         // Candidate 2: load-aware shortest path.
-        let dijkstra = self.load_aware_route(&loads, tf.flow.src, tf.flow.dst, tf.flow.bytes);
+        let dijkstra = self.load_aware_route(loads, tf.flow.src, tf.flow.dst, tf.flow.bytes);
         for cand in std::iter::once(yx).chain(dijkstra) {
             if cand.route == tf.flow.route || cand.route.contains(&bottleneck) {
                 continue;
@@ -175,7 +192,7 @@ impl TrafficOptimizer {
             }
             // Load as seen by this flow after moving: subtract itself from
             // its old links, add to new.
-            let worst = self.route_worst_load(&loads, &cand.route, tf.flow.bytes);
+            let worst = self.route_worst_load(loads, &cand.route, tf.flow.bytes);
             if worst < current_worst && best.as_ref().map(|(w, _)| worst < *w).unwrap_or(true) {
                 best = Some((worst, cand));
             }

@@ -31,6 +31,27 @@ pub enum ParallelKind {
     Tatp,
 }
 
+impl ParallelKind {
+    /// Number of strategy kinds (the bound for per-kind fixed arrays).
+    pub const COUNT: usize = 8;
+
+    /// Canonical small-integer code in `0..ParallelKind::COUNT`, stable
+    /// across runs; lets hot paths index fixed-size per-kind accumulators
+    /// instead of hashing the enum.
+    pub fn index(self) -> usize {
+        match self {
+            ParallelKind::Dp => 0,
+            ParallelKind::Fsdp => 1,
+            ParallelKind::Tp => 2,
+            ParallelKind::Sp => 3,
+            ParallelKind::Cp => 4,
+            ParallelKind::Pp => 5,
+            ParallelKind::Tatp => 6,
+            ParallelKind::Ep => 7,
+        }
+    }
+}
+
 impl std::fmt::Display for ParallelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

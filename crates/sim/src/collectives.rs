@@ -157,12 +157,15 @@ impl Collective {
     }
 
     /// Simulated latency on the real mesh: per-round contention makespans,
-    /// summed over rounds (rounds are barriers in ring algorithms).
+    /// summed over rounds (rounds are barriers in ring algorithms). Routed
+    /// through the batch entry point: ring rounds repeat one flow shape,
+    /// so every round after the first is warm-started from the first
+    /// round's solved equilibrium instead of re-running progressive
+    /// filling (all-to-all rounds are distinct permutations and each
+    /// seeds its own shape).
     pub fn simulate(&self, sim: &ContentionSim, mesh: &Mesh) -> f64 {
-        self.rounds(mesh)
-            .iter()
-            .map(|flows| sim.simulate(flows).makespan)
-            .sum()
+        let rounds = self.rounds(mesh);
+        sim.simulate_many(&rounds).iter().map(|r| r.makespan).sum()
     }
 }
 

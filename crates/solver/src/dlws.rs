@@ -6,7 +6,8 @@
 //!    and without FSDP sharding) — done once per [`SearchContext`];
 //! 2. **Cost** each with the wafer-centric model under the TCME engine,
 //!    escalating to full recomputation when a configuration OOMs — cache
-//!    misses are costed in parallel, hits are free;
+//!    misses are costed through the batched SoA engine (one hoisted
+//!    op-graph walk per recompute wave), hits are free;
 //! 3. **Graph-partition + DP** — the heterogeneous segment chain
 //!    (embedding -> blocks -> LM head, [`temp_graph::segment`]) picks a
 //!    candidate **per segment** under resharding transition costs: the
@@ -352,9 +353,10 @@ impl Dlws {
             ));
         }
         // Cost the body candidates through the bound-pruned chain path:
-        // cache misses run in parallel, hits (from earlier solves over
-        // overlapping spaces) are free, and candidates the admissible
-        // bounds prove non-optimal skip the cost model entirely.
+        // cache misses batch into the SoA costing engine (chunked across
+        // workers), hits (from earlier solves over overlapping spaces)
+        // are free, and candidates the admissible bounds prove
+        // non-optimal skip the cost model entirely.
         let costed: Vec<CandidateCost> =
             self.ctx
                 .cost_candidates_chain(&candidates, &all_candidates, engine);

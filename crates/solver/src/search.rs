@@ -37,6 +37,7 @@ use temp_parallel::strategy::HybridConfig;
 use temp_wsc::fault::FaultMap;
 
 use crate::cost::{CostReport, SegmentCost, WaferCostModel};
+use crate::dp::{DpError, StageCuts};
 use crate::par;
 use crate::runtime::CancelToken;
 use crate::surrogate_gate::{self, GateParams};
@@ -50,6 +51,30 @@ pub type EvalKey = (HybridConfig, MappingEngine, RecomputeMode);
 /// `(SegmentKind, HybridConfig, engine, recompute)` — block instances are
 /// identical, so the kind (not the instance index) keys the table.
 pub type SegmentKey = (SegmentKind, HybridConfig, MappingEngine, RecomputeMode);
+
+/// Memoization key of one stage-cut solve: the full argument tuple of
+/// [`crate::dp::balance_stage_cuts`] / [`crate::dp::balance_weighted_cuts`]
+/// — `(instances, wafers, floor-set)` plus the per-unit times, floats
+/// carried as bits. The solvers are pure, so equal keys give identical
+/// cuts (or the identical infeasibility verdict).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum StageCutKey {
+    Uniform {
+        blocks: u64,
+        stages: usize,
+        unit: u64,
+        first: u64,
+        last: u64,
+        mins: Vec<u64>,
+    },
+    Weighted {
+        weights: Vec<u64>,
+        stages: usize,
+        first: u64,
+        last: u64,
+        mins: Vec<u64>,
+    },
+}
 
 /// Which evaluation pipeline batch costing runs (§VII-A).
 ///
@@ -247,6 +272,10 @@ pub struct SearchContext {
     /// Per-segment cost table — closed-form entries, memoized so repeated
     /// chain solves (and the gate's chain correction) featurize for free.
     seg_cache: RwLock<HashMap<SegmentKey, Option<SegmentCost>>>,
+    /// Memoized stage-cut solves — sweep re-solves (pipeline multipliers,
+    /// engines, campaign rate points) rediscover the same cut problems, so
+    /// the parametric bottleneck search runs once per distinct key.
+    stage_cuts: RwLock<HashMap<StageCutKey, Result<StageCuts, DpError>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Per-tier attribution of the hit/miss totals above, keyed by the
@@ -374,6 +403,7 @@ impl SearchContext {
             gate_predictor: RwLock::new(None),
             cache: RwLock::new(HashMap::new()),
             seg_cache: RwLock::new(HashMap::new()),
+            stage_cuts: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             exact_hits: AtomicU64::new(0),
@@ -1084,6 +1114,227 @@ impl SearchContext {
         (f64::INFINITY, None)
     }
 
+    /// Resolves one `(candidate, mode)` wave of a batched costing pass:
+    /// for every index in `need`, the cached-or-computed report under
+    /// `mode`, aligned with `need`. Cache peeks take one read lock for
+    /// the whole wave; the distinct misses run through
+    /// [`WaferCostModel::evaluate_batch`] (hoisted once per runtime-sized
+    /// chunk) and install under one write lock. Counter semantics match
+    /// [`SearchContext::evaluate`] exactly: one hit per cache serve
+    /// (including duplicate occurrences beyond a key's first), one miss
+    /// per report this call computed.
+    fn resolve_mode_batched(
+        &self,
+        candidates: &[HybridConfig],
+        need: &[usize],
+        engine: MappingEngine,
+        mode: RecomputeMode,
+    ) -> Vec<Option<CostReport>> {
+        let mut out: Vec<Option<Option<CostReport>>> = vec![None; need.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.read().expect("cache lock");
+            for (slot, &ci) in need.iter().enumerate() {
+                match cache.get(&(candidates[ci], engine, mode)) {
+                    Some(cached) => out[slot] = Some(cached.clone()),
+                    None => missing.push(slot),
+                }
+            }
+        }
+        let hits = (need.len() - missing.len()) as u64;
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+            self.tier_counter(true).fetch_add(hits, Ordering::Relaxed);
+        }
+        if missing.is_empty() {
+            return out.into_iter().map(|o| o.expect("resolved")).collect();
+        }
+        // Distinct missing keys, first occurrence first — groups may
+        // repeat a configuration; it is computed once and every later
+        // occurrence is a cache serve, exactly as sequential costing
+        // would count it.
+        let mut first_pos: HashMap<HybridConfig, usize> = HashMap::new();
+        let mut uniques: Vec<HybridConfig> = Vec::new();
+        for &slot in &missing {
+            let cfg = candidates[need[slot]];
+            first_pos.entry(cfg).or_insert_with(|| {
+                uniques.push(cfg);
+                uniques.len() - 1
+            });
+        }
+        let workload = self.cost.workload().clone().with_recompute(mode);
+        let computed: Vec<Option<CostReport>> = if self.parallel() && uniques.len() > 1 {
+            let chunk = uniques
+                .len()
+                .div_ceil(par::available_workers().max(1))
+                .max(1);
+            let chunks: Vec<&[HybridConfig]> = uniques.chunks(chunk).collect();
+            par::par_map(&chunks, |c| {
+                self.cost
+                    .evaluate_batch(c, engine, &workload)
+                    .into_iter()
+                    .map(|r| r.ok())
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.cost
+                .evaluate_batch(&uniques, engine, &workload)
+                .into_iter()
+                .map(|r| r.ok())
+                .collect()
+        };
+        self.misses
+            .fetch_add(uniques.len() as u64, Ordering::Relaxed);
+        self.tier_counter(false)
+            .fetch_add(uniques.len() as u64, Ordering::Relaxed);
+        let dup = (missing.len() - uniques.len()) as u64;
+        if dup > 0 {
+            self.hits.fetch_add(dup, Ordering::Relaxed);
+            self.tier_counter(true).fetch_add(dup, Ordering::Relaxed);
+        }
+        // Stored entries win races, as in `evaluate`: every observer of a
+        // key sees one consistent report.
+        let stored: Vec<Option<CostReport>> = {
+            let mut cache = self.cache.write().expect("cache lock");
+            uniques
+                .iter()
+                .zip(computed)
+                .map(|(cfg, report)| cache.entry((*cfg, engine, mode)).or_insert(report).clone())
+                .collect()
+        };
+        for &slot in &missing {
+            let cfg = candidates[need[slot]];
+            out[slot] = Some(stored[first_pos[&cfg]].clone());
+        }
+        out.into_iter().map(|o| o.expect("resolved")).collect()
+    }
+
+    /// The batched body of [`SearchContext::cost_candidates_exact`]: the
+    /// whole batch resolves its base recompute mode in one wave, only the
+    /// candidates that erred or overflowed HBM escalate to a second
+    /// [`RecomputeMode::Full`] wave — the same `[base, Full]` ladder as
+    /// [`SearchContext::cost_of`], candidate by candidate, and
+    /// bit-identical to it (both run the hoisted evaluation core).
+    fn cost_candidates_batched(
+        &self,
+        candidates: &[HybridConfig],
+        engine: MappingEngine,
+    ) -> Vec<CandidateCost> {
+        let base_mode = self.cost.workload().recompute;
+        let all: Vec<usize> = (0..candidates.len()).collect();
+        let base = self.resolve_mode_batched(candidates, &all, engine, base_mode);
+        let needs_full: Vec<usize> = if base_mode == RecomputeMode::Full {
+            Vec::new()
+        } else {
+            base.iter()
+                .enumerate()
+                .filter(|(_, r)| !matches!(r, Some(rep) if rep.fits_memory))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let full = if needs_full.is_empty() {
+            Vec::new()
+        } else {
+            self.resolve_mode_batched(candidates, &needs_full, engine, RecomputeMode::Full)
+        };
+        let mut full_results: HashMap<usize, Option<CostReport>> =
+            needs_full.into_iter().zip(full).collect();
+        base.into_iter()
+            .enumerate()
+            .map(|(i, base_report)| {
+                if let Some(report) = base_report.filter(|r| r.fits_memory) {
+                    let workload = self.cost.workload().clone().with_recompute(base_mode);
+                    return (report.step_time, Some((workload, report)));
+                }
+                if let Some(Some(report)) = full_results.remove(&i) {
+                    if report.fits_memory {
+                        let workload = self
+                            .cost
+                            .workload()
+                            .clone()
+                            .with_recompute(RecomputeMode::Full);
+                        return (report.step_time, Some((workload, report)));
+                    }
+                }
+                (f64::INFINITY, None)
+            })
+            .collect()
+    }
+
+    /// Memoized [`crate::dp::balance_stage_cuts`]. The parametric
+    /// bottleneck search is a pure function of its arguments, so its
+    /// verdict — cuts or infeasibility — is served from the context's
+    /// table on repeat keys (multi-wafer sweeps rediscover the same cut
+    /// problems across pipeline multipliers, engines and re-solves).
+    pub fn balanced_stage_cuts(
+        &self,
+        blocks: u64,
+        stages: usize,
+        unit: f64,
+        first_extra: f64,
+        last_extra: f64,
+        min_blocks: &[u64],
+    ) -> Result<StageCuts, DpError> {
+        let key = StageCutKey::Uniform {
+            blocks,
+            stages,
+            unit: unit.to_bits(),
+            first: first_extra.to_bits(),
+            last: last_extra.to_bits(),
+            mins: min_blocks.to_vec(),
+        };
+        if let Some(cached) = self.stage_cuts.read().expect("stage cuts lock").get(&key) {
+            return cached.clone();
+        }
+        let cuts = crate::dp::balance_stage_cuts(
+            blocks,
+            stages,
+            unit,
+            first_extra,
+            last_extra,
+            min_blocks,
+        );
+        self.stage_cuts
+            .write()
+            .expect("stage cuts lock")
+            .entry(key)
+            .or_insert(cuts)
+            .clone()
+    }
+
+    /// Memoized [`crate::dp::balance_weighted_cuts`] — see
+    /// [`SearchContext::balanced_stage_cuts`].
+    pub fn balanced_weighted_cuts(
+        &self,
+        weights: &[f64],
+        stages: usize,
+        first_extra: f64,
+        last_extra: f64,
+        min_items: &[u64],
+    ) -> Result<StageCuts, DpError> {
+        let key = StageCutKey::Weighted {
+            weights: weights.iter().map(|w| w.to_bits()).collect(),
+            stages,
+            first: first_extra.to_bits(),
+            last: last_extra.to_bits(),
+            mins: min_items.to_vec(),
+        };
+        if let Some(cached) = self.stage_cuts.read().expect("stage cuts lock").get(&key) {
+            return cached.clone();
+        }
+        let cuts =
+            crate::dp::balance_weighted_cuts(weights, stages, first_extra, last_extra, min_items);
+        self.stage_cuts
+            .write()
+            .expect("stage cuts lock")
+            .entry(key)
+            .or_insert(cuts)
+            .clone()
+    }
+
     /// Costs a batch of candidates under the active [`CostTier`], filling
     /// cache misses in parallel when enabled. The returned vector is
     /// aligned with `candidates`; under [`CostTier::SurrogateGated`],
@@ -1131,13 +1382,16 @@ impl SearchContext {
         }
     }
 
-    /// The exact (tier-2) batch costing path: every candidate runs the
-    /// full cost model, misses fill in parallel when enabled. When a
+    /// The exact (tier-2) batch costing path. Without a cancellation
+    /// token the batch routes through the batched SoA engine
+    /// ([`SearchContext::cost_candidates_batched`]): one cache wave per
+    /// recompute mode, distinct misses costed by
+    /// [`WaferCostModel::evaluate_batch`] in runtime-sized chunks. When a
     /// cancellation token is installed (deadline-bounded solves), the
-    /// loop polls it between candidates: once it fires, the remaining
-    /// candidates come back `(INFINITY, None)` **without** being written
-    /// to the cache — a skip is not a verdict, so later unbounded solves
-    /// re-cost them.
+    /// per-candidate loop polls it between candidates: once it fires, the
+    /// remaining candidates come back `(INFINITY, None)` **without**
+    /// being written to the cache — a skip is not a verdict, so later
+    /// unbounded solves re-cost them.
     pub fn cost_candidates_exact(
         &self,
         candidates: &[HybridConfig],
@@ -1145,24 +1399,24 @@ impl SearchContext {
     ) -> Vec<CandidateCost> {
         let started = std::time::Instant::now();
         let token = self.cancel_token();
-        let out = if self.parallel() {
-            match &token {
-                Some(token) => par::par_map_cancellable(
-                    token,
-                    candidates,
-                    |_| (f64::INFINITY, None),
-                    |c| self.cost_of(c, engine),
-                ),
-                None => par::par_map(candidates, |c| self.cost_of(c, engine)),
-            }
-        } else {
-            candidates
+        let out = match &token {
+            None => self.cost_candidates_batched(candidates, engine),
+            Some(token) if self.parallel() => par::par_map_cancellable(
+                token,
+                candidates,
+                |_| (f64::INFINITY, None),
+                |c| self.cost_of(c, engine),
+            ),
+            Some(token) => candidates
                 .iter()
-                .map(|c| match &token {
-                    Some(t) if t.is_cancelled() => (f64::INFINITY, None),
-                    _ => self.cost_of(c, engine),
+                .map(|c| {
+                    if token.is_cancelled() {
+                        (f64::INFINITY, None)
+                    } else {
+                        self.cost_of(c, engine)
+                    }
                 })
-                .collect()
+                .collect(),
         };
         self.exact_ns
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);

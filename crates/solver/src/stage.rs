@@ -42,7 +42,6 @@ use temp_parallel::strategy::HybridConfig;
 use temp_wsc::multiwafer::MultiWaferSystem;
 
 use crate::dlws::{Dlws, ExecutionPlan, SegmentAssignment};
-use crate::dp::balance_stage_cuts;
 use crate::par;
 use crate::{Result, SolverError};
 
@@ -300,7 +299,7 @@ impl Dlws {
             // stretches onto their own wafers (a stage of expensive MoE
             // instances simply takes fewer of them).
             let cuts = if moe_blocks == 0 {
-                balance_stage_cuts(
+                ctx.balanced_stage_cuts(
                     blocks,
                     wafer_count,
                     unit,
@@ -310,7 +309,7 @@ impl Dlws {
                 )
             } else {
                 let weights = interior_weights(&interior, unit, unit_moe);
-                crate::dp::balance_weighted_cuts(
+                ctx.balanced_weighted_cuts(
                     &weights,
                     wafer_count,
                     emb_step / micro,

@@ -671,3 +671,228 @@ fn healthy_fault_map_reproduces_the_healthy_plan_bit_for_bit() {
         assert_eq!(resolved, baseline, "{name}");
     }
 }
+
+/// The batched SoA costing engine is bit-identical to per-candidate
+/// sequential evaluation across the dense and MoE zoos, in both the
+/// workload's native recompute mode and the Full escalation mode: both
+/// paths run the same hoisted core, so every `Ok` report must compare
+/// equal field-for-field and every `Err` must carry the same message.
+#[test]
+fn evaluate_batch_matches_sequential_evaluation_zoo_wide() {
+    use temp_repro::graph::workload::RecomputeMode;
+
+    for model in ModelZoo::table2().into_iter().chain(ModelZoo::moe_zoo()) {
+        let name = model.name.clone();
+        let workload = Workload::for_model(&model);
+        let solver = Dlws::new(WaferConfig::hpca(), model, workload);
+        let ctx = solver.context();
+        let cost = ctx.cost_model();
+        let mut rng = StdRng::seed_from_u64(0xBA7C4);
+        let sampled: Vec<HybridConfig> = ctx
+            .candidates()
+            .iter()
+            .filter(|_| rng.gen_bool(0.4))
+            .copied()
+            .collect();
+        assert!(sampled.len() > 10, "{name}: sample too small to mean much");
+        for mode in [cost.workload().recompute, RecomputeMode::Full] {
+            let w = cost.workload().clone().with_recompute(mode);
+            let batched = cost.evaluate_batch(&sampled, MappingEngine::Tcme, &w);
+            for (cfg, got) in sampled.iter().zip(batched) {
+                let want = cost.evaluate_with(cfg, MappingEngine::Tcme, &w);
+                match (got, want) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "{name} {cfg:?} {mode:?}"),
+                    (Err(a), Err(b)) => assert_eq!(
+                        format!("{a:?}"),
+                        format!("{b:?}"),
+                        "{name} {cfg:?} {mode:?}"
+                    ),
+                    (a, b) => panic!(
+                        "{name} {cfg:?} {mode:?}: outcomes diverged \
+                         (batched ok={}, sequential ok={})",
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The batch path is also bit-identical on staged (pp=2) candidate
+/// grids — the shapes the two-wafer staged planner costs — for a dense
+/// and an MoE model.
+#[test]
+fn evaluate_batch_matches_sequential_evaluation_staged() {
+    for model in [ModelZoo::gpt3_6_7b(), ModelZoo::deepseek_moe_16b()] {
+        let name = model.name.clone();
+        let workload = Workload::for_model(&model);
+        let solver = Dlws::new(WaferConfig::hpca(), model, workload);
+        let ctx = solver.context();
+        let cost = ctx.cost_model();
+        let staged = ctx.candidates_with_pp(2);
+        assert!(!staged.is_empty(), "{name}: no pp=2 candidates");
+        let w = cost.workload().clone();
+        let batched = cost.evaluate_batch(&staged, MappingEngine::Tcme, &w);
+        for (cfg, got) in staged.iter().zip(batched) {
+            let want = cost.evaluate_with(cfg, MappingEngine::Tcme, &w);
+            match (got, want) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{name} {cfg:?}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{name} {cfg:?}")
+                }
+                (a, b) => panic!(
+                    "{name} {cfg:?}: outcomes diverged \
+                     (batched ok={}, sequential ok={})",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// On seeded Link and Core fault maps the derated cost model's batch
+/// path still matches sequential evaluation bit-for-bit — the mapping
+/// memo and hoisted scalars are per-model state, so fault derating must
+/// flow through both paths identically.
+#[test]
+fn evaluate_batch_matches_sequential_evaluation_degraded() {
+    use temp_repro::solver::faultcamp::FaultKind;
+
+    let model = ModelZoo::gpt3_6_7b();
+    let workload = Workload::for_model(&model);
+    let wafer = WaferConfig::hpca();
+    let solver = Dlws::new(wafer.clone(), model, workload);
+    let mesh = wafer.mesh();
+    for kind in [FaultKind::Link, FaultKind::Core] {
+        for (rate, s) in [(0.1, 3), (0.25, 7), (0.4, 11)] {
+            let faults = kind.inject(&mesh, rate, kind.seed_base() + s);
+            let degraded = solver.degraded(&faults);
+            let ctx = degraded.context();
+            let cost = ctx.cost_model();
+            let mut rng = StdRng::seed_from_u64(0xDE6 + s);
+            let sampled: Vec<HybridConfig> = ctx
+                .candidates()
+                .iter()
+                .filter(|_| rng.gen_bool(0.3))
+                .copied()
+                .collect();
+            let w = cost.workload().clone();
+            let batched = cost.evaluate_batch(&sampled, MappingEngine::Tcme, &w);
+            for (cfg, got) in sampled.iter().zip(batched) {
+                let want = cost.evaluate_with(cfg, MappingEngine::Tcme, &w);
+                match (got, want) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "{kind:?} rate {rate} seed {s} {cfg:?}")
+                    }
+                    (Err(a), Err(b)) => assert_eq!(
+                        format!("{a:?}"),
+                        format!("{b:?}"),
+                        "{kind:?} rate {rate} seed {s} {cfg:?}"
+                    ),
+                    (a, b) => panic!(
+                        "{kind:?} rate {rate} seed {s} {cfg:?}: outcomes \
+                         diverged (batched ok={}, sequential ok={})",
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Warm-started contention fixed points match cold solves on 48 random
+/// meshes: after seeding from one equilibrium, a proportional payload
+/// rescale reproduces the cold per-flow completions and makespan to
+/// 1e-9 relative, and a non-proportional perturbation falls back to a
+/// bit-identical cold solve.
+#[test]
+fn warm_started_fixed_points_match_cold_solves_on_random_meshes() {
+    use temp_repro::sim::network::WarmStart;
+
+    let mut rng = StdRng::seed_from_u64(0x3A11);
+    for case in 0..48 {
+        let w = rng.gen_range(2u32..9);
+        let h = rng.gen_range(2u32..7);
+        let wafer = WaferConfig {
+            mesh_width: w,
+            mesh_height: h,
+            ..WaferConfig::hpca()
+        };
+        let mesh = wafer.mesh();
+        let sim = ContentionSim::new(&wafer);
+        let n = mesh.die_count() as u32;
+        let flows: Vec<Flow> = (0..rng.gen_range(3usize..12))
+            .map(|_| {
+                Flow::xy(
+                    &mesh,
+                    DieId(rng.gen_range(0u32..n)),
+                    DieId(rng.gen_range(0u32..n)),
+                    rng.gen_range(1.0e6..64.0e6),
+                )
+            })
+            .collect();
+
+        let mut warm = WarmStart::new();
+        let seeded = sim.simulate_warm(&flows, &mut warm);
+        assert_eq!(
+            seeded.makespan.to_bits(),
+            sim.simulate(&flows).makespan.to_bits(),
+            "case {case} ({w}x{h}): cold seed must be bit-identical"
+        );
+        assert!(warm.is_seeded());
+
+        let scale = rng.gen_range(0.2..6.0);
+        let scaled: Vec<Flow> = flows
+            .iter()
+            .map(|f| {
+                let mut f = f.clone();
+                f.bytes *= scale;
+                f
+            })
+            .collect();
+        let warm_report = sim.simulate_warm(&scaled, &mut warm);
+        let cold = sim.simulate(&scaled);
+        let reference = sim.simulate_reference(&scaled);
+        for (i, ((a, b), r)) in warm_report
+            .completion
+            .iter()
+            .zip(&cold.completion)
+            .zip(&reference.completion)
+            .enumerate()
+        {
+            let tol = 1e-9 * b.abs().max(1.0);
+            assert!(
+                (a - b).abs() <= tol,
+                "case {case} ({w}x{h}) flow {i}: warm {a} vs cold {b}"
+            );
+            assert!(
+                (a - r).abs() <= tol,
+                "case {case} ({w}x{h}) flow {i}: warm {a} vs reference {r}"
+            );
+        }
+        let tol = 1e-9 * cold.makespan.abs().max(1.0);
+        assert!(
+            (warm_report.makespan - cold.makespan).abs() <= tol,
+            "case {case} ({w}x{h}): warm makespan {} vs cold {}",
+            warm_report.makespan,
+            cold.makespan
+        );
+
+        // A non-proportional perturbation must not be served warm: the
+        // fallback is a cold solve, bit-identical by construction.
+        let mut perturbed = scaled.clone();
+        if let Some(f) = perturbed.first_mut() {
+            f.bytes *= 1.0 + 0.37;
+        }
+        let fallback = sim.simulate_warm(&perturbed, &mut warm);
+        let cold_perturbed = sim.simulate(&perturbed);
+        assert_eq!(
+            fallback.makespan.to_bits(),
+            cold_perturbed.makespan.to_bits(),
+            "case {case} ({w}x{h}): non-proportional fallback must be cold"
+        );
+    }
+}
