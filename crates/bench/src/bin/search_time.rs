@@ -602,10 +602,22 @@ fn main() {
         coll_misses += m;
     }
     let coll_hit_rate = coll_hits as f64 / (coll_hits + coll_misses).max(1) as f64;
+    // Concurrency counters from the sharded caches: evaluations that
+    // parked on another thread's in-flight cost run instead of
+    // duplicating it, and lock shards found contended. Single-threaded
+    // legs report 0/0 — the counters exist so the multi-thread CI leg
+    // tracks residual serialization across PRs.
+    let (pool_stats, unique_eval_keys) = pruned_pool.aggregate_stats();
+    let coalesced_evals = pool_stats.coalesced;
+    let shard_waits = pool_stats.shard_waits;
     println!(
         "exhaustive zoo solve {exhaustive_zoo_s:.3} s ({exhaustive_evals} evals); \
          pruned {pruned_zoo_s:.3} s ({pruned_evals} evals, {pruned_candidates} pruned) \
          -> {prune_speedup:.2}x, winners match: {pruned_winners_match}"
+    );
+    println!(
+        "single-flight: {coalesced_evals} coalesced evals, {shard_waits} shard waits \
+         over {unique_eval_keys} unique keys on the pruned pool"
     );
     println!(
         "pruned-leg phases: bound {zoo_bound_s:.4} s vs exact {zoo_exact_s:.4} s; \
@@ -721,6 +733,7 @@ fn main() {
                 "\"pruned_candidates\":{},\"bound_time_s\":{:.6},",
                 "\"coll_hit_rate\":{:.4},\"pruned_winners_match\":{},",
                 "\"campaign_s\":{:.6},\"campaign_lanes\":{},",
+                "\"coalesced_evals\":{},\"shard_waits\":{},\"unique_eval_keys\":{},",
                 "\"pruned_zoo_baseline_s\":{:.6},\"zoo_models\":[{}]}}\n"
             ),
             threads,
@@ -761,6 +774,9 @@ fn main() {
             pruned_winners_match,
             campaign_s,
             campaign_lanes,
+            coalesced_evals,
+            shard_waits,
+            unique_eval_keys,
             carried_pruned_zoo_baseline_s.unwrap_or(pruned_zoo_s),
             zoo_model_stats
                 .iter()

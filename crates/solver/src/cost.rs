@@ -172,7 +172,10 @@ struct CollectiveMemo {
     /// read-through cache. Drawn from a monotonic counter, never reused —
     /// unlike an `Arc` address, which a later memo could alias.
     id: u64,
-    table: std::sync::RwLock<std::collections::HashMap<(CollectiveKind, u32, u64), f64>>,
+    /// Sharded so concurrent solvers fill the kernel without serializing
+    /// on one lock (the thread-local read-through already keeps the
+    /// ~93%-hit read path lock-free; sharding takes the write path too).
+    table: crate::shard::ShardedMap<(CollectiveKind, u32, u64), f64>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -182,7 +185,7 @@ impl Default for CollectiveMemo {
         static NEXT_MEMO_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         CollectiveMemo {
             id: NEXT_MEMO_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            table: std::sync::RwLock::new(std::collections::HashMap::new()),
+            table: crate::shard::ShardedMap::new(),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
         }
@@ -238,11 +241,9 @@ type MappingKey = (u8, HybridConfig, u64, u64, u64, u8);
 /// [`SolverError::Internal`] a fresh mapping would.
 struct MappingMemo {
     #[allow(clippy::type_complexity)]
-    table: std::sync::RwLock<
-        std::collections::HashMap<
-            MappingKey,
-            std::result::Result<std::sync::Arc<MappedComm>, String>,
-        >,
+    table: crate::shard::ShardedMap<
+        MappingKey,
+        std::result::Result<std::sync::Arc<MappedComm>, String>,
     >,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
@@ -251,7 +252,7 @@ struct MappingMemo {
 impl Default for MappingMemo {
     fn default() -> Self {
         MappingMemo {
-            table: std::sync::RwLock::new(std::collections::HashMap::new()),
+            table: crate::shard::ShardedMap::new(),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
         }
@@ -489,8 +490,7 @@ impl WaferCostModel {
             return t;
         }
         let key = (kind, n as u32, bytes.to_bits());
-        let shared = self.coll_memo.table.read().unwrap().get(&key).copied();
-        let t = match shared {
+        let t = match self.coll_memo.table.get(&key) {
             Some(t) => {
                 self.coll_memo.hits.fetch_add(1, Ordering::Relaxed);
                 t
@@ -498,8 +498,7 @@ impl WaferCostModel {
             None => {
                 let t = Collective::analytic_time_for(kind, n, bytes, &self.wafer.d2d);
                 self.coll_memo.misses.fetch_add(1, Ordering::Relaxed);
-                self.coll_memo.table.write().unwrap().insert(key, t);
-                t
+                self.coll_memo.table.insert_if_absent(key, t)
             }
         };
         COLL_TLS.with(|c| {
@@ -532,9 +531,9 @@ impl WaferCostModel {
             workload.micro_batches,
             workload.compute_dtype.bytes() as u8,
         );
-        if let Some(cached) = self.map_memo.table.read().unwrap().get(&key) {
+        if let Some(cached) = self.map_memo.table.get(&key) {
             self.map_memo.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone().map_err(SolverError::Internal);
+            return cached.map_err(SolverError::Internal);
         }
         let computed = match map_hybrid(engine, &self.wafer, &self.model, workload, layout_cfg) {
             Ok(mapping) => {
@@ -552,13 +551,12 @@ impl WaferCostModel {
             Err(e) => Err(e.to_string()),
         };
         self.map_memo.misses.fetch_add(1, Ordering::Relaxed);
+        // Stored entries win races, so every observer of a key sees one
+        // consistent mapping.
         self.map_memo
             .table
-            .write()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| computed.clone());
-        computed.map_err(SolverError::Internal)
+            .insert_if_absent(key, computed)
+            .map_err(SolverError::Internal)
     }
 
     /// `(hits, misses)` of the mapping memo since it was created (shared
@@ -576,10 +574,9 @@ impl WaferCostModel {
     pub fn collective_table_entries(&self) -> Vec<CollectiveEntry> {
         self.coll_memo
             .table
-            .read()
-            .unwrap()
-            .iter()
-            .map(|(&(kind, n, bits), &t)| (kind, n, bits, t))
+            .snapshot()
+            .into_iter()
+            .map(|((kind, n, bits), t)| (kind, n, bits, t))
             .collect()
     }
 
@@ -587,9 +584,8 @@ impl WaferCostModel {
     /// Entries already present win — both sides computed the same pure
     /// function, so the choice is cosmetic.
     pub fn merge_collective_entries(&self, entries: &[CollectiveEntry]) {
-        let mut table = self.coll_memo.table.write().unwrap();
         for &(kind, n, bits, t) in entries {
-            table.entry((kind, n, bits)).or_insert(t);
+            self.coll_memo.table.insert_if_absent((kind, n, bits), t);
         }
     }
 
@@ -601,6 +597,13 @@ impl WaferCostModel {
             self.coll_memo.hits.load(Ordering::Relaxed),
             self.coll_memo.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Contended lock-shard acquisitions observed by this model's memo
+    /// tables (collective kernel + mapping memo) — feeds the
+    /// `shard_waits` statistic of [`crate::search::SearchStats`].
+    pub fn collective_shard_waits(&self) -> u64 {
+        self.coll_memo.table.waits() + self.map_memo.table.waits()
     }
 
     /// Batched admissible prefilter (structure-of-arrays pass over a

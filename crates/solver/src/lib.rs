@@ -24,6 +24,9 @@
 //!   the top-K survivors (§VII-A);
 //! * [`runtime`] — the persistent work-stealing thread pool (Chase–Lev
 //!   deques, chunked tasks, nested submission) every batch path runs on;
+//! * [`shard`] — sharded cache locks and single-flight coalescing, so
+//!   concurrent solvers neither serialize on one mutex nor duplicate an
+//!   in-flight evaluation;
 //! * [`par`] — the data-parallel map facade over the runtime, with an
 //!   adaptive serial cutoff and the retained scoped-thread baseline;
 //! * [`dlws`] — the end-to-end solver: enumerate → cost → DP → GA → plan;
@@ -59,6 +62,7 @@ pub mod persist;
 pub mod pool;
 pub mod runtime;
 pub mod search;
+pub mod shard;
 pub mod stage;
 pub mod surrogate_gate;
 

@@ -76,20 +76,30 @@ impl ContextPool {
     /// files written. Re-saving over an existing directory overwrites the
     /// matching files and leaves foreign files alone.
     ///
+    /// Each file is written **atomically**: the bytes go to a temporary
+    /// sibling (`.cache-<fp>.txt.tmp-<pid>`) which is then renamed over
+    /// the final name, so a shutdown mid-write (a serving process killed
+    /// while draining) can never leave a torn `cache-<fp>.txt` for the
+    /// quarantine path to eat on the next start — the old file survives
+    /// intact or the new one is complete.
+    ///
     /// # Errors
     ///
-    /// Propagates filesystem errors (directory creation, file writes).
+    /// Propagates filesystem errors (directory creation, file writes,
+    /// the final rename).
     pub fn save_to(&self, dir: &Path) -> std::io::Result<usize> {
         std::fs::create_dir_all(dir)?;
-        let contexts: Vec<Arc<SearchContext>> = {
-            let map = self.contexts.lock().expect("pool lock");
-            map.values().map(Arc::clone).collect()
-        };
+        let contexts = self.contexts();
         for ctx in &contexts {
-            std::fs::write(
-                dir.join(Self::cache_file_name(ctx)),
-                ctx.export_cost_table(),
-            )?;
+            let name = Self::cache_file_name(ctx);
+            let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+            let finale = dir.join(&name);
+            std::fs::write(&tmp, ctx.export_cost_table())?;
+            if let Err(e) = std::fs::rename(&tmp, &finale) {
+                // Never leave the temporary behind on a failed rename.
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
         }
         Ok(contexts.len())
     }
@@ -116,11 +126,7 @@ impl ContextPool {
             }
         }
         *self.cache_dir.lock().expect("pool cache dir lock") = Some(dir.to_path_buf());
-        let contexts: Vec<Arc<SearchContext>> = {
-            let map = self.contexts.lock().expect("pool lock");
-            map.values().map(Arc::clone).collect()
-        };
-        for ctx in &contexts {
+        for ctx in &self.contexts() {
             Self::try_warm_import(dir, ctx);
         }
         Ok(available)
@@ -206,6 +212,47 @@ impl ContextPool {
     /// A solver over the pooled context for a `(model, workload)` pair.
     pub fn solver(&self, model: &ModelConfig, workload: &Workload) -> Dlws {
         Dlws::from_context(self.context(model, workload))
+    }
+
+    /// Every context the pool currently holds (unordered).
+    pub fn contexts(&self) -> Vec<Arc<SearchContext>> {
+        let map = self.contexts.lock().expect("pool lock");
+        map.values().map(Arc::clone).collect()
+    }
+
+    /// Pool-wide search statistics: the per-context
+    /// [`SearchContext::stats`] counters summed over every pooled
+    /// context, plus the total number of distinct evaluation keys held
+    /// (the denominator of the duplicate-work ratio). Serving layers
+    /// report these; the phase timings and `adaptive_top_k` are
+    /// per-context quantities and are summed only for completeness.
+    pub fn aggregate_stats(&self) -> (crate::search::SearchStats, usize) {
+        let mut total = crate::search::SearchStats::default();
+        let mut unique_keys = 0usize;
+        for ctx in self.contexts() {
+            let s = ctx.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.coalesced += s.coalesced;
+            total.shard_waits += s.shard_waits;
+            total.exact_hits += s.exact_hits;
+            total.exact_misses += s.exact_misses;
+            total.gated_hits += s.gated_hits;
+            total.gated_misses += s.gated_misses;
+            total.gate_pruned += s.gate_pruned;
+            total.seg_hits += s.seg_hits;
+            total.seg_misses += s.seg_misses;
+            total.adaptive_top_k += s.adaptive_top_k;
+            total.bound_pruned += s.bound_pruned;
+            total.dominated_pruned += s.dominated_pruned;
+            total.enumerate_ns += s.enumerate_ns;
+            total.bound_ns += s.bound_ns;
+            total.exact_ns += s.exact_ns;
+            total.gate_fit_ns += s.gate_fit_ns;
+            total.contention_ns += s.contention_ns;
+            unique_keys += ctx.eval_cache_len();
+        }
+        (total, unique_keys)
     }
 
     /// How many distinct `(model, workload)` contexts the pool holds.

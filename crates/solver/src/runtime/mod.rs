@@ -369,6 +369,26 @@ impl WorkPool {
         Ok(out)
     }
 
+    /// Tries to execute one queued task on the calling thread and
+    /// returns whether it did. Safe from workers (own deque first) and
+    /// from external threads (injector, then stealing) alike.
+    ///
+    /// This is the help-while-waiting hook for code that must park on an
+    /// external condition (e.g. a single-flight follower waiting for the
+    /// leader's evaluation, see [`crate::shard::Flight::wait`]): instead
+    /// of blocking idle while the pool is busy — possibly with the very
+    /// fan-out the awaited computation submitted — the waiter drains one
+    /// task per call and re-checks its condition in between.
+    pub fn help_one(&self) -> bool {
+        match find_task(&self.shared, self.worker_index()) {
+            Some(task) => {
+                execute(&self.shared, task);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Whether the current thread is a worker of *this* pool.
     fn on_this_pool(&self) -> bool {
         self.worker_index().is_some()

@@ -40,6 +40,7 @@ use crate::cost::{CostReport, SegmentCost, WaferCostModel};
 use crate::dp::{DpError, StageCuts};
 use crate::par;
 use crate::runtime::CancelToken;
+use crate::shard::{Claim, FlightTable, ShardedMap};
 use crate::surrogate_gate::{self, GateParams};
 
 /// Memoization key: one cost-model evaluation is fully determined by the
@@ -109,10 +110,22 @@ pub type CandidateCost = (f64, Option<(Workload, CostReport)>);
 pub struct SearchStats {
     /// Evaluations answered from the cache.
     pub hits: u64,
-    /// Evaluations that ran the cost model. Equals the number of distinct
-    /// keys costed unless two concurrent solves race on the same key (the
-    /// cache stays consistent either way; only this counter can inflate).
+    /// Evaluations that ran the cost model. Single-flight coalescing
+    /// makes this equal to the number of distinct keys costed even under
+    /// concurrent solves: a key's first claimant computes, every
+    /// concurrent claimant counts under [`SearchStats::coalesced`]
+    /// instead.
     pub misses: u64,
+    /// Lookups that missed while another thread was already costing the
+    /// same key: the caller parked on the in-flight evaluation (helping
+    /// the runtime meanwhile) and observed the leader's stored report
+    /// instead of recomputing. Each of these would have been a duplicate
+    /// cost-model run before single-flight coalescing.
+    pub coalesced: u64,
+    /// Lock-shard acquisitions (cost table, segment table, collective
+    /// memo) that found their shard contended and had to block — the
+    /// residual serialization left after sharding.
+    pub shard_waits: u64,
     /// Cache hits attributed to [`CostTier::Exact`] lookups.
     pub exact_hits: u64,
     /// Cost-model runs attributed to [`CostTier::Exact`] lookups.
@@ -268,10 +281,16 @@ pub struct SearchContext {
     /// its own (the per-degree winner-retention guarantee depends on
     /// per-batch fits).
     gate_predictor: RwLock<Option<(temp_surrogate::gate::GatePredictor, bool)>>,
-    cache: RwLock<HashMap<EvalKey, Option<CostReport>>>,
+    /// Whole-chain evaluation cache, sharded so concurrent solvers on
+    /// different keys do not serialize on one lock.
+    cache: ShardedMap<EvalKey, Option<CostReport>>,
+    /// Single-flight claims over `cache` keys: when concurrent solves
+    /// miss on the same key, one leader costs it and every follower
+    /// parks on the flight (helping the runtime) instead of recomputing.
+    flights: FlightTable<EvalKey>,
     /// Per-segment cost table — closed-form entries, memoized so repeated
     /// chain solves (and the gate's chain correction) featurize for free.
-    seg_cache: RwLock<HashMap<SegmentKey, Option<SegmentCost>>>,
+    seg_cache: ShardedMap<SegmentKey, Option<SegmentCost>>,
     /// Memoized stage-cut solves — sweep re-solves (pipeline multipliers,
     /// engines, campaign rate points) rediscover the same cut problems, so
     /// the parametric bottleneck search runs once per distinct key.
@@ -286,6 +305,9 @@ pub struct SearchContext {
     exact_misses: AtomicU64,
     gated_hits: AtomicU64,
     gated_misses: AtomicU64,
+    /// Lookups answered by parking on another thread's in-flight
+    /// evaluation (see [`SearchStats::coalesced`]).
+    coalesced: AtomicU64,
     pruned: AtomicU64,
     seg_hits: AtomicU64,
     seg_misses: AtomicU64,
@@ -401,8 +423,9 @@ impl SearchContext {
             tier: RwLock::new(CostTier::Exact),
             gate: RwLock::new(GateParams::default()),
             gate_predictor: RwLock::new(None),
-            cache: RwLock::new(HashMap::new()),
-            seg_cache: RwLock::new(HashMap::new()),
+            cache: ShardedMap::new(),
+            flights: FlightTable::new(),
+            seg_cache: ShardedMap::new(),
             stage_cuts: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -410,6 +433,7 @@ impl SearchContext {
             exact_misses: AtomicU64::new(0),
             gated_hits: AtomicU64::new(0),
             gated_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
             seg_hits: AtomicU64::new(0),
             seg_misses: AtomicU64::new(0),
@@ -443,9 +467,9 @@ impl SearchContext {
         mode: RecomputeMode,
     ) -> Option<SegmentCost> {
         let key = (kind, *cfg, engine, mode);
-        if let Some(cached) = self.seg_cache.read().expect("seg cache lock").get(&key) {
+        if let Some(cached) = self.seg_cache.get(&key) {
             self.seg_hits.fetch_add(1, Ordering::Relaxed);
-            return *cached;
+            return cached;
         }
         self.seg_misses.fetch_add(1, Ordering::Relaxed);
         let segment = self.cost.chain().find(kind)?;
@@ -454,8 +478,7 @@ impl SearchContext {
             .cost
             .evaluate_segment_with(segment, cfg, &workload)
             .ok();
-        let mut cache = self.seg_cache.write().expect("seg cache lock");
-        *cache.entry(key).or_insert(result)
+        self.seg_cache.insert_if_absent(key, result)
     }
 
     /// The underlying cost model.
@@ -657,23 +680,23 @@ impl SearchContext {
 
         let mut out = format!("temp-cache v1 {:016x}\n", self.cost.fingerprint());
 
-        let cache = self.cache.read().expect("cache lock");
-        let mut evals: Vec<String> = cache
-            .iter()
+        let mut evals: Vec<String> = self
+            .cache
+            .snapshot()
+            .into_iter()
             .map(|((cfg, engine, mode), report)| {
                 let payload = match report {
-                    Some(r) => persist::encode_report(r),
+                    Some(r) => persist::encode_report(&r),
                     None => "-".to_string(),
                 };
                 format!(
                     "E {} {} {} {payload}",
-                    persist::encode_cfg(cfg),
-                    persist::engine_code(*engine),
-                    persist::mode_code(*mode),
+                    persist::encode_cfg(&cfg),
+                    persist::engine_code(engine),
+                    persist::mode_code(mode),
                 )
             })
             .collect();
-        drop(cache);
         evals.sort_unstable();
         writeln!(out, "evals {}", evals.len()).expect("write to string");
         for line in evals {
@@ -681,24 +704,24 @@ impl SearchContext {
             out.push('\n');
         }
 
-        let seg_cache = self.seg_cache.read().expect("seg cache lock");
-        let mut segs: Vec<String> = seg_cache
-            .iter()
+        let mut segs: Vec<String> = self
+            .seg_cache
+            .snapshot()
+            .into_iter()
             .map(|((kind, cfg, engine, mode), cost)| {
                 let payload = match cost {
-                    Some(sc) => persist::encode_segment_cost(sc),
+                    Some(sc) => persist::encode_segment_cost(&sc),
                     None => "-".to_string(),
                 };
                 format!(
                     "S {} {} {} {} {payload}",
                     kind.code(),
-                    persist::encode_cfg(cfg),
-                    persist::engine_code(*engine),
-                    persist::mode_code(*mode),
+                    persist::encode_cfg(&cfg),
+                    persist::engine_code(engine),
+                    persist::mode_code(mode),
                 )
             })
             .collect();
-        drop(seg_cache);
         segs.sort_unstable();
         writeln!(out, "segs {}", segs.len()).expect("write to string");
         for line in segs {
@@ -885,17 +908,11 @@ impl SearchContext {
             gate: gate_text.is_some(),
             colls: colls.len(),
         };
-        {
-            let mut cache = self.cache.write().expect("cache lock");
-            for (key, report) in evals {
-                cache.entry(key).or_insert(report);
-            }
+        for (key, report) in evals {
+            self.cache.insert_if_absent(key, report);
         }
-        {
-            let mut seg_cache = self.seg_cache.write().expect("seg cache lock");
-            for (key, cost) in segs {
-                seg_cache.entry(key).or_insert(cost);
-            }
+        for (key, cost) in segs {
+            self.seg_cache.insert_if_absent(key, cost);
         }
         self.winner_rank.fetch_max(rank, Ordering::Relaxed);
         if let Some(text) = gate_text {
@@ -993,11 +1010,24 @@ impl SearchContext {
         self.full_reshard
     }
 
+    /// Distinct evaluation keys the whole-chain cache holds (computed,
+    /// coalesced or imported). The denominator of the duplicate-work
+    /// ratio serving benchmarks report: `misses / eval_cache_len` stays
+    /// at 1.0 when single-flight coalescing absorbs every concurrent
+    /// duplicate.
+    pub fn eval_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Cache counters so far.
     pub fn stats(&self) -> SearchStats {
         SearchStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shard_waits: self.cache.waits()
+                + self.seg_cache.waits()
+                + self.cost.collective_shard_waits(),
             exact_hits: self.exact_hits.load(Ordering::Relaxed),
             exact_misses: self.exact_misses.load(Ordering::Relaxed),
             gated_hits: self.gated_hits.load(Ordering::Relaxed),
@@ -1036,6 +1066,14 @@ impl SearchContext {
     /// Memoized single evaluation. `None` records "the cost model could
     /// not evaluate this key" (e.g. the configuration cannot be laid
     /// out), so failures are not retried either.
+    ///
+    /// Concurrent misses on the same key are **single-flighted**: the
+    /// first claimant costs it, every concurrent claimant parks on the
+    /// in-flight evaluation — helping the shared runtime drain tasks
+    /// while it waits, so it never convoys idle behind the leader's own
+    /// fan-out — and all observers get the identical stored report. A
+    /// leader that panics retires its flight without publishing; a
+    /// parked follower then re-claims and computes.
     pub fn evaluate(
         &self,
         cfg: &HybridConfig,
@@ -1043,21 +1081,41 @@ impl SearchContext {
         mode: RecomputeMode,
     ) -> Option<CostReport> {
         let key = (*cfg, engine, mode);
-        if let Some(cached) = self.cache.read().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.tier_counter(true).fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+        loop {
+            if let Some(cached) = self.cache.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.tier_counter(true).fetch_add(1, Ordering::Relaxed);
+                return cached;
+            }
+            match self.flights.claim(key) {
+                Claim::Leader(lease) => {
+                    // Re-check under the claim: a previous leader may
+                    // have published between our miss and our claim.
+                    if let Some(cached) = self.cache.get(&key) {
+                        drop(lease);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.tier_counter(true).fetch_add(1, Ordering::Relaxed);
+                        return cached;
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.tier_counter(false).fetch_add(1, Ordering::Relaxed);
+                    let workload = self.cost.workload().clone().with_recompute(mode);
+                    let result = self.cost.evaluate_with(cfg, engine, &workload).ok();
+                    // Publish before retiring the flight, so woken
+                    // followers find the entry.
+                    let stored = self.cache.insert_if_absent(key, result);
+                    drop(lease);
+                    return stored;
+                }
+                Claim::Follower(flight) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let pool = crate::runtime::global();
+                    flight.wait(|| pool.help_one());
+                    // Loop: the leader published (next peek hits), or
+                    // died without publishing (we claim leadership).
+                }
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.tier_counter(false).fetch_add(1, Ordering::Relaxed);
-        let workload = self.cost.workload().clone().with_recompute(mode);
-        let result = self.cost.evaluate_with(cfg, engine, &workload).ok();
-        // Two threads can race to fill the same key; keep whichever entry
-        // lands first and hand the caller the *stored* value, so every
-        // observer of a key sees one consistent report (re-evaluations of
-        // the same key agree only up to float association).
-        let mut cache = self.cache.write().expect("cache lock");
-        cache.entry(key).or_insert(result).clone()
     }
 
     /// As [`SearchContext::cost_of`] but answered purely from the cache:
@@ -1072,17 +1130,16 @@ impl SearchContext {
         engine: MappingEngine,
     ) -> Option<CandidateCost> {
         let base_mode = self.cost.workload().recompute;
-        let cache = self.cache.read().expect("cache lock");
         let mut tried_base = false;
         for mode in [base_mode, RecomputeMode::Full] {
             if tried_base && mode == base_mode {
                 continue;
             }
             tried_base = true;
-            match cache.get(&(*cfg, engine, mode))? {
+            match self.cache.get(&(*cfg, engine, mode))? {
                 Some(report) if report.fits_memory => {
                     let workload = self.cost.workload().clone().with_recompute(mode);
-                    return Some((report.step_time, Some((workload, report.clone()))));
+                    return Some((report.step_time, Some((workload, report))));
                 }
                 // Cached OOM or layout failure: try the next mode, exactly
                 // like `cost_of`'s escalation.
@@ -1116,13 +1173,17 @@ impl SearchContext {
 
     /// Resolves one `(candidate, mode)` wave of a batched costing pass:
     /// for every index in `need`, the cached-or-computed report under
-    /// `mode`, aligned with `need`. Cache peeks take one read lock for
-    /// the whole wave; the distinct misses run through
+    /// `mode`, aligned with `need`. Distinct misses this wave *leads*
+    /// (first single-flight claimant) run through
     /// [`WaferCostModel::evaluate_batch`] (hoisted once per runtime-sized
-    /// chunk) and install under one write lock. Counter semantics match
-    /// [`SearchContext::evaluate`] exactly: one hit per cache serve
-    /// (including duplicate occurrences beyond a key's first), one miss
-    /// per report this call computed.
+    /// chunk); misses another solve is already costing are **coalesced**
+    /// — this wave computes its own leaders first, then parks on the
+    /// foreign flights (helping the runtime, so it may well execute the
+    /// leader's chunks) and serves their stored reports. Counter
+    /// semantics match [`SearchContext::evaluate`] exactly: one hit per
+    /// cache serve (including duplicate occurrences beyond a key's
+    /// first and coalesced serves), one miss per report this call
+    /// computed.
     fn resolve_mode_batched(
         &self,
         candidates: &[HybridConfig],
@@ -1132,13 +1193,10 @@ impl SearchContext {
     ) -> Vec<Option<CostReport>> {
         let mut out: Vec<Option<Option<CostReport>>> = vec![None; need.len()];
         let mut missing: Vec<usize> = Vec::new();
-        {
-            let cache = self.cache.read().expect("cache lock");
-            for (slot, &ci) in need.iter().enumerate() {
-                match cache.get(&(candidates[ci], engine, mode)) {
-                    Some(cached) => out[slot] = Some(cached.clone()),
-                    None => missing.push(slot),
-                }
+        for (slot, &ci) in need.iter().enumerate() {
+            match self.cache.get(&(candidates[ci], engine, mode)) {
+                Some(cached) => out[slot] = Some(cached),
+                None => missing.push(slot),
             }
         }
         let hits = (need.len() - missing.len()) as u64;
@@ -1162,49 +1220,95 @@ impl SearchContext {
                 uniques.len() - 1
             });
         }
-        let workload = self.cost.workload().clone().with_recompute(mode);
-        let computed: Vec<Option<CostReport>> = if self.parallel() && uniques.len() > 1 {
-            let chunk = uniques
-                .len()
-                .div_ceil(par::available_workers().max(1))
-                .max(1);
-            let chunks: Vec<&[HybridConfig]> = uniques.chunks(chunk).collect();
-            par::par_map(&chunks, |c| {
+        // Claim every unique: keys we lead are ours to compute; keys a
+        // concurrent solve is already costing are followed after our own
+        // batch lands (never before — leaders must not block on foreign
+        // flights while holding leases, or two waves leading each
+        // other's followers would deadlock).
+        let mut leaders: Vec<HybridConfig> = Vec::with_capacity(uniques.len());
+        let mut leader_uis: Vec<usize> = Vec::with_capacity(uniques.len());
+        let mut leases: Vec<crate::shard::FlightLease<'_, EvalKey>> = Vec::new();
+        let mut followed: Vec<(usize, std::sync::Arc<crate::shard::Flight>)> = Vec::new();
+        let mut resolved: Vec<Option<Option<CostReport>>> = vec![None; uniques.len()];
+        for (ui, cfg) in uniques.iter().enumerate() {
+            let key = (*cfg, engine, mode);
+            match self.flights.claim(key) {
+                Claim::Leader(lease) => match self.cache.get(&key) {
+                    // Lost race: a previous leader published between the
+                    // peek wave and our claim.
+                    Some(cached) => {
+                        drop(lease);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.tier_counter(true).fetch_add(1, Ordering::Relaxed);
+                        resolved[ui] = Some(cached);
+                    }
+                    None => {
+                        leaders.push(*cfg);
+                        leader_uis.push(ui);
+                        leases.push(lease);
+                    }
+                },
+                Claim::Follower(flight) => followed.push((ui, flight)),
+            }
+        }
+        if !leaders.is_empty() {
+            let workload = self.cost.workload().clone().with_recompute(mode);
+            let computed: Vec<Option<CostReport>> = if self.parallel() && leaders.len() > 1 {
+                let chunk = leaders
+                    .len()
+                    .div_ceil(par::available_workers().max(1))
+                    .max(1);
+                let chunks: Vec<&[HybridConfig]> = leaders.chunks(chunk).collect();
+                par::par_map(&chunks, |c| {
+                    self.cost
+                        .evaluate_batch(c, engine, &workload)
+                        .into_iter()
+                        .map(|r| r.ok())
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
                 self.cost
-                    .evaluate_batch(c, engine, &workload)
+                    .evaluate_batch(&leaders, engine, &workload)
                     .into_iter()
                     .map(|r| r.ok())
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
-        } else {
-            self.cost
-                .evaluate_batch(&uniques, engine, &workload)
-                .into_iter()
-                .map(|r| r.ok())
-                .collect()
-        };
-        self.misses
-            .fetch_add(uniques.len() as u64, Ordering::Relaxed);
-        self.tier_counter(false)
-            .fetch_add(uniques.len() as u64, Ordering::Relaxed);
+                    .collect()
+            };
+            self.misses
+                .fetch_add(leaders.len() as u64, Ordering::Relaxed);
+            self.tier_counter(false)
+                .fetch_add(leaders.len() as u64, Ordering::Relaxed);
+            // Publish every report before retiring any lease (stored
+            // entries win races, so every observer of a key sees one
+            // consistent report), then wake the followers.
+            for ((cfg, report), &ui) in leaders.iter().zip(computed).zip(&leader_uis) {
+                let stored = self.cache.insert_if_absent((*cfg, engine, mode), report);
+                resolved[ui] = Some(stored);
+            }
+        }
+        drop(leases);
+        // Park on foreign flights only now, with no leases held; helping
+        // the runtime while waiting keeps this wave productive.
+        let pool = crate::runtime::global();
+        for (ui, flight) in followed {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            flight.wait(|| pool.help_one());
+            // The leader published before retiring its flight; a leader
+            // that died without publishing falls through to `evaluate`,
+            // which re-claims and computes (counting its own hit/miss).
+            resolved[ui] = Some(self.evaluate(&uniques[ui], engine, mode));
+        }
         let dup = (missing.len() - uniques.len()) as u64;
         if dup > 0 {
             self.hits.fetch_add(dup, Ordering::Relaxed);
             self.tier_counter(true).fetch_add(dup, Ordering::Relaxed);
         }
-        // Stored entries win races, as in `evaluate`: every observer of a
-        // key sees one consistent report.
-        let stored: Vec<Option<CostReport>> = {
-            let mut cache = self.cache.write().expect("cache lock");
-            uniques
-                .iter()
-                .zip(computed)
-                .map(|(cfg, report)| cache.entry((*cfg, engine, mode)).or_insert(report).clone())
-                .collect()
-        };
+        let stored: Vec<Option<CostReport>> = resolved
+            .into_iter()
+            .map(|r| r.expect("every unique resolved"))
+            .collect();
         for &slot in &missing {
             let cfg = candidates[need[slot]];
             out[slot] = Some(stored[first_pos[&cfg]].clone());

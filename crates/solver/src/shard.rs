@@ -1,0 +1,342 @@
+//! Sharded concurrent maps and single-flight coalescing — the
+//! concurrency substrate under [`crate::search::SearchContext`]'s caches.
+//!
+//! Two primitives live here:
+//!
+//! * [`ShardedMap`] — a hash map split over [`SHARDS`] independent
+//!   `RwLock`ed shards, so concurrent solvers touching *different* keys
+//!   (different models through one [`crate::pool::ContextPool`], or
+//!   different candidates of one batch) stop serializing on a single
+//!   lock. Lock acquisitions first `try_lock`; a failed try is counted
+//!   as one observed **wait** before blocking, which is the
+//!   `shard_waits` statistic [`crate::search::SearchStats`] surfaces.
+//! * [`FlightTable`] — single-flight claims per key. When N concurrent
+//!   solves miss on the same key, exactly one claimant becomes the
+//!   **leader** (and computes), the rest become **followers** that park
+//!   on the in-flight [`Flight`] — helping the shared runtime drain
+//!   tasks while they wait, so a follower never convoys behind the
+//!   leader's own fan-out — and then observe the identical stored value.
+//!
+//! The leader's claim is a [`FlightLease`]: dropping it (normally or by
+//! panic) retires the flight and wakes every follower. Followers
+//! re-check the destination cache after waking; a leader that died
+//! without publishing simply leaves the key missing, and the retry loop
+//! in the caller elects a new leader.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::time::Duration;
+
+/// Number of independent shards (a power of two; shard choice takes the
+/// top hash bits so it stays independent of `HashMap`'s bucket bits).
+pub const SHARDS: usize = 16;
+
+/// How long a follower sleeps between help attempts when the runtime has
+/// nothing to steal. Short enough that a completed flight is observed
+/// promptly even if the wake-up notification raced the sleep.
+const FOLLOWER_NAP: Duration = Duration::from_micros(200);
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() >> 60) as usize & (SHARDS - 1)
+}
+
+/// A concurrent map over [`SHARDS`] `RwLock`ed shards with contention
+/// accounting: every lock acquisition that could not be satisfied
+/// immediately counts one wait in [`ShardedMap::waits`].
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    waits: AtomicU64,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            waits: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, HashMap<K, V>> {
+        match self.shards[i].try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                self.shards[i].read().expect("shard lock")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+        }
+    }
+
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, HashMap<K, V>> {
+        match self.shards[i].try_write() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                self.shards[i].write().expect("shard lock")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+        }
+    }
+
+    /// A clone of the value under `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.read_shard(shard_of(key)).get(key).cloned()
+    }
+
+    /// Inserts `value` unless `key` is already present; either way,
+    /// returns a clone of the value the map holds afterwards. Stored
+    /// entries win races, so every observer of a key sees one consistent
+    /// value.
+    pub fn insert_if_absent(&self, key: K, value: V) -> V {
+        let shard = shard_of(&key);
+        self.write_shard(shard).entry(key).or_insert(value).clone()
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        (0..SHARDS).map(|i| self.read_shard(i).len()).sum()
+    }
+
+    /// Whether no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every entry (shard by shard — concurrent
+    /// inserts between shards may or may not be included). Callers that
+    /// need deterministic output sort the result; shard order never
+    /// leaks.
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for i in 0..SHARDS {
+            let shard = self.read_shard(i);
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Lock acquisitions that found the shard contended (had to block).
+    pub fn waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+}
+
+/// One in-flight computation: followers park on it until the leader's
+/// [`FlightLease`] retires it.
+#[derive(Debug, Default)]
+pub struct Flight {
+    done: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Flight {
+    /// Whether the leader has retired this flight.
+    pub fn is_done(&self) -> bool {
+        *self.done.lock().expect("flight lock")
+    }
+
+    fn finish(&self) {
+        *self.done.lock().expect("flight lock") = true;
+        self.wake.notify_all();
+    }
+
+    /// Parks until the flight retires. `help` is invoked whenever the
+    /// flight is still running; it should try to execute one unit of
+    /// useful work (e.g. [`crate::runtime::WorkPool::help_one`] on the
+    /// shared runtime) and return whether it did. While the leader's own
+    /// fan-out occupies the runtime, followers drain it instead of
+    /// convoying; once there is nothing to steal they nap briefly on the
+    /// flight's condvar.
+    pub fn wait(&self, mut help: impl FnMut() -> bool) {
+        loop {
+            {
+                let done = self.done.lock().expect("flight lock");
+                if *done {
+                    return;
+                }
+            }
+            if help() {
+                continue;
+            }
+            let done = self.done.lock().expect("flight lock");
+            if *done {
+                return;
+            }
+            let (done, _timeout) = self
+                .wake
+                .wait_timeout(done, FOLLOWER_NAP)
+                .expect("flight lock");
+            if *done {
+                return;
+            }
+        }
+    }
+}
+
+/// The leader's claim on a key. Dropping the lease — after publishing
+/// the computed value, or because the computation panicked — removes the
+/// flight from its table and wakes every follower.
+#[derive(Debug)]
+pub struct FlightLease<'t, K: Hash + Eq + Clone> {
+    table: &'t FlightTable<K>,
+    key: K,
+    flight: Arc<Flight>,
+}
+
+impl<K: Hash + Eq + Clone> Drop for FlightLease<'_, K> {
+    fn drop(&mut self) {
+        let mut shard = self.table.shards[shard_of(&self.key)]
+            .lock()
+            .expect("flight table lock");
+        if let Some(current) = shard.get(&self.key) {
+            if Arc::ptr_eq(current, &self.flight) {
+                shard.remove(&self.key);
+            }
+        }
+        drop(shard);
+        self.flight.finish();
+    }
+}
+
+/// The outcome of [`FlightTable::claim`].
+pub enum Claim<'t, K: Hash + Eq + Clone> {
+    /// No one is computing this key: the caller must compute it, publish
+    /// the result, then drop the lease.
+    Leader(FlightLease<'t, K>),
+    /// Another thread is computing this key: park on the flight (see
+    /// [`Flight::wait`]), then re-read the destination cache.
+    Follower(Arc<Flight>),
+}
+
+/// Per-key single-flight claims, sharded like [`ShardedMap`].
+#[derive(Debug)]
+pub struct FlightTable<K> {
+    shards: Vec<Mutex<HashMap<K, Arc<Flight>>>>,
+}
+
+impl<K> Default for FlightTable<K> {
+    fn default() -> Self {
+        FlightTable {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> FlightTable<K> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims `key`: the first claimant becomes the leader, concurrent
+    /// claimants follow the leader's flight.
+    pub fn claim(&self, key: K) -> Claim<'_, K> {
+        let mut shard = self.shards[shard_of(&key)]
+            .lock()
+            .expect("flight table lock");
+        match shard.get(&key) {
+            Some(flight) => Claim::Follower(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight::default());
+                shard.insert(key.clone(), Arc::clone(&flight));
+                Claim::Leader(FlightLease {
+                    table: self,
+                    key,
+                    flight,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn insert_if_absent_keeps_the_stored_entry() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        assert_eq!(map.get(&7), None);
+        assert_eq!(map.insert_if_absent(7, 70), 70);
+        assert_eq!(map.insert_if_absent(7, 71), 70, "stored entries win");
+        assert_eq!(map.get(&7), Some(70));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_covers_every_shard() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        for k in 0..1000u64 {
+            map.insert_if_absent(k, k * 2);
+        }
+        assert_eq!(map.len(), 1000);
+        let mut snap = map.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap.len(), 1000);
+        assert!(snap.iter().all(|&(k, v)| v == k * 2));
+        // With 1000 keys over 16 shards, every shard must be populated —
+        // this is the guard against a degenerate shard function.
+        let used: std::collections::HashSet<usize> = (0..1000u64).map(|k| shard_of(&k)).collect();
+        assert_eq!(used.len(), SHARDS);
+    }
+
+    #[test]
+    fn single_flight_elects_one_leader_per_key() {
+        let table: FlightTable<u32> = FlightTable::new();
+        let first = table.claim(5);
+        let Claim::Leader(lease) = first else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(flight) = table.claim(5) else {
+            panic!("second claim must follow");
+        };
+        assert!(!flight.is_done());
+        // A different key is independent.
+        assert!(matches!(table.claim(6), Claim::Leader(_)));
+        drop(lease);
+        assert!(flight.is_done(), "dropping the lease retires the flight");
+        // The key is claimable again (e.g. after an abandoned leader).
+        assert!(matches!(table.claim(5), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn followers_wake_even_when_the_leader_panics() {
+        let table: Arc<FlightTable<u32>> = Arc::new(FlightTable::new());
+        let Claim::Leader(lease) = table.claim(9) else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(flight) = table.claim(9) else {
+            panic!("second claim must follow");
+        };
+        let helps = AtomicUsize::new(0);
+        let waiter = std::thread::spawn({
+            let flight = Arc::clone(&flight);
+            move || {
+                flight.wait(|| {
+                    helps.fetch_add(1, Ordering::Relaxed);
+                    false
+                })
+            }
+        });
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _held = lease;
+            panic!("leader dies mid-computation");
+        }));
+        waiter.join().expect("follower must wake, not hang");
+        assert!(matches!(table.claim(9), Claim::Leader(_)));
+    }
+}

@@ -9,6 +9,7 @@
 //! * [`parallel`] — parallel strategies and TATP orchestration;
 //! * [`mapping`] — TCME traffic-conscious mapping engine;
 //! * [`solver`] — DLWS cost model and dual-level search;
+//! * [`serve`] — concurrent plan serving over a shared context pool;
 //! * [`surrogate`] — DNN cost model;
 //! * [`core`] — the TEMP framework facade and baselines.
 
@@ -16,6 +17,7 @@ pub use temp_core as core;
 pub use temp_graph as graph;
 pub use temp_mapping as mapping;
 pub use temp_parallel as parallel;
+pub use temp_serve as serve;
 pub use temp_sim as sim;
 pub use temp_solver as solver;
 pub use temp_surrogate as surrogate;
